@@ -1,0 +1,149 @@
+// Command quickr runs SQL against the bundled synthetic TPC-DS-like
+// warehouse, exactly or approximately, and explains the plans the
+// optimizer chooses.
+//
+// Usage:
+//
+//	quickr [-sf 1] [-approx] [-explain] [-metrics] 'SELECT ...'
+//	quickr [-sf 1] -i            # simple REPL
+//
+// REPL commands: `exact <sql>`, `approx <sql>`, `explain <sql>`,
+// `tables`, `quit`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"quickr"
+	"quickr/internal/data"
+)
+
+func main() {
+	sf := flag.Float64("sf", 1, "TPC-DS-like scale factor")
+	approx := flag.Bool("approx", false, "run through ASALQA (approximate)")
+	explain := flag.Bool("explain", false, "print plans instead of executing")
+	metrics := flag.Bool("metrics", false, "print simulated cluster metrics")
+	interactive := flag.Bool("i", false, "interactive mode")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
+	eng := buildEngine(*sf)
+
+	if *interactive {
+		repl(eng, *metrics)
+		return
+	}
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "usage: quickr [-approx] [-explain] 'SELECT ...'")
+		os.Exit(2)
+	}
+	if *explain {
+		doExplain(eng, query)
+		return
+	}
+	runQuery(eng, query, *approx, *metrics)
+}
+
+func buildEngine(sf float64) *quickr.Engine {
+	cfg := data.DefaultTPCDS()
+	cfg.ScaleFactor = sf
+	ds := data.GenerateTPCDS(cfg)
+	eng := quickr.New()
+	for name, t := range ds.Tables {
+		eng.RegisterStored(t, ds.PKs[name]...)
+	}
+	return eng
+}
+
+func runQuery(eng *quickr.Engine, query string, approx, metrics bool) {
+	var res *quickr.Result
+	var err error
+	if approx {
+		res, err = eng.ExecApprox(query)
+	} else {
+		res, err = eng.Exec(query)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format(50))
+	if approx {
+		if res.Unapproximable {
+			fmt.Println("-- ASALQA declared the query unapproximable; exact plan ran")
+		} else {
+			fmt.Printf("-- sampled with %v\n", res.Samplers)
+		}
+	}
+	if metrics {
+		m := res.Metrics
+		fmt.Printf("-- machine-time=%.0f runtime=%.0f passes=%.2f shuffled=%.0fB intermediate=%.0fB tasks=%d\n",
+			m.MachineHours, m.Runtime, m.Passes, m.ShuffledBytes, m.IntermediateBytes, m.Tasks)
+	}
+}
+
+func doExplain(eng *quickr.Engine, query string) {
+	for _, mode := range []struct {
+		name   string
+		approx bool
+	}{{"BASELINE", false}, {"QUICKR", true}} {
+		info, err := eng.Plan(query, mode.approx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s plan (optimized in %v) ===\n", mode.name, info.OptimizeTime)
+		fmt.Print(info.Physical)
+		if mode.approx {
+			if info.Unapproximable {
+				fmt.Println("-- unapproximable")
+			}
+			for _, n := range info.Notes {
+				fmt.Println("-- note:", n)
+			}
+			for _, tr := range info.AccuracyTrace {
+				fmt.Println("-- accuracy:", tr)
+			}
+			if info.Sampled {
+				fmt.Printf("-- root-equivalent sampler: %s p=%.4g\n", info.RootSampler, info.EffectiveP)
+			}
+		}
+	}
+}
+
+func repl(eng *quickr.Engine, metrics bool) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("quickr> commands: exact <sql> | approx <sql> | explain <sql> | tables | quit")
+	fmt.Print("quickr> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "quit" || line == "exit":
+			return
+		case line == "tables":
+			names := eng.Catalog().Tables()
+			sort.Strings(names)
+			for _, n := range names {
+				t, _ := eng.Catalog().Table(n)
+				fmt.Printf("%-18s %8d rows  %s\n", n, t.NumRows(), t.Schema)
+			}
+		case strings.HasPrefix(line, "exact "):
+			runQuery(eng, line[len("exact "):], false, metrics)
+		case strings.HasPrefix(line, "approx "):
+			runQuery(eng, line[len("approx "):], true, metrics)
+		case strings.HasPrefix(line, "explain "):
+			doExplain(eng, line[len("explain "):])
+		case line == "":
+		default:
+			runQuery(eng, line, true, metrics)
+		}
+		fmt.Print("quickr> ")
+	}
+}

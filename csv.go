@@ -1,0 +1,127 @@
+package quickr
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"quickr/internal/table"
+)
+
+// LoadCSV creates table name from CSV data with a header row, inferring
+// or checking columns against cols (pass nil to take names from the
+// header and infer types from the first data row: integers, floats,
+// booleans, strings). Rows spread round-robin over parts partitions.
+// It returns the number of rows loaded.
+func (e *Engine) LoadCSV(name string, r io.Reader, cols []Column, parts int) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("quickr: reading CSV header: %w", err)
+	}
+	header = append([]string{}, header...)
+
+	var first []string
+	if cols == nil {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return 0, fmt.Errorf("quickr: cannot infer column types from an empty CSV")
+		}
+		if err != nil {
+			return 0, err
+		}
+		first = append([]string{}, rec...)
+		cols = make([]Column, len(header))
+		for i, h := range header {
+			cols[i] = Column{Name: h, Type: inferColType(first[i])}
+		}
+	} else if len(cols) != len(header) {
+		return 0, fmt.Errorf("quickr: CSV has %d columns, schema expects %d", len(header), len(cols))
+	}
+
+	if err := e.CreateTable(name, cols, parts); err != nil {
+		return 0, err
+	}
+	tbl, err := e.cat.Table(name)
+	if err != nil {
+		return 0, err
+	}
+
+	n := 0
+	appendRec := func(rec []string) error {
+		row := make(table.Row, len(cols))
+		for i, field := range rec {
+			v, err := parseValue(field, cols[i].Type)
+			if err != nil {
+				return fmt.Errorf("quickr: row %d column %s: %w", n+1, cols[i].Name, err)
+			}
+			row[i] = v
+		}
+		tbl.Append(n, row)
+		n++
+		return nil
+	}
+	if first != nil {
+		if err := appendRec(first); err != nil {
+			return n, err
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := appendRec(rec); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func inferColType(field string) ColType {
+	if _, err := strconv.ParseInt(field, 10, 64); err == nil {
+		return Int
+	}
+	if _, err := strconv.ParseFloat(field, 64); err == nil {
+		return Float
+	}
+	switch strings.ToLower(field) {
+	case "true", "false":
+		return Bool
+	}
+	return String
+}
+
+func parseValue(field string, t ColType) (table.Value, error) {
+	if field == "" || strings.EqualFold(field, "null") {
+		return table.Null, nil
+	}
+	switch t {
+	case Int:
+		n, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.NewInt(n), nil
+	case Float:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.NewFloat(f), nil
+	case Bool:
+		b, err := strconv.ParseBool(strings.ToLower(field))
+		if err != nil {
+			return table.Value{}, err
+		}
+		return table.NewBool(b), nil
+	default:
+		return table.NewString(field), nil
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: create tables, load rows, and compare an exact run with
+// Quickr's approximate run — including per-group confidence intervals
+// and the simulated cluster costs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"quickr"
+)
+
+func main() {
+	eng := quickr.New()
+
+	// A small star schema: sales fact + product dimension.
+	must(eng.CreateTable("product", []quickr.Column{
+		{Name: "p_id", Type: quickr.Int},
+		{Name: "p_category", Type: quickr.String},
+		{Name: "p_price", Type: quickr.Float},
+	}, 2))
+	must(eng.CreateTable("sales", []quickr.Column{
+		{Name: "s_product", Type: quickr.Int},
+		{Name: "s_customer", Type: quickr.Int},
+		{Name: "s_units", Type: quickr.Int},
+		{Name: "s_revenue", Type: quickr.Float},
+	}, 8))
+	eng.SetPrimaryKey("product", "p_id")
+
+	categories := []string{"books", "games", "tools", "garden", "music"}
+	var products [][]any
+	for i := 0; i < 200; i++ {
+		products = append(products, []any{i, categories[i%len(categories)], 5 + float64(i%40)})
+	}
+	must(eng.Insert("product", products))
+
+	rng := rand.New(rand.NewSource(1))
+	var sales [][]any
+	for i := 0; i < 120000; i++ {
+		p := rng.Intn(200)
+		units := 1 + rng.Intn(5)
+		sales = append(sales, []any{p, rng.Intn(5000), units, float64(units) * (5 + float64(p%40))})
+	}
+	must(eng.Insert("sales", sales))
+
+	query := `
+		SELECT p_category, SUM(s_revenue) AS revenue, COUNT(*) AS orders
+		FROM sales JOIN product ON s_product = p_id
+		GROUP BY p_category
+		ORDER BY revenue DESC`
+
+	exact, err := eng.Exec(query)
+	must(err)
+	fmt.Println("=== exact answer ===")
+	fmt.Print(exact.Format(0))
+	fmt.Printf("machine-time: %.0f  runtime: %.0f  passes over data: %.2f\n\n",
+		exact.Metrics.MachineHours, exact.Metrics.Runtime, exact.Metrics.Passes)
+
+	approx, err := eng.ExecApprox(query)
+	must(err)
+	fmt.Println("=== approximate answer (Quickr) ===")
+	fmt.Print(approx.Format(0))
+	fmt.Printf("sampled: %v  samplers: %+v\n", approx.Sampled, approx.Samplers)
+	fmt.Printf("machine-time: %.0f (%.2fx less)  runtime: %.0f  passes: %.2f\n\n",
+		approx.Metrics.MachineHours,
+		exact.Metrics.MachineHours/approx.Metrics.MachineHours,
+		approx.Metrics.Runtime, approx.Metrics.Passes)
+
+	fmt.Println("=== per-group 95% confidence intervals ===")
+	for _, g := range approx.Estimates {
+		fmt.Printf("%-8v revenue %12.0f ± %-10.0f (%d sample rows)\n",
+			g.Key[0], toF(g.Values[0]), g.CI95[0], g.SampleRows)
+	}
+}
+
+func toF(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

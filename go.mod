@@ -1,0 +1,3 @@
+module quickr
+
+go 1.22

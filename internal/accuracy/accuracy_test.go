@@ -1,0 +1,165 @@
+package accuracy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+func scan(name string, ids ...lplan.ColumnID) *lplan.Scan {
+	cols := make([]lplan.ColumnInfo, len(ids))
+	for i, id := range ids {
+		cols[i] = lplan.ColumnInfo{ID: id, Name: name, Kind: table.KindInt}
+	}
+	return &lplan.Scan{Table: name, Cols: cols}
+}
+
+func sampled(in lplan.Node, def lplan.SamplerDef) *lplan.Sample {
+	return &lplan.Sample{Input: in, State: lplan.NewSamplerState(nil), Def: &def}
+}
+
+func TestAnalyzeSingleUniform(t *testing.T) {
+	plan := &lplan.Select{
+		Input: sampled(scan("t", 1), lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.05}),
+		Pred:  &lplan.Const{Val: table.NewBool(true)},
+	}
+	a := Analyze(plan)
+	if !a.Sampled || a.Type != lplan.SamplerUniform || math.Abs(a.P-0.05) > 1e-12 {
+		t.Fatalf("analysis: %+v", a)
+	}
+	if len(a.Trace) == 0 || !strings.Contains(a.Trace[0], "Rule-U2") {
+		t.Errorf("trace: %v", a.Trace)
+	}
+}
+
+func TestAnalyzePairedUniverseMergesOnce(t *testing.T) {
+	l := sampled(scan("l", 1), lplan.SamplerDef{Type: lplan.SamplerUniverse, P: 0.1, Cols: []lplan.ColumnID{1}, Seed: 7})
+	r := sampled(scan("r", 2), lplan.SamplerDef{Type: lplan.SamplerUniverse, P: 0.1, Cols: []lplan.ColumnID{2}, Seed: 7})
+	join := &lplan.Join{Left: l, Right: r, LeftKeys: []lplan.ColumnID{1}, RightKeys: []lplan.ColumnID{2}}
+	a := Analyze(join)
+	if a.Type != lplan.SamplerUniverse {
+		t.Fatalf("type: %v", a.Type)
+	}
+	// Rule V3a: a paired universe sampler counts once (p, not p²).
+	if math.Abs(a.P-0.1) > 1e-12 {
+		t.Errorf("effective p %v want 0.1", a.P)
+	}
+	found := false
+	for _, tr := range a.Trace {
+		if strings.Contains(tr, "V3a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing V3a in trace: %v", a.Trace)
+	}
+	// Universe columns must close over the join equivalence.
+	got := map[lplan.ColumnID]bool{}
+	for _, c := range a.UniverseCols {
+		got[c] = true
+	}
+	if !got[1] || !got[2] {
+		t.Errorf("universe cols not closed over join keys: %v", a.UniverseCols)
+	}
+}
+
+func TestAnalyzeIndependentSamplersMultiply(t *testing.T) {
+	l := sampled(scan("l", 1), lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5})
+	r := sampled(scan("r", 2), lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.2})
+	join := &lplan.Join{Left: l, Right: r, LeftKeys: []lplan.ColumnID{1}, RightKeys: []lplan.ColumnID{2}}
+	a := Analyze(join)
+	if math.Abs(a.P-0.1) > 1e-12 {
+		t.Errorf("independent samplers: p %v want 0.1 (Rule U3)", a.P)
+	}
+}
+
+func TestAnalyzeTypeDominance(t *testing.T) {
+	// Universe present anywhere dominates the root-equivalent type.
+	l := sampled(scan("l", 1), lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5})
+	r := sampled(scan("r", 2), lplan.SamplerDef{Type: lplan.SamplerUniverse, P: 0.2, Cols: []lplan.ColumnID{2}, Seed: 3})
+	join := &lplan.Join{Left: l, Right: r, LeftKeys: []lplan.ColumnID{1}, RightKeys: []lplan.ColumnID{2}}
+	if a := Analyze(join); a.Type != lplan.SamplerUniverse {
+		t.Errorf("type %v want universe", a.Type)
+	}
+}
+
+func TestAnalyzeUnsampled(t *testing.T) {
+	a := Analyze(scan("t", 1))
+	if a.Sampled || a.P != 1 {
+		t.Errorf("unsampled: %+v", a)
+	}
+	// Pass-through samplers do not count.
+	pt := sampled(scan("t", 1), lplan.SamplerDef{Type: lplan.SamplerPassThrough})
+	if a := Analyze(pt); a.Sampled {
+		t.Error("pass-through must not mark the plan sampled")
+	}
+}
+
+func TestGroupCoverage(t *testing.T) {
+	// Proposition 4 shapes.
+	if got := GroupCoverage(lplan.SamplerUniform, 0.1, 30, false, 0); got < 0.95 {
+		t.Errorf("uniform coverage at support 30: %v", got)
+	}
+	if got := GroupCoverage(lplan.SamplerUniform, 0.1, 1, false, 0); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("uniform coverage at support 1: %v", got)
+	}
+	if got := GroupCoverage(lplan.SamplerDistinct, 0.01, 5, true, 0); got != 1 {
+		t.Errorf("distinct with covering strat cols must never miss: %v", got)
+	}
+	// Universe coverage depends on universe values per group, not rows.
+	rich := GroupCoverage(lplan.SamplerUniverse, 0.1, 1000, false, 100)
+	poor := GroupCoverage(lplan.SamplerUniverse, 0.1, 1000, false, 2)
+	if rich < 0.99 || poor > 0.5 {
+		t.Errorf("universe coverage: rich %v poor %v", rich, poor)
+	}
+	if got := GroupCoverage(lplan.SamplerPassThrough, 0, 0, false, 0); got != 1 {
+		t.Errorf("pass-through coverage: %v", got)
+	}
+	if m := MissProbability(lplan.SamplerUniform, 0.1, 30, false, 0); m > 0.05 {
+		t.Errorf("miss probability: %v", m)
+	}
+}
+
+func TestSwitchingRuleOrder(t *testing.T) {
+	// Prop. 6: Γ^V ⇒ Γ^U ⇒ Γ^D (distinct most accurate); Dominates(a,b)
+	// reads "a is at least as accurate as b".
+	if !Dominates(lplan.SamplerUniform, lplan.SamplerUniverse) {
+		t.Error("uniform must dominate universe")
+	}
+	if !Dominates(lplan.SamplerDistinct, lplan.SamplerUniform) {
+		t.Error("distinct must dominate uniform")
+	}
+	if Dominates(lplan.SamplerUniverse, lplan.SamplerDistinct) {
+		t.Error("universe must not dominate distinct")
+	}
+	if !Dominates(lplan.SamplerDistinct, lplan.SamplerDistinct) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestAnalyzeDistinctSampler(t *testing.T) {
+	plan := sampled(scan("t", 1), lplan.SamplerDef{
+		Type: lplan.SamplerDistinct, P: 0.1, Cols: []lplan.ColumnID{1}, Delta: 30,
+	})
+	a := Analyze(plan)
+	if a.Type != lplan.SamplerDistinct || a.Delta != 30 || len(a.StratCols) != 1 {
+		t.Fatalf("distinct analysis: %+v", a)
+	}
+	// Distinct with covering stratification never misses groups.
+	if GroupCoverage(a.Type, a.P, 5, true, 0) != 1 {
+		t.Error("covered distinct must have coverage 1")
+	}
+}
+
+func TestAnalyzeStackedSamplersThroughSelect(t *testing.T) {
+	inner := sampled(scan("t", 1), lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.1})
+	sel := &lplan.Select{Input: inner, Pred: &lplan.Const{Val: table.NewBool(true)}}
+	outer := sampled(sel, lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5})
+	a := Analyze(outer)
+	if math.Abs(a.P-0.05) > 1e-12 {
+		t.Errorf("stacked probability %v want 0.05", a.P)
+	}
+}

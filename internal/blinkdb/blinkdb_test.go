@@ -1,0 +1,94 @@
+package blinkdb
+
+import (
+	"math"
+	"testing"
+
+	"quickr/internal/table"
+)
+
+func baseTable() *table.Table {
+	sc := table.NewSchema(
+		table.Column{Name: "grp", Kind: table.KindInt},
+		table.Column{Name: "sub", Kind: table.KindInt},
+		table.Column{Name: "val", Kind: table.KindFloat},
+	)
+	t := table.New("base", sc, 4)
+	for i := 0; i < 10000; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i % 10)),
+			table.NewInt(int64(i % 500)),
+			table.NewFloat(1),
+		})
+	}
+	return t
+}
+
+func TestSampleSizeCapsStrata(t *testing.T) {
+	base := baseTable()
+	// 10 strata of 1000 rows each, cap 50 → 500 rows.
+	if got := SampleSize(base, []string{"grp"}, 50); got != 500 {
+		t.Errorf("sample size %d want 500", got)
+	}
+	// 500 strata of 20 rows, cap 50 keeps everything.
+	if got := SampleSize(base, []string{"sub"}, 50); got != 10000 {
+		t.Errorf("sample size %d want 10000", got)
+	}
+}
+
+func TestBuildRespectsBudget(t *testing.T) {
+	base := baseTable()
+	qcs := map[string][]string{
+		"q1": {"grp"},
+		"q2": {"sub"},
+		"q3": {"grp"},
+	}
+	st := Build(base, qcs, Config{K: 50, BudgetFactor: 0.1, Seed: 1}) // 1000 rows budget
+	if st.UsedRows > st.BudgetRows {
+		t.Fatalf("budget exceeded: %d > %d", st.UsedRows, st.BudgetRows)
+	}
+	// Only the grp sample (500 rows, 2 queries) fits; sub needs 10000.
+	if len(st.Samples) != 1 || st.Samples[0].Cols[0] != "grp" {
+		t.Fatalf("samples: %+v", st.Samples)
+	}
+}
+
+func TestCandidatesDeduplicateByQCS(t *testing.T) {
+	base := baseTable()
+	qcs := map[string][]string{"a": {"grp"}, "b": {"grp"}, "c": {"sub", "grp"}}
+	cands := BuildCandidates(base, qcs, 50)
+	if len(cands) != 2 {
+		t.Fatalf("candidates: %+v", cands)
+	}
+}
+
+func TestMaterializedWeightsUnbiased(t *testing.T) {
+	base := baseTable()
+	s := materialize(base, []string{"grp"}, 50, 7)
+	wIdx := s.Table.Schema.Index("_w")
+	if wIdx < 0 {
+		t.Fatal("weight column missing")
+	}
+	// Per-stratum weighted counts must reconstruct the stratum sizes.
+	perGroup := map[int64]float64{}
+	for _, row := range s.Table.AllRows() {
+		perGroup[row[0].Int()] += row[wIdx].Float()
+	}
+	for g, wsum := range perGroup {
+		if math.Abs(wsum-1000) > 1e-6 {
+			t.Errorf("group %d weighted count %.1f want 1000", g, wsum)
+		}
+	}
+	if s.Table.NumRows() != 500 {
+		t.Errorf("stored rows %d want 500", s.Table.NumRows())
+	}
+}
+
+func TestCoversQCS(t *testing.T) {
+	if !coversQCS([]string{"a", "b"}, []string{"a"}) {
+		t.Error("superset must cover")
+	}
+	if coversQCS([]string{"a"}, []string{"a", "b"}) {
+		t.Error("subset must not cover")
+	}
+}

@@ -1,0 +1,221 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"quickr/internal/lplan"
+	"quickr/internal/sql"
+	"quickr/internal/table"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat := New()
+	fact := table.New("fact", table.NewSchema(
+		table.Column{Name: "f_key", Kind: table.KindInt},
+		table.Column{Name: "f_dim", Kind: table.KindInt},
+		table.Column{Name: "f_val", Kind: table.KindFloat},
+	), 2)
+	for i := 0; i < 100; i++ {
+		fact.Append(i, table.Row{
+			table.NewInt(int64(i)), table.NewInt(int64(i % 10)), table.NewFloat(float64(i)),
+		})
+	}
+	dim := table.New("dim", table.NewSchema(
+		table.Column{Name: "d_key", Kind: table.KindInt},
+		table.Column{Name: "d_name", Kind: table.KindString},
+	), 1)
+	for i := 0; i < 10; i++ {
+		dim.Append(i, table.Row{table.NewInt(int64(i)), table.NewString("n")})
+	}
+	cat.Register(fact)
+	cat.Register(dim)
+	cat.SetPrimaryKey("dim", "d_key")
+	return cat
+}
+
+func bind(t *testing.T, cat *Catalog, src string) lplan.Node {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewBinder(cat).Bind(stmt)
+	if err != nil {
+		t.Fatalf("bind %q: %v", src, err)
+	}
+	return plan
+}
+
+func TestBindResolvesColumns(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_val FROM fact WHERE f_key > 5")
+	var sawSelect bool
+	lplan.Walk(plan, func(n lplan.Node) {
+		if _, ok := n.(*lplan.Select); ok {
+			sawSelect = true
+		}
+	})
+	if !sawSelect {
+		t.Error("WHERE must become a Select node")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"SELECT missing FROM fact",
+		"SELECT f_val FROM missing_table",
+		"SELECT fact.f_val, SUM(f_val) FROM fact",            // mixing without GROUP BY
+		"SELECT f_val FROM fact GROUP BY f_dim",              // item not grouped
+		"SELECT f_key FROM fact ORDER BY f_nonexistent_name", // bad order key
+	}
+	for _, src := range bad {
+		stmt, err := sql.Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := NewBinder(cat).Bind(stmt); err == nil {
+			t.Errorf("expected bind error for %q", src)
+		}
+	}
+}
+
+func TestBindAmbiguousColumn(t *testing.T) {
+	cat := New()
+	a := table.New("a", table.NewSchema(table.Column{Name: "x", Kind: table.KindInt}), 1)
+	b := table.New("b", table.NewSchema(table.Column{Name: "x", Kind: table.KindInt}), 1)
+	cat.Register(a)
+	cat.Register(b)
+	stmt, _ := sql.Parse("SELECT x FROM a JOIN b ON a.x = b.x")
+	if _, err := NewBinder(cat).Bind(stmt); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguity not detected: %v", err)
+	}
+}
+
+func TestBindExtractsEquiJoinKeys(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_val FROM fact JOIN dim ON f_dim = d_key AND f_val > 1")
+	var join *lplan.Join
+	lplan.Walk(plan, func(n lplan.Node) {
+		if j, ok := n.(*lplan.Join); ok {
+			join = j
+		}
+	})
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if len(join.LeftKeys) != 1 || len(join.RightKeys) != 1 {
+		t.Fatalf("keys: %v %v", join.LeftKeys, join.RightKeys)
+	}
+	if join.Residual == nil {
+		t.Error("non-equi conjunct must stay as residual")
+	}
+	if !join.FKJoin {
+		t.Error("join on dim primary key must be marked FK")
+	}
+}
+
+func TestBindAggregateShape(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, `SELECT f_dim, SUM(f_val) AS s, COUNT(*) AS c
+		FROM fact GROUP BY f_dim HAVING SUM(f_val) > 10`)
+	var agg *lplan.Aggregate
+	var selects int
+	lplan.Walk(plan, func(n lplan.Node) {
+		switch x := n.(type) {
+		case *lplan.Aggregate:
+			agg = x
+		case *lplan.Select:
+			selects++
+		}
+	})
+	if agg == nil || len(agg.Aggs) != 2 || len(agg.GroupCols) != 1 {
+		t.Fatalf("aggregate shape: %+v", agg)
+	}
+	if selects != 1 {
+		t.Errorf("HAVING must bind to one Select, got %d", selects)
+	}
+	// The pre-aggregation projection (the precursor) must sit below.
+	if _, ok := agg.Input.(*lplan.Project); !ok {
+		t.Errorf("precursor project missing: %T", agg.Input)
+	}
+}
+
+func TestBindDedupesAggregates(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_dim, SUM(f_val), SUM(f_val) / COUNT(*) FROM fact GROUP BY f_dim")
+	var agg *lplan.Aggregate
+	lplan.Walk(plan, func(n lplan.Node) {
+		if a, ok := n.(*lplan.Aggregate); ok {
+			agg = a
+		}
+	})
+	// SUM(f_val) appears twice in the select list but must be computed once.
+	if len(agg.Aggs) != 2 {
+		t.Errorf("aggs: %d want 2 (SUM deduped + COUNT)", len(agg.Aggs))
+	}
+}
+
+func TestBindDistinct(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT DISTINCT f_dim FROM fact")
+	var agg *lplan.Aggregate
+	lplan.Walk(plan, func(n lplan.Node) {
+		if a, ok := n.(*lplan.Aggregate); ok {
+			agg = a
+		}
+	})
+	if agg == nil || len(agg.Aggs) != 0 || len(agg.GroupCols) != 1 {
+		t.Errorf("DISTINCT must become group-by-all: %+v", agg)
+	}
+}
+
+func TestBindUnionAll(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_key FROM fact UNION ALL SELECT d_key FROM dim")
+	if len(plan.Children()) != 2 {
+		t.Fatalf("union children: %d", len(plan.Children()))
+	}
+	if len(plan.Columns()) != 1 {
+		t.Fatalf("union columns: %d", len(plan.Columns()))
+	}
+	stmt, _ := sql.Parse("SELECT f_key, f_val FROM fact UNION ALL SELECT d_key FROM dim")
+	if _, err := NewBinder(cat).Bind(stmt); err == nil {
+		t.Error("arity mismatch must be a bind error")
+	}
+}
+
+func TestBindLineage(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_dim + 1 AS shifted FROM fact")
+	cols := plan.Columns()
+	if len(cols) != 1 || len(cols[0].Origins) != 1 {
+		t.Fatalf("lineage: %+v", cols)
+	}
+	if cols[0].Origins[0] != (lplan.BaseCol{Table: "fact", Column: "f_dim"}) {
+		t.Errorf("origin: %v", cols[0].Origins[0])
+	}
+}
+
+func TestBindOuterJoinNormalization(t *testing.T) {
+	cat := testCatalog(t)
+	plan := bind(t, cat, "SELECT f_val FROM dim RIGHT JOIN fact ON f_dim = d_key")
+	var join *lplan.Join
+	lplan.Walk(plan, func(n lplan.Node) {
+		if j, ok := n.(*lplan.Join); ok {
+			join = j
+		}
+	})
+	if join == nil || join.Kind != lplan.LeftOuterJoin {
+		t.Fatalf("right outer must normalize to left outer: %+v", join)
+	}
+	// The preserved side (fact) must be on the left after the swap.
+	if _, ok := join.Left.(*lplan.Scan); !ok {
+		t.Fatalf("left side: %T", join.Left)
+	}
+	if join.Left.(*lplan.Scan).Table != "fact" {
+		t.Errorf("preserved side: %s", join.Left.(*lplan.Scan).Table)
+	}
+}

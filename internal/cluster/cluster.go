@@ -1,0 +1,233 @@
+// Package cluster simulates the cost side of a big-data cluster run.
+// The executor really computes every operator on real data; this package
+// only assigns simulated time and IO to tasks and stages so that the
+// paper's performance metrics — machine-hours, runtime, intermediate
+// data, shuffled data and effective passes over data — can be reported
+// for any plan, with or without samplers.
+//
+// The model: a physical plan splits into stages at exchange boundaries
+// (a pair join therefore takes two passes over data and one shuffle,
+// exactly the paper's motivating observation). A stage runs one task
+// per partition; tasks are scheduled in waves limited by the slot cap.
+// Task time is startup overhead plus CPU (per-row operator costs) plus
+// IO (bytes read and written at stage boundaries).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config tunes the simulator. Defaults resemble a datacenter-standard
+// node (paper §5.1) in arbitrary but consistent units.
+type Config struct {
+	// SlotCap is the number of simultaneously running tasks the
+	// scheduler grants the query (degree of parallelism available).
+	SlotCap int
+	// TaskStartup is the fixed per-task overhead; it is what makes
+	// degree-of-parallelism reduction after samplers profitable (§A).
+	TaskStartup float64
+	// CPURate scales per-row operator cost into time.
+	CPURate float64
+	// IORate scales bytes read/written at stage boundaries into time.
+	IORate float64
+	// NetRate scales shuffled bytes into time.
+	NetRate float64
+}
+
+// DefaultConfig returns the simulator defaults used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		SlotCap:     16,
+		TaskStartup: 2_000,
+		CPURate:     1.0,
+		IORate:      0.05,
+		NetRate:     0.1,
+	}
+}
+
+// Stage is one scheduling unit: a set of parallel tasks between
+// exchange boundaries.
+type Stage struct {
+	ID   int
+	Name string
+	Deps []int
+	// Per-task accumulators (index = partition/task id).
+	TaskCPU      []float64
+	TaskInBytes  []float64
+	TaskOutBytes []float64
+	TaskInRows   []int64
+	TaskOutRows  []int64
+	// Extract marks stages that read base tables (the first pass).
+	Extract bool
+	// ShuffleOut is set when the stage output crosses the network.
+	ShuffleOut bool
+	// Final marks the stage producing the job output.
+	Final bool
+
+	start, finish float64
+}
+
+// Run accumulates a whole query execution.
+type Run struct {
+	Cfg    Config
+	Stages []*Stage
+
+	// JobInputBytes and JobOutputBytes bracket the passes metric.
+	JobInputBytes  float64
+	JobOutputBytes float64
+}
+
+// NewRun starts an empty accounting run.
+func NewRun(cfg Config) *Run {
+	if cfg.SlotCap <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Run{Cfg: cfg}
+}
+
+// NewStage opens a stage with the given task count and dependencies.
+func (r *Run) NewStage(name string, tasks int, deps ...int) *Stage {
+	if tasks < 1 {
+		tasks = 1
+	}
+	s := &Stage{
+		ID:           len(r.Stages),
+		Name:         name,
+		Deps:         append([]int{}, deps...),
+		TaskCPU:      make([]float64, tasks),
+		TaskInBytes:  make([]float64, tasks),
+		TaskOutBytes: make([]float64, tasks),
+		TaskInRows:   make([]int64, tasks),
+		TaskOutRows:  make([]int64, tasks),
+	}
+	r.Stages = append(r.Stages, s)
+	return s
+}
+
+// AddCPU charges per-row CPU cost to a task.
+func (s *Stage) AddCPU(task int, cost float64) { s.TaskCPU[task%len(s.TaskCPU)] += cost }
+
+// AddInput charges input rows/bytes to a task.
+func (s *Stage) AddInput(task int, rows int64, bytes float64) {
+	i := task % len(s.TaskInBytes)
+	s.TaskInRows[i] += rows
+	s.TaskInBytes[i] += bytes
+}
+
+// AddOutput charges output rows/bytes to a task.
+func (s *Stage) AddOutput(task int, rows int64, bytes float64) {
+	i := task % len(s.TaskOutBytes)
+	s.TaskOutRows[i] += rows
+	s.TaskOutBytes[i] += bytes
+}
+
+// Tasks returns the stage's task count.
+func (s *Stage) Tasks() int { return len(s.TaskCPU) }
+
+// taskTime is the simulated duration of one task.
+func (s *Stage) taskTime(cfg Config, i int) float64 {
+	t := cfg.TaskStartup + s.TaskCPU[i]*cfg.CPURate + (s.TaskInBytes[i]+s.TaskOutBytes[i])*cfg.IORate
+	if s.ShuffleOut {
+		t += s.TaskOutBytes[i] * cfg.NetRate
+	}
+	return t
+}
+
+// Metrics are the paper's performance measures for one run.
+type Metrics struct {
+	// MachineHours is the sum of all task durations (§5.1: "sum of the
+	// runtime of all tasks ... a measure of throughput").
+	MachineHours float64
+	// Runtime is the simulated completion time on the critical path
+	// with wave scheduling under the slot cap.
+	Runtime float64
+	// IntermediateBytes is "the sum of the output of all tasks less the
+	// job output".
+	IntermediateBytes float64
+	// ShuffledBytes is data moved across the network.
+	ShuffledBytes float64
+	// Passes is (Σ_task input_t + output_t) / (job input + job output).
+	Passes float64
+	// FirstPassTime is the duration of the extract stages (used for the
+	// total/first-pass ratio in Fig. 2b/8c).
+	FirstPassTime float64
+	// Tasks and Stages count scheduling units.
+	Tasks, Stages int
+}
+
+// Finish computes metrics for the run.
+func (r *Run) Finish() Metrics {
+	var m Metrics
+	m.Stages = len(r.Stages)
+
+	// Schedule stages topologically (IDs are already topological since
+	// stages are created bottom-up).
+	for _, s := range r.Stages {
+		start := 0.0
+		for _, d := range s.Deps {
+			if f := r.Stages[d].finish; f > start {
+				start = f
+			}
+		}
+		s.start = start
+
+		// Wave scheduling: sort task times descending, fill SlotCap-wide
+		// waves; duration approximated as the sum of per-wave maxima.
+		times := make([]float64, s.Tasks())
+		for i := range times {
+			times[i] = s.taskTime(r.Cfg, i)
+			m.MachineHours += times[i]
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(times)))
+		dur := 0.0
+		for i := 0; i < len(times); i += r.Cfg.SlotCap {
+			dur += times[i] // max of this wave
+		}
+		s.finish = start + dur
+		if s.finish > m.Runtime {
+			m.Runtime = s.finish
+		}
+		if s.Extract {
+			m.FirstPassTime += dur
+		}
+		m.Tasks += s.Tasks()
+
+		for i := 0; i < s.Tasks(); i++ {
+			if !s.Final {
+				m.IntermediateBytes += s.TaskOutBytes[i]
+			}
+			if s.ShuffleOut {
+				m.ShuffledBytes += s.TaskOutBytes[i]
+			}
+		}
+	}
+
+	inout := r.JobInputBytes + r.JobOutputBytes
+	if inout > 0 {
+		var sum float64
+		for _, s := range r.Stages {
+			for i := 0; i < s.Tasks(); i++ {
+				sum += s.TaskInBytes[i] + s.TaskOutBytes[i]
+			}
+		}
+		m.Passes = sum / inout
+	}
+	return m
+}
+
+// String renders a short per-stage report for EXPLAIN ANALYZE output.
+func (r *Run) String() string {
+	var b strings.Builder
+	for _, s := range r.Stages {
+		var in, out float64
+		for i := 0; i < s.Tasks(); i++ {
+			in += s.TaskInBytes[i]
+			out += s.TaskOutBytes[i]
+		}
+		fmt.Fprintf(&b, "stage %d %-14s tasks=%-4d in=%.0fB out=%.0fB deps=%v\n",
+			s.ID, s.Name, s.Tasks(), in, out, s.Deps)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMachineHoursSumsTasks(t *testing.T) {
+	cfg := Config{SlotCap: 4, TaskStartup: 10, CPURate: 1, IORate: 0, NetRate: 0}
+	r := NewRun(cfg)
+	s := r.NewStage("scan", 3)
+	s.AddCPU(0, 100)
+	s.AddCPU(1, 50)
+	s.AddCPU(2, 25)
+	m := r.Finish()
+	want := 3*10.0 + 175
+	if math.Abs(m.MachineHours-want) > 1e-9 {
+		t.Errorf("machine-hours %.1f want %.1f", m.MachineHours, want)
+	}
+	if m.Tasks != 3 || m.Stages != 1 {
+		t.Errorf("tasks/stages %d/%d", m.Tasks, m.Stages)
+	}
+}
+
+func TestWaveScheduling(t *testing.T) {
+	cfg := Config{SlotCap: 2, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("s", 4)
+	for i, c := range []float64{100, 90, 10, 5} {
+		s.AddCPU(i, c)
+	}
+	m := r.Finish()
+	// Two waves: max(100,90) + max(10,5) = 110.
+	if math.Abs(m.Runtime-110) > 1e-9 {
+		t.Errorf("runtime %.1f want 110", m.Runtime)
+	}
+}
+
+func TestStageDependenciesCriticalPath(t *testing.T) {
+	cfg := Config{SlotCap: 8, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	a := r.NewStage("a", 1)
+	a.AddCPU(0, 100)
+	b := r.NewStage("b", 1) // independent
+	b.AddCPU(0, 30)
+	c := r.NewStage("c", 1, a.ID, b.ID)
+	c.AddCPU(0, 10)
+	m := r.Finish()
+	if math.Abs(m.Runtime-110) > 1e-9 {
+		t.Errorf("critical path %.1f want 110", m.Runtime)
+	}
+}
+
+func TestPassesMetric(t *testing.T) {
+	// Passes = (Σ task in+out) / (job in + job out), per the paper.
+	cfg := DefaultConfig()
+	r := NewRun(cfg)
+	r.JobInputBytes = 1000
+	r.JobOutputBytes = 100
+
+	scan := r.NewStage("scan", 2)
+	scan.AddInput(0, 10, 500)
+	scan.AddInput(1, 10, 500)
+	scan.AddOutput(0, 10, 400)
+	scan.AddOutput(1, 10, 400)
+	scan.ShuffleOut = true
+
+	agg := r.NewStage("agg", 1, scan.ID)
+	agg.AddInput(0, 20, 800)
+	agg.AddOutput(0, 2, 100)
+	agg.Final = true
+
+	m := r.Finish()
+	want := (1000.0 + 800 + 800 + 100) / 1100
+	if math.Abs(m.Passes-want) > 1e-9 {
+		t.Errorf("passes %.3f want %.3f", m.Passes, want)
+	}
+	if m.ShuffledBytes != 800 {
+		t.Errorf("shuffled %.0f want 800", m.ShuffledBytes)
+	}
+	// Intermediate excludes the final stage's output.
+	if m.IntermediateBytes != 800 {
+		t.Errorf("intermediate %.0f want 800", m.IntermediateBytes)
+	}
+}
+
+func TestFirstPassTime(t *testing.T) {
+	cfg := Config{SlotCap: 4, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	scan := r.NewStage("scan", 1)
+	scan.Extract = true
+	scan.AddCPU(0, 40)
+	agg := r.NewStage("agg", 1, scan.ID)
+	agg.AddCPU(0, 60)
+	m := r.Finish()
+	if math.Abs(m.FirstPassTime-40) > 1e-9 {
+		t.Errorf("first pass %.0f want 40", m.FirstPassTime)
+	}
+	if math.Abs(m.Runtime-100) > 1e-9 {
+		t.Errorf("runtime %.0f want 100", m.Runtime)
+	}
+}
+
+func TestTaskStartupRewardsLowDOP(t *testing.T) {
+	// The same work split into many tasks must cost more machine-time
+	// (the §A rationale for reducing DOP after samplers).
+	run1 := NewRun(Config{SlotCap: 64, TaskStartup: 50, CPURate: 1})
+	s1 := run1.NewStage("wide", 32)
+	for i := 0; i < 32; i++ {
+		s1.AddCPU(i, 10)
+	}
+	run2 := NewRun(Config{SlotCap: 64, TaskStartup: 50, CPURate: 1})
+	s2 := run2.NewStage("narrow", 2)
+	for i := 0; i < 2; i++ {
+		s2.AddCPU(i, 160)
+	}
+	if run1.Finish().MachineHours <= run2.Finish().MachineHours {
+		t.Error("wide plan should cost more machine-time at equal work")
+	}
+}

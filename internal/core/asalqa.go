@@ -1,0 +1,533 @@
+// Package core implements ASALQA — "place Appropriate Samplers at
+// Appropriate Locations in the Query plan Automatically" (paper §4.2) —
+// Quickr's primary contribution: a sampler-aware query optimization
+// phase built on the cost model and cardinality estimator of
+// internal/opt.
+//
+// The algorithm:
+//
+//  1. Seed an optimistic sampler immediately below every aggregation
+//     (§4.2.2), stratified on the answer's group columns and the *IF
+//     condition columns.
+//  2. Explore alternatives that push each sampler toward the raw inputs
+//     past selects (§4.2.3), projects and joins (§4.2.4, Figure 7),
+//     tracking the logical sampler state {S, U, ds, sfm}. Exploration
+//     is a beam search over the (large) space of sampled plans.
+//  3. Cost each alternative (§4.2.6): check the stratification
+//     requirement C1 (can some p ≤ 0.1 give every group at least k rows,
+//     using support scaled by ds·sfm?) and the universe requirement C2,
+//     then materialize the physical sampler — uniform when both hold,
+//     universe when stratification is satisfiable but universe columns
+//     are required, distinct when stratification cannot be met by a
+//     uniform probability (if it still reduces data), and a pass-through
+//     otherwise.
+//  4. Enforce global requirements bottom-up (§A): paired universe
+//     samplers on both join inputs use identical columns, probability
+//     and subspace seed; nested samplers are forbidden.
+//
+// A query whose every seeded sampler degrades to a pass-through is
+// declared unapproximable (roughly 25% of TPC-DS queries in the paper).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"quickr/internal/lplan"
+	"quickr/internal/opt"
+)
+
+// Options tune ASALQA; defaults follow the paper.
+type Options struct {
+	// K is the minimum per-group sample support (central limit theorem
+	// anecdote: 30).
+	K float64
+	// KL is the minimum rows per distinct stratification value for the
+	// distinct sampler to be worthwhile (paper: 3).
+	KL float64
+	// MaxP is the largest allowed sampling probability (paper: 0.1,
+	// "to ensure that the performance gains are high").
+	MaxP float64
+	// BeamWidth caps alternatives kept per subtree during exploration.
+	BeamWidth int
+	// MaxSubsetKeys caps the join-key subsets enumerated in
+	// OneSideHelper (Figure 7 line 12).
+	MaxSubsetKeys int
+}
+
+// DefaultOptions returns the paper's parameter choices.
+func DefaultOptions() Options {
+	return Options{K: 30, KL: 3, MaxP: 0.1, BeamWidth: 6, MaxSubsetKeys: 3}
+}
+
+// Result is the outcome of sampler placement.
+type Result struct {
+	// Plan is the output plan: the input plan with physical samplers
+	// materialized (possibly none).
+	Plan lplan.Node
+	// Sampled reports whether any non-pass-through sampler remains.
+	Sampled bool
+	// Unapproximable is set when every seeded sampler degraded to a
+	// pass-through.
+	Unapproximable bool
+	// Samplers lists the materialized samplers.
+	Samplers []*lplan.Sample
+	// Notes records decisions for EXPLAIN output.
+	Notes []string
+}
+
+// Asalqa runs sampler placement over a normalized logical plan.
+type Asalqa struct {
+	Est  *opt.Estimator
+	CM   *opt.CostModel
+	Opts Options
+
+	univGroupSeq uint64
+	notes        []string
+	// extended holds the exploration-only state (CountDistinct columns,
+	// universe pairing group) per Sample node.
+	extended map[*lplan.Sample]samplerState
+}
+
+// New creates an ASALQA instance sharing the optimizer's estimator and
+// cost model.
+func New(est *opt.Estimator, cm *opt.CostModel, opts Options) *Asalqa {
+	if opts.K == 0 {
+		opts = DefaultOptions()
+	}
+	return &Asalqa{Est: est, CM: cm, Opts: opts}
+}
+
+// Place seeds, explores, costs and finalizes samplers in the plan.
+func (a *Asalqa) Place(plan lplan.Node) (*Result, error) {
+	a.notes = nil
+	out := a.rewrite(plan)
+	out = a.dropNestedSamplers(out)
+	a.enforceUniverseGroups(out)
+	out = addUniversePassthrough(out)
+	res := &Result{Plan: out, Notes: a.notes}
+	for _, s := range lplan.FindSamplers(out) {
+		if s.Def != nil && s.Def.Type != lplan.SamplerPassThrough {
+			res.Sampled = true
+			res.Samplers = append(res.Samplers, s)
+		}
+	}
+	if !res.Sampled {
+		res.Unapproximable = true
+	}
+	return res, nil
+}
+
+// rewrite walks the plan; at each Aggregate it seeds a sampler below
+// the aggregation, explores pushdown alternatives for that subtree, and
+// substitutes the cheapest accuracy-feasible alternative.
+func (a *Asalqa) rewrite(n lplan.Node) lplan.Node {
+	// Rewrite children first (inner query blocks get their samplers
+	// before outer blocks; the nested-sampler pass resolves conflicts).
+	ch := n.Children()
+	if len(ch) > 0 {
+		newCh := make([]lplan.Node, len(ch))
+		for i, c := range ch {
+			newCh[i] = a.rewrite(c)
+		}
+		n = n.WithChildren(newCh)
+	}
+	agg, ok := n.(*lplan.Aggregate)
+	if !ok {
+		return n
+	}
+	state, approximable := a.seedState(agg)
+	if !approximable {
+		a.notef("aggregate %s: not approximable (MIN/MAX or no samplable aggregate)", agg.Describe())
+		return n
+	}
+	best := a.bestSampledInput(agg, state)
+	if best == nil {
+		a.notef("aggregate: no feasible sampled plan; keeping exact input")
+		return n
+	}
+	return best
+}
+
+// seedState builds the optimistic initial sampler state for an
+// aggregate (§4.2.2): stratify on the group columns plus the condition
+// columns of *IF aggregates. COUNT(DISTINCT) argument columns are noted
+// separately — they may overlap universe columns without dissonance
+// (§4.2.4).
+func (a *Asalqa) seedState(agg *lplan.Aggregate) (samplerState, bool) {
+	st := samplerState{SamplerState: lplan.NewSamplerState(nil)}
+	for _, g := range agg.GroupCols {
+		st.Strat.Add(g)
+	}
+	for _, spec := range agg.Aggs {
+		switch spec.Kind {
+		case lplan.AggMin, lplan.AggMax:
+			// Sampling cannot bound extreme statistics (Table 1 lists only
+			// COUNT/SUM/AVG/DISTINCT and *IF variants as supported).
+			return st, false
+		case lplan.AggSumIf, lplan.AggCountIf:
+			if spec.Cond != lplan.NoColumn {
+				st.Strat.Add(spec.Cond)
+			}
+		case lplan.AggCountDistinct:
+			// COUNT(DISTINCT X) columns join the stratification set
+			// (§4.2.2); costing exempts them when a universe sampler on X
+			// can estimate the count directly (Table 8).
+			if spec.Arg != lplan.NoColumn {
+				st.CountDistinct = st.CountDistinct.Union(lplan.NewColSet(spec.Arg))
+				st.Strat.Add(spec.Arg)
+			}
+		}
+		// Value-skewed SUM/AVG arguments: record a bucket width so the
+		// materialized sampler can stratify on ⌈X/width⌉ (§4.1.2).
+		switch spec.Kind {
+		case lplan.AggSum, lplan.AggSumIf, lplan.AggAvg:
+			if spec.Arg != lplan.NoColumn {
+				if width, ok := a.skewBucketWidth(agg.Input, spec.Arg); ok {
+					if st.SkewBuckets == nil {
+						st.SkewBuckets = map[lplan.ColumnID]float64{}
+					}
+					st.SkewBuckets[spec.Arg] = width
+				}
+			}
+		}
+	}
+	return st, true
+}
+
+// skewBucketWidth inspects the base-column statistics behind col and,
+// when the coefficient of variation is large (CV² > 4), returns a
+// bucket width of a tenth of the value range.
+func (a *Asalqa) skewBucketWidth(input lplan.Node, col lplan.ColumnID) (float64, bool) {
+	ci, ok := lplan.ColumnByID(input.Columns(), col)
+	if !ok || len(ci.Origins) != 1 {
+		return 0, false
+	}
+	o := ci.Origins[0]
+	ts, err := a.Est.Cat.TableStats(o.Table)
+	if err != nil {
+		return 0, false
+	}
+	cs := ts.Columns[o.Column]
+	if cs == nil || cs.Min.IsNull() || !cs.Min.IsNumeric() {
+		return 0, false
+	}
+	mean := cs.Avg
+	if cs.Var <= 4*mean*mean {
+		return 0, false
+	}
+	width := (cs.Max.Float() - cs.Min.Float()) / 10
+	if width <= 0 {
+		return 0, false
+	}
+	return width, true
+}
+
+// samplerState augments the paper's {S,U,ds,sfm} with bookkeeping for
+// the COUNT DISTINCT dissonance exemption, the universe pairing group,
+// and the provenance of sfm corrections.
+type samplerState struct {
+	lplan.SamplerState
+	// CountDistinct columns may overlap universe columns (Table 8's
+	// COUNT DISTINCT estimator remains unbiased under universe sampling).
+	CountDistinct lplan.ColSet
+	// UnivGroup pairs the two sides of a both-sides universe push; it
+	// becomes the physical sampler's subspace seed.
+	UnivGroup uint64
+	// SFMEntries record each stratification-frequency correction with
+	// the join-key columns it was accrued for. When a later push drops
+	// those columns from the stratification set, the correction is
+	// dropped with them (a single scalar sfm would go stale).
+	SFMEntries []sfmEntry
+	// SkewBuckets maps value-skewed aggregate argument columns to a
+	// bucket width: if such a column is visible at the sampler, the
+	// materialized distinct sampler additionally stratifies on
+	// ⌈col/width⌉ so rare extreme values survive (§4.1.2's skewed-SUM
+	// example). Detected from base-column variance, mirroring the
+	// paper's implementation which "obtains column value variance at the
+	// inputs".
+	SkewBuckets map[lplan.ColumnID]float64
+}
+
+type sfmEntry struct {
+	cols   lplan.ColSet
+	factor float64
+	// groups is the distinct-value count of the columns this entry's
+	// join keys replaced (e.g. 5 for d_year standing behind date_sk):
+	// the support check multiplies entry group counts directly instead
+	// of relying on NDV products factorizing, which observed column-set
+	// NDVs do not.
+	groups float64
+}
+
+func (s samplerState) clone() samplerState {
+	out := s
+	out.SamplerState = s.SamplerState.Clone()
+	if s.CountDistinct != nil {
+		out.CountDistinct = s.CountDistinct.Union(lplan.ColSet{})
+	}
+	out.SFMEntries = append([]sfmEntry{}, s.SFMEntries...)
+	if s.SkewBuckets != nil {
+		out.SkewBuckets = make(map[lplan.ColumnID]float64, len(s.SkewBuckets))
+		for k, v := range s.SkewBuckets {
+			out.SkewBuckets[k] = v
+		}
+	}
+	return out
+}
+
+// refreshSFM recomputes the scalar sfm from the entries that still
+// apply (all their columns remain stratified or universe-sampled).
+func (s *samplerState) refreshSFM() {
+	live := s.Strat.Union(s.Univ)
+	sfm := 1.0
+	kept := s.SFMEntries[:0]
+	for _, e := range s.SFMEntries {
+		if e.cols.SubsetOf(live) {
+			if e.factor > 0 {
+				sfm *= e.factor
+			}
+			kept = append(kept, e)
+		}
+	}
+	s.SFMEntries = kept
+	s.SFM = sfm
+}
+
+// projectSFMEntries maps entry columns through a join-key equivalence.
+func (s *samplerState) projectSFMEntries(m map[lplan.ColumnID]lplan.ColumnID) {
+	for i, e := range s.SFMEntries {
+		out := lplan.ColSet{}
+		for id := range e.cols {
+			if img, ok := m[id]; ok {
+				out.Add(img)
+			} else {
+				out.Add(id)
+			}
+		}
+		s.SFMEntries[i].cols = out
+	}
+}
+
+// alternative is one explored subtree with samplers placed and costed.
+type alternative struct {
+	node lplan.Node
+	cost float64
+}
+
+// bestSampledInput explores sampler placements below the aggregate and
+// returns the cheapest feasible aggregate subtree (including the
+// aggregation itself — the sampler's payoff lands at the aggregation's
+// shuffle and beyond, so costs must be compared at that level), or nil
+// when the exact plan wins.
+func (a *Asalqa) bestSampledInput(agg *lplan.Aggregate, st samplerState) lplan.Node {
+	alts := a.explore(agg.Input, st, 0)
+	exactCost := a.CM.Cost(agg)
+	var best lplan.Node
+	bestCost := exactCost
+	for _, alt := range alts {
+		// Materialize physical samplers; infeasible ones degrade to
+		// pass-through which adds no benefit, so costing handles both.
+		// Universe pairs that did not survive costing intact are demoted
+		// before the alternative is priced (§A's bottom-up rejection).
+		mat := a.materialize(alt.node)
+		a.enforceUniverseGroups(mat)
+		if !hasRealSampler(mat) {
+			continue
+		}
+		whole := agg.WithChildren([]lplan.Node{mat})
+		c := a.CM.Cost(whole)
+		if c < bestCost {
+			bestCost = c
+			best = whole
+		}
+	}
+	return best
+}
+
+func hasRealSampler(n lplan.Node) bool {
+	for _, s := range lplan.FindSamplers(n) {
+		if s.Def != nil && s.Def.Type != lplan.SamplerPassThrough {
+			return true
+		}
+	}
+	return false
+}
+
+// explore generates sampled alternatives for placing a sampler with
+// state st over input (§4.2.3–§4.2.5). Every alternative embeds one or
+// more Sample nodes with logical states; physical materialization
+// happens later.
+func (a *Asalqa) explore(input lplan.Node, st samplerState, depth int) []alternative {
+	if depth > 24 {
+		return a.here(input, st)
+	}
+	alts := a.here(input, st)
+	switch x := input.(type) {
+	case *lplan.Select:
+		alts = append(alts, a.pushPastSelect(x, st, depth)...)
+	case *lplan.Project:
+		alts = append(alts, a.pushPastProject(x, st, depth)...)
+	case *lplan.Join:
+		alts = append(alts, a.pushPastJoin(x, st, depth)...)
+	case *lplan.Sample, *lplan.Aggregate, *lplan.Scan:
+		// Stop: never nest samplers; never push past an aggregation;
+		// a scan is already the deepest location.
+	case *lplan.UnionAll:
+		// Pushing into union arms requires positional column translation
+		// across arms, which the binder's wrapper supports only for its
+		// own columns; keep the sampler above the union.
+	}
+	return a.trim(alts)
+}
+
+// here places the sampler at the root of the subtree.
+func (a *Asalqa) here(input lplan.Node, st samplerState) []alternative {
+	s := &lplan.Sample{Input: input, State: st.SamplerState}
+	s.State.Strat = st.Strat.Union(lplan.ColSet{})
+	node := lplan.Node(s)
+	a.stash(s, st)
+	return []alternative{{node: node, cost: a.CM.Cost(node)}}
+}
+
+// stash associates extended state with a Sample node for later costing.
+func (a *Asalqa) stash(s *lplan.Sample, st samplerState) {
+	if a.extended == nil {
+		a.extended = map[*lplan.Sample]samplerState{}
+	}
+	a.extended[s] = st
+}
+
+// trim keeps the cheapest BeamWidth alternatives.
+func (a *Asalqa) trim(alts []alternative) []alternative {
+	sort.Slice(alts, func(i, j int) bool { return alts[i].cost < alts[j].cost })
+	if len(alts) > a.Opts.BeamWidth {
+		alts = alts[:a.Opts.BeamWidth]
+	}
+	return alts
+}
+
+func (a *Asalqa) notef(format string, args ...any) {
+	a.notes = append(a.notes, fmt.Sprintf(format, args...))
+}
+
+// pushPastSelect generates the two alternatives of §4.2.3:
+// A1 stratifies additionally on the predicate columns (no accuracy
+// loss, possibly worse performance); A2 keeps the stratification set
+// but divides the downstream selectivity by the predicate selectivity.
+func (a *Asalqa) pushPastSelect(sel *lplan.Select, st samplerState, depth int) []alternative {
+	predCols := lplan.ColSet{}
+	for id := range lplan.ExprColumns(sel.Pred) {
+		predCols.Add(id)
+	}
+	var out []alternative
+
+	// A1: Γ_{S∪C} below the select.
+	st1 := st.clone()
+	st1.Strat = st1.Strat.Union(predCols)
+	if a.compatible(st1) {
+		for _, alt := range a.explore(sel.Input, st1, depth+1) {
+			node := sel.WithChildren([]lplan.Node{alt.node})
+			out = append(out, alternative{node: node, cost: a.CM.Cost(node)})
+		}
+	}
+
+	// A2: Γ_S below the select with ds scaled by the selectivity of the
+	// conjuncts not already covered by stratification columns.
+	st2 := st.clone()
+	sel2 := a.uncoveredSelectivity(sel, st2.Strat)
+	st2.DS *= sel2
+	for _, alt := range a.explore(sel.Input, st2, depth+1) {
+		node := sel.WithChildren([]lplan.Node{alt.node})
+		out = append(out, alternative{node: node, cost: a.CM.Cost(node)})
+	}
+	return out
+}
+
+// uncoveredSelectivity multiplies the selectivities of the conjuncts
+// whose columns are not all in the stratification set (covered
+// conjuncts cannot lose groups, §4.2.3's per-conjunction refinement).
+func (a *Asalqa) uncoveredSelectivity(sel *lplan.Select, strat lplan.ColSet) float64 {
+	out := 1.0
+	for _, conj := range splitConjuncts(sel.Pred) {
+		refs := lplan.ColSet{}
+		for id := range lplan.ExprColumns(conj) {
+			refs.Add(id)
+		}
+		if refs.SubsetOf(strat) {
+			continue
+		}
+		out *= a.Est.Selectivity(conj, sel.Input)
+	}
+	return out
+}
+
+func splitConjuncts(e lplan.Expr) []lplan.Expr {
+	if b, ok := e.(*lplan.Binary); ok && b.Op == lplan.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []lplan.Expr{e}
+}
+
+// compatible checks the dissonance condition (§4.2.4): stratification
+// and universe columns may overlap only slightly, except for COUNT
+// DISTINCT columns.
+func (a *Asalqa) compatible(st samplerState) bool {
+	if len(st.Univ) == 0 || len(st.Strat) == 0 {
+		return true
+	}
+	overlap := st.Strat.Intersect(st.Univ).Minus(st.CountDistinct)
+	limit := len(st.Strat)
+	if len(st.Univ) < limit {
+		limit = len(st.Univ)
+	}
+	return len(overlap)*2 < limit || len(overlap) == 0
+}
+
+// pushPastProject pushes the sampler below a projection (Prop 7).
+// Stratification columns that are computed by the projection are
+// replaced by their generating columns (a finer stratification — never
+// less accurate); universe columns must pass through unchanged.
+func (a *Asalqa) pushPastProject(pr *lplan.Project, st samplerState, depth int) []alternative {
+	inputIDs := lplan.OutputIDs(pr.Input)
+	mapped := st.clone()
+
+	// Universe columns must be pass-through.
+	for id := range st.Univ {
+		if !inputIDs.Has(id) {
+			return nil
+		}
+	}
+	newStrat := lplan.ColSet{}
+	for id := range st.Strat {
+		if inputIDs.Has(id) {
+			newStrat.Add(id)
+			continue
+		}
+		// Find the generating expression and stratify on its inputs.
+		found := false
+		for i, c := range pr.Cols {
+			if c.ID == id {
+				for ref := range lplan.ExprColumns(pr.Exprs[i]) {
+					newStrat.Add(ref)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	mapped.Strat = newStrat
+	mapped.refreshSFM()
+	if !a.compatible(mapped) {
+		return nil
+	}
+	var out []alternative
+	for _, alt := range a.explore(pr.Input, mapped, depth+1) {
+		node := pr.WithChildren([]lplan.Node{alt.node})
+		out = append(out, alternative{node: node, cost: a.CM.Cost(node)})
+	}
+	return out
+}

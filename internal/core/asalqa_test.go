@@ -1,0 +1,261 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"quickr/internal/catalog"
+	"quickr/internal/cluster"
+	"quickr/internal/lplan"
+	"quickr/internal/opt"
+	"quickr/internal/sql"
+	"quickr/internal/table"
+)
+
+// fixture builds a star schema with two fact tables sharing a customer
+// key (so universe pairing applies), plus a small dimension.
+func fixture(t *testing.T) (*catalog.Catalog, *Asalqa) {
+	t.Helper()
+	cat := catalog.New()
+
+	sales := table.New("sales", table.NewSchema(
+		table.Column{Name: "s_cust", Kind: table.KindInt},
+		table.Column{Name: "s_dim", Kind: table.KindInt},
+		table.Column{Name: "s_val", Kind: table.KindFloat},
+		table.Column{Name: "s_detail", Kind: table.KindInt},
+	), 4)
+	for i := 0; i < 40000; i++ {
+		sales.Append(i, table.Row{
+			table.NewInt(int64(i % 4000)),
+			table.NewInt(int64(i % 8)),
+			table.NewFloat(float64(i%100) + 1),
+			table.NewInt(int64(i)),
+		})
+	}
+	returns := table.New("returns", table.NewSchema(
+		table.Column{Name: "r_cust", Kind: table.KindInt},
+		table.Column{Name: "r_amt", Kind: table.KindFloat},
+	), 4)
+	for i := 0; i < 8000; i++ {
+		returns.Append(i, table.Row{table.NewInt(int64(i % 4000)), table.NewFloat(3)})
+	}
+	dim := table.New("dims", table.NewSchema(
+		table.Column{Name: "d_key", Kind: table.KindInt},
+		table.Column{Name: "d_grp", Kind: table.KindString},
+	), 1)
+	for i := 0; i < 8; i++ {
+		dim.Append(i, table.Row{table.NewInt(int64(i)), table.NewString(string(rune('a' + i%4)))})
+	}
+	cat.Register(sales)
+	cat.Register(returns)
+	cat.Register(dim)
+	cat.SetPrimaryKey("dims", "d_key")
+
+	est := opt.NewEstimator(cat)
+	cm := opt.NewCostModel(est, cluster.DefaultConfig())
+	return cat, New(est, cm, DefaultOptions())
+}
+
+func place(t *testing.T, cat *catalog.Catalog, a *Asalqa, src string) *Result {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := catalog.NewBinder(cat).Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = opt.Normalize(plan, a.Est)
+	res, err := a.Place(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUniformChosenForHighSupportGroups(t *testing.T) {
+	cat, a := fixture(t)
+	res := place(t, cat, a, "SELECT s_dim, SUM(s_val) FROM sales GROUP BY s_dim")
+	if !res.Sampled {
+		t.Fatalf("expected sampled plan; notes: %v", res.Notes)
+	}
+	if len(res.Samplers) != 1 || res.Samplers[0].Def.Type != lplan.SamplerUniform {
+		t.Fatalf("samplers: %v", describeSamplers(res))
+	}
+	if p := res.Samplers[0].Def.P; p <= 0 || p > 0.1 {
+		t.Errorf("p=%v out of range", p)
+	}
+}
+
+func TestSamplerPushedToScan(t *testing.T) {
+	cat, a := fixture(t)
+	res := place(t, cat, a, `SELECT d_grp, COUNT(*) FROM sales JOIN dims ON s_dim = d_key GROUP BY d_grp`)
+	if !res.Sampled {
+		t.Fatalf("expected sampled plan; notes: %v", res.Notes)
+	}
+	// The sampler should sit directly above the sales scan (first pass).
+	text := lplan.Format(res.Plan)
+	idx := strings.Index(text, "Sample")
+	scanIdx := strings.Index(text, "Scan sales")
+	if idx < 0 || scanIdx < idx {
+		t.Errorf("sampler not pushed to the sales scan:\n%s", text)
+	}
+}
+
+func TestMinMaxUnapproximable(t *testing.T) {
+	cat, a := fixture(t)
+	res := place(t, cat, a, "SELECT s_dim, MAX(s_val) FROM sales GROUP BY s_dim")
+	if res.Sampled || !res.Unapproximable {
+		t.Errorf("MIN/MAX queries must be unapproximable; got %v", describeSamplers(res))
+	}
+}
+
+func TestHighCardinalityGroupUnapproximable(t *testing.T) {
+	cat, a := fixture(t)
+	// One group per detail row: no support, stratification keeps all.
+	res := place(t, cat, a, "SELECT s_detail, SUM(s_val) FROM sales GROUP BY s_detail")
+	if res.Sampled {
+		t.Errorf("per-row grouping must be unapproximable; got %v", describeSamplers(res))
+	}
+}
+
+func TestUniversePairForFactFactJoin(t *testing.T) {
+	cat, a := fixture(t)
+	res := place(t, cat, a, `SELECT s_dim, COUNT(DISTINCT s_cust), SUM(s_val)
+		FROM sales JOIN returns ON s_cust = r_cust GROUP BY s_dim`)
+	if !res.Sampled {
+		t.Fatalf("expected sampled plan; notes: %v", res.Notes)
+	}
+	var universe []*lplan.Sample
+	for _, s := range res.Samplers {
+		if s.Def.Type == lplan.SamplerUniverse {
+			universe = append(universe, s)
+		}
+	}
+	if len(universe) != 2 {
+		t.Fatalf("expected a universe pair, got %v\n%s", describeSamplers(res), lplan.Format(res.Plan))
+	}
+	if universe[0].Def.Seed != universe[1].Def.Seed {
+		t.Error("pair must share the subspace seed")
+	}
+	if universe[0].Def.P != universe[1].Def.P {
+		t.Error("pair must share the probability (§A global requirement)")
+	}
+}
+
+func TestNoNestedSamplers(t *testing.T) {
+	cat, a := fixture(t)
+	res := place(t, cat, a, `SELECT d_grp, AVG(per_cust) FROM (
+			SELECT s_cust AS cust, s_dim AS sd, SUM(s_val) AS per_cust
+			FROM sales GROUP BY s_cust, s_dim
+		) AS inner_q
+		JOIN dims ON sd = d_key
+		GROUP BY d_grp`)
+	// Whatever the decision, no sampler may contain another in its
+	// subtree.
+	for _, s := range lplan.FindSamplers(res.Plan) {
+		if s.Def == nil || s.Def.Type == lplan.SamplerPassThrough {
+			continue
+		}
+		for _, inner := range lplan.FindSamplers(s.Input) {
+			if inner.Def != nil && inner.Def.Type != lplan.SamplerPassThrough {
+				t.Fatalf("nested samplers:\n%s", lplan.Format(res.Plan))
+			}
+		}
+	}
+}
+
+func TestPlanStabilityAcrossK(t *testing.T) {
+	// §4.2.6: plans are similar for k in [5, 100].
+	cat, _ := fixture(t)
+	types := map[float64]string{}
+	for _, k := range []float64{5, 30, 100} {
+		est := opt.NewEstimator(cat)
+		cm := opt.NewCostModel(est, cluster.DefaultConfig())
+		opts := DefaultOptions()
+		opts.K = k
+		a := New(est, cm, opts)
+		res := place(t, cat, a, "SELECT s_dim, SUM(s_val) FROM sales GROUP BY s_dim")
+		if !res.Sampled {
+			t.Fatalf("k=%v: unapproximable", k)
+		}
+		types[k] = res.Samplers[0].Def.Type.String()
+	}
+	if types[5] != types[30] || types[30] != types[100] {
+		t.Errorf("sampler type unstable across k: %v", types)
+	}
+}
+
+func TestSelectPushdownAlternativeA2(t *testing.T) {
+	cat, a := fixture(t)
+	// The filter column has few values; pushing the sampler below the
+	// select (A2) keeps performance, trading ds.
+	res := place(t, cat, a, `SELECT s_dim, SUM(s_val) FROM sales WHERE s_val > 50 GROUP BY s_dim`)
+	if !res.Sampled {
+		t.Fatalf("expected sampled plan; notes: %v", res.Notes)
+	}
+	// Sampler must not be a pass-through and must sit below the Select
+	// or stratify on its columns.
+	text := lplan.Format(res.Plan)
+	if !strings.Contains(text, "Sample") {
+		t.Fatalf("no sampler:\n%s", text)
+	}
+}
+
+func describeSamplers(res *Result) []string {
+	var out []string
+	for _, s := range res.Samplers {
+		out = append(out, s.Def.String())
+	}
+	return out
+}
+
+func TestSkewedSumGetsBucketStratification(t *testing.T) {
+	cat := catalog.New()
+	tbl := table.New("skewed", table.NewSchema(
+		table.Column{Name: "grp", Kind: table.KindInt},
+		table.Column{Name: "val", Kind: table.KindFloat},
+	), 4)
+	for i := 0; i < 40000; i++ {
+		v := 1.0
+		if i%50 == 0 {
+			v = 5000 // rare extreme values: CV² >> 4
+		}
+		tbl.Append(i, table.Row{table.NewInt(int64(i % 8)), table.NewFloat(v)})
+	}
+	cat.Register(tbl)
+	est := opt.NewEstimator(cat)
+	cm := opt.NewCostModel(est, cluster.DefaultConfig())
+	a := New(est, cm, DefaultOptions())
+	res := place(t, cat, a, "SELECT grp, SUM(val) FROM skewed GROUP BY grp")
+	if !res.Sampled {
+		t.Fatalf("expected sampled plan; notes: %v", res.Notes)
+	}
+	def := res.Samplers[0].Def
+	if def.Type != lplan.SamplerDistinct || len(def.BucketCols) == 0 {
+		t.Fatalf("skewed SUM must trigger bucket-stratified distinct sampling, got %s", def)
+	}
+	if def.BucketWidths[0] <= 0 {
+		t.Fatalf("bucket width: %v", def.BucketWidths)
+	}
+}
+
+func TestUnskewedSumStaysUniform(t *testing.T) {
+	cat := catalog.New()
+	tbl := table.New("flat", table.NewSchema(
+		table.Column{Name: "grp", Kind: table.KindInt},
+		table.Column{Name: "val", Kind: table.KindFloat},
+	), 4)
+	for i := 0; i < 40000; i++ {
+		tbl.Append(i, table.Row{table.NewInt(int64(i % 8)), table.NewFloat(10 + float64(i%5))})
+	}
+	cat.Register(tbl)
+	est := opt.NewEstimator(cat)
+	cm := opt.NewCostModel(est, cluster.DefaultConfig())
+	a := New(est, cm, DefaultOptions())
+	res := place(t, cat, a, "SELECT grp, SUM(val) FROM flat GROUP BY grp")
+	if !res.Sampled || res.Samplers[0].Def.Type != lplan.SamplerUniform {
+		t.Fatalf("low-variance SUM should use the uniform sampler, got %v", describeSamplers(res))
+	}
+}

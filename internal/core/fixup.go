@@ -1,0 +1,75 @@
+package core
+
+import (
+	"quickr/internal/lplan"
+)
+
+// addUniversePassthrough widens projections between a universe sampler
+// and its aggregate so the universe columns reach the aggregation: the
+// variance of a universe-sampled plan is computed over subspace
+// subgroups (§B.1, "we maintain per-group values in parallel"), which
+// requires the subspace identity alongside each row.
+func addUniversePassthrough(n lplan.Node) lplan.Node {
+	ch := n.Children()
+	if len(ch) > 0 {
+		newCh := make([]lplan.Node, len(ch))
+		for i, c := range ch {
+			newCh[i] = addUniversePassthrough(c)
+		}
+		n = n.WithChildren(newCh)
+	}
+	pr, ok := n.(*lplan.Project)
+	if !ok {
+		return n
+	}
+	needed := universeColsBelow(pr.Input)
+	if len(needed) == 0 {
+		return n
+	}
+	have := lplan.OutputIDs(pr)
+	inputCols := pr.Input.Columns()
+	exprs := append([]lplan.Expr{}, pr.Exprs...)
+	cols := append([]lplan.ColumnInfo{}, pr.Cols...)
+	changed := false
+	for _, id := range needed.Sorted() {
+		if have.Has(id) {
+			continue
+		}
+		ci, ok := lplan.ColumnByID(inputCols, id)
+		if !ok {
+			continue
+		}
+		exprs = append(exprs, &lplan.ColRef{ID: ci.ID, Name: ci.Name, Kind: ci.Kind})
+		cols = append(cols, ci)
+		changed = true
+	}
+	if !changed {
+		return n
+	}
+	return &lplan.Project{Input: pr.Input, Exprs: exprs, Cols: cols}
+}
+
+// universeColsBelow collects universe sampler columns in the subtree,
+// not descending past aggregates (whose output re-keys the data).
+func universeColsBelow(n lplan.Node) lplan.ColSet {
+	out := lplan.ColSet{}
+	var rec func(lplan.Node)
+	rec = func(x lplan.Node) {
+		if x == nil {
+			return
+		}
+		if _, ok := x.(*lplan.Aggregate); ok {
+			return
+		}
+		if s, ok := x.(*lplan.Sample); ok && s.Def != nil && s.Def.Type == lplan.SamplerUniverse {
+			for _, c := range s.Def.Cols {
+				out.Add(c)
+			}
+		}
+		for _, c := range x.Children() {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}

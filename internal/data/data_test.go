@@ -1,0 +1,154 @@
+package data
+
+import (
+	"testing"
+
+	"quickr/internal/table"
+)
+
+func TestTPCDSDeterministic(t *testing.T) {
+	cfg := DefaultTPCDS()
+	cfg.ScaleFactor = 0.1
+	a := GenerateTPCDS(cfg)
+	b := GenerateTPCDS(cfg)
+	for name, ta := range a.Tables {
+		tb := b.Tables[name]
+		if tb == nil || ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s: nondeterministic row counts", name)
+		}
+	}
+	ra := a.Tables["store_sales"].AllRows()
+	rb := b.Tables["store_sales"].AllRows()
+	for i := range ra {
+		if table.CompareRows(ra[i], rb[i]) != 0 {
+			t.Fatalf("store_sales row %d differs between runs", i)
+		}
+	}
+}
+
+func TestTPCDSScaling(t *testing.T) {
+	small := GenerateTPCDS(TPCDSConfig{ScaleFactor: 0.5, Seed: 1})
+	big := GenerateTPCDS(TPCDSConfig{ScaleFactor: 1, Seed: 1})
+	if 2*small.Tables["store_sales"].NumRows() != big.Tables["store_sales"].NumRows() {
+		t.Errorf("store_sales does not scale linearly: %d vs %d",
+			small.Tables["store_sales"].NumRows(), big.Tables["store_sales"].NumRows())
+	}
+	// Dimensions stay fixed.
+	if small.Tables["item"].NumRows() != big.Tables["item"].NumRows() {
+		t.Error("item table must not scale")
+	}
+}
+
+func TestTPCDSReferentialIntegrity(t *testing.T) {
+	d := GenerateTPCDS(TPCDSConfig{ScaleFactor: 0.2, Seed: 3})
+	items := map[int64]bool{}
+	for _, r := range d.Tables["item"].AllRows() {
+		items[r[0].Int()] = true
+	}
+	dates := map[int64]bool{}
+	for _, r := range d.Tables["date_dim"].AllRows() {
+		dates[r[0].Int()] = true
+	}
+	ss := d.Tables["store_sales"]
+	itemIdx := ss.Schema.Index("ss_item_sk")
+	dateIdx := ss.Schema.Index("ss_sold_date_sk")
+	for _, r := range ss.AllRows() {
+		if !items[r[itemIdx].Int()] {
+			t.Fatalf("dangling ss_item_sk %d", r[itemIdx].Int())
+		}
+		if !dates[r[dateIdx].Int()] {
+			t.Fatalf("dangling ss_sold_date_sk %d", r[dateIdx].Int())
+		}
+	}
+}
+
+func TestReturnsDeriveFromSales(t *testing.T) {
+	// Every store return must reference a real (ticket, item) sale —
+	// the shared keys that make fact–fact joins meaningful.
+	d := GenerateTPCDS(TPCDSConfig{ScaleFactor: 0.2, Seed: 3})
+	ss := d.Tables["store_sales"]
+	tIdx := ss.Schema.Index("ss_ticket_number")
+	iIdx := ss.Schema.Index("ss_item_sk")
+	sold := map[[2]int64]bool{}
+	for _, r := range ss.AllRows() {
+		sold[[2]int64{r[tIdx].Int(), r[iIdx].Int()}] = true
+	}
+	sr := d.Tables["store_returns"]
+	rtIdx := sr.Schema.Index("sr_ticket_number")
+	riIdx := sr.Schema.Index("sr_item_sk")
+	n := sr.NumRows()
+	if n == 0 {
+		t.Fatal("no returns generated")
+	}
+	for _, r := range sr.AllRows() {
+		if !sold[[2]int64{r[rtIdx].Int(), r[riIdx].Int()}] {
+			t.Fatalf("return references nonexistent sale %v/%v", r[rtIdx], r[riIdx])
+		}
+	}
+	// Return rate around 10%.
+	rate := float64(n) / float64(ss.NumRows())
+	if rate < 0.07 || rate > 0.13 {
+		t.Errorf("return rate %.3f want ~0.10", rate)
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	h := GenerateTPCH(TPCHConfig{ScaleFactor: 0.2, Seed: 5})
+	for _, name := range []string{"lineitem", "orders", "h_customer", "part", "supplier", "nation", "region"} {
+		if h.Tables[name] == nil || h.Tables[name].NumRows() == 0 {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	// Lineitems per order between 1 and 6.
+	ratio := float64(h.Tables["lineitem"].NumRows()) / float64(h.Tables["orders"].NumRows())
+	if ratio < 1 || ratio > 6 {
+		t.Errorf("lineitems per order %.2f", ratio)
+	}
+}
+
+func TestLogs(t *testing.T) {
+	l := Logs(5000, 1, 4)
+	if l.NumRows() != 5000 {
+		t.Fatalf("rows %d", l.NumRows())
+	}
+	statusIdx := l.Schema.Index("log_status")
+	ok := 0
+	for _, r := range l.AllRows() {
+		if r[statusIdx].Int() == 200 {
+			ok++
+		}
+	}
+	if frac := float64(ok) / 5000; frac < 0.4 || frac > 0.8 {
+		t.Errorf("200-status fraction %.2f", frac)
+	}
+}
+
+func TestCouponColumnIsSkewed(t *testing.T) {
+	d := GenerateTPCDS(TPCDSConfig{ScaleFactor: 0.3, Seed: 9})
+	ss := d.Tables["store_sales"]
+	ci := ss.Schema.Index("ss_coupon_amt")
+	if ci < 0 {
+		t.Fatal("coupon column missing")
+	}
+	var n, zero int
+	var sum, sumsq float64
+	for _, r := range ss.AllRows() {
+		v := r[ci].Float()
+		n++
+		if v == 0 {
+			zero++
+		}
+		sum += v
+		sumsq += v * v
+	}
+	frac := float64(zero) / float64(n)
+	if frac < 0.9 || frac > 0.99 {
+		t.Errorf("zero-coupon fraction %.3f want ~0.95", frac)
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	// The skew detector triggers on CV² > 4.
+	if variance <= 4*mean*mean {
+		t.Errorf("coupon column not skewed enough: var %.1f mean %.1f", variance, mean)
+	}
+}

@@ -1,0 +1,461 @@
+// Package data provides deterministic synthetic dataset generators that
+// stand in for the paper's evaluation inputs: a TPC-DS-like retail star
+// schema (the paper evaluates on TPC-DS at scale factor 500), a
+// TPC-H-like schema and a log-analytics dataset (for the Table 9
+// cross-benchmark comparison). The generators preserve the features the
+// paper's results depend on: fact tables sharing join keys (customer,
+// ticket/order numbers) so fact–fact joins and universe sampling apply,
+// Zipf-skewed key popularity, heavy-hitter values, dimension tables
+// with small foreign-key domains, and group columns that are
+// independent of the join keys.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// TPCDSConfig controls the scale of the generated retail schema.
+type TPCDSConfig struct {
+	// ScaleFactor scales the fact-table row counts; 1.0 generates about
+	// 30k store_sales rows.
+	ScaleFactor float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// FactParts and DimParts set the stored partition counts.
+	FactParts int
+	DimParts  int
+}
+
+// DefaultTPCDS returns the configuration used by tests and experiments.
+func DefaultTPCDS() TPCDSConfig {
+	return TPCDSConfig{ScaleFactor: 1, Seed: 20160626, FactParts: 8, DimParts: 2}
+}
+
+// TPCDS holds the generated tables keyed by name, plus the declared
+// primary keys.
+type TPCDS struct {
+	Tables map[string]*table.Table
+	PKs    map[string][]string
+}
+
+// zipf draws Zipf-skewed indexes in [0,n).
+type zipfGen struct {
+	z *rand.Zipf
+	n uint64
+}
+
+func newZipf(rng *rand.Rand, s float64, n int) *zipfGen {
+	if n < 2 {
+		n = 2
+	}
+	return &zipfGen{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: uint64(n)}
+}
+
+func (z *zipfGen) Next() int { return int(z.z.Uint64()) }
+
+// keyGen draws join-key values that are mostly uniform with a small
+// heavy-hitter head. Fact–fact joins (customer_sk and friends) need
+// bounded multiplicity per key — real TPC-DS surrogate keys are
+// near-uniform — while statistics and selectivity estimation still see
+// a few frequent values.
+type keyGen struct {
+	rng  *rand.Rand
+	n    int
+	head int
+}
+
+func newKeyGen(rng *rand.Rand, n int) *keyGen {
+	head := n/100 + 1
+	return &keyGen{rng: rng, n: n, head: head}
+}
+
+func (k *keyGen) Next() int {
+	// A mild 2% head keeps a few frequent keys for the statistics layer
+	// without violating the universe sampler's independence assumption
+	// (group values must be uncorrelated with join keys, §4.1.3).
+	if k.rng.Float64() < 0.02 {
+		return k.rng.Intn(k.head)
+	}
+	return k.rng.Intn(k.n)
+}
+
+// GenerateTPCDS builds the full schema.
+func GenerateTPCDS(cfg TPCDSConfig) *TPCDS {
+	if cfg.ScaleFactor <= 0 {
+		cfg = DefaultTPCDS()
+	}
+	if cfg.FactParts == 0 {
+		cfg.FactParts = 8
+	}
+	if cfg.DimParts == 0 {
+		cfg.DimParts = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &TPCDS{Tables: map[string]*table.Table{}, PKs: map[string][]string{}}
+
+	numItems := 1000
+	numCustomers := int(3000 * math.Max(1, cfg.ScaleFactor))
+	numStores := 12
+	numPromos := 50
+	numWarehouses := 8
+
+	dates := d.genDateDim(cfg)
+	d.genItem(cfg, rng, numItems)
+	d.genCustomer(cfg, rng, numCustomers)
+	d.genStore(cfg, rng, numStores)
+	d.genPromotion(cfg, rng, numPromos)
+	d.genWarehouse(cfg, rng, numWarehouses)
+
+	ssRows := int(30000 * cfg.ScaleFactor)
+	csRows := int(15000 * cfg.ScaleFactor)
+	wsRows := int(8000 * cfg.ScaleFactor)
+
+	ssKeys := d.genStoreSales(cfg, rng, ssRows, dates, numItems, numCustomers, numStores, numPromos)
+	d.genStoreReturns(cfg, rng, ssKeys, dates)
+	csKeys := d.genCatalogSales(cfg, rng, csRows, dates, numItems, numCustomers, numWarehouses, numPromos)
+	d.genCatalogReturns(cfg, rng, csKeys, dates)
+	wsKeys := d.genWebSales(cfg, rng, wsRows, dates, numItems, numCustomers, numPromos)
+	d.genWebReturns(cfg, rng, wsKeys, dates)
+	return d
+}
+
+func intc(n string) table.Column    { return table.Column{Name: n, Kind: table.KindInt} }
+func floatc(n string) table.Column  { return table.Column{Name: n, Kind: table.KindFloat} }
+func stringc(n string) table.Column { return table.Column{Name: n, Kind: table.KindString} }
+func boolc(n string) table.Column   { return table.Column{Name: n, Kind: table.KindBool} }
+
+func (d *TPCDS) add(t *table.Table, pk ...string) {
+	d.Tables[t.Name] = t
+	d.PKs[t.Name] = pk
+}
+
+// genDateDim generates four years of calendar days; returns the date
+// surrogate keys.
+func (d *TPCDS) genDateDim(cfg TPCDSConfig) []int64 {
+	sc := table.NewSchema(
+		intc("d_date_sk"), intc("d_date"), intc("d_year"), intc("d_moy"),
+		intc("d_dom"), intc("d_qoy"), stringc("d_day_name"), boolc("d_weekend"),
+	)
+	t := table.New("date_dim", sc, cfg.DimParts)
+	dayNames := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	start := lplan.DaysFromCivil(2000, 1, 1)
+	var keys []int64
+	i := 0
+	for days := start; days < start+4*365+1; days++ {
+		y, m, dom := lplan.CivilFromDays(days)
+		dow := int((days%7 + 7 + 3) % 7) // 1970-01-01 was a Thursday
+		sk := int64(2415022 + (days - start))
+		t.Append(i, table.Row{
+			table.NewInt(sk), table.NewInt(days), table.NewInt(int64(y)),
+			table.NewInt(int64(m)), table.NewInt(int64(dom)), table.NewInt(int64((m-1)/3 + 1)),
+			table.NewString(dayNames[dow]), table.NewBool(dow >= 5),
+		})
+		keys = append(keys, sk)
+		i++
+	}
+	d.add(t, "d_date_sk")
+	return keys
+}
+
+var (
+	categories = []string{"Books", "Music", "Electronics", "Home", "Sports", "Shoes", "Jewelry", "Women", "Men", "Children"}
+	colors     = []string{"red", "blue", "green", "black", "white", "yellow", "purple", "orange", "pink", "brown",
+		"gray", "cyan", "magenta", "olive", "navy", "teal", "maroon", "silver", "gold", "beige"}
+	sizes     = []string{"small", "medium", "large", "extra large", "petite"}
+	states    = []string{"TN", "CA", "WA", "TX", "NY", "FL", "OH", "GA", "IL", "MI"}
+	countries = []string{"United States", "Canada", "Mexico", "Germany", "France", "Japan", "Brazil", "India",
+		"China", "United Kingdom", "Italy", "Spain", "Australia", "Chile", "Peru", "Norway", "Sweden",
+		"Poland", "Kenya", "Egypt", "Nigeria", "Vietnam", "Thailand", "Greece", "Turkey", "Israel",
+		"Portugal", "Austria", "Belgium", "Ireland"}
+)
+
+func (d *TPCDS) genItem(cfg TPCDSConfig, rng *rand.Rand, n int) {
+	sc := table.NewSchema(
+		intc("i_item_sk"), stringc("i_item_id"), stringc("i_category"), stringc("i_class"),
+		stringc("i_brand"), stringc("i_color"), stringc("i_size"),
+		floatc("i_current_price"), floatc("i_wholesale_cost"), intc("i_manager_id"),
+	)
+	t := table.New("item", sc, cfg.DimParts)
+	for i := 0; i < n; i++ {
+		cat := categories[i%len(categories)]
+		price := 0.5 + rng.Float64()*99
+		// Brands and classes are contiguous item ranges: sales skew is
+		// Zipf over item ids, so high-numbered brands have tiny support —
+		// the rare answer groups that make apriori samples miss rows and
+		// that Quickr's stratification checks must guard against.
+		t.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("AAAAAAAA%08d", i+1)),
+			table.NewString(cat),
+			table.NewString(fmt.Sprintf("%s-class-%d", cat, i/200)),
+			table.NewString(fmt.Sprintf("brand-%d", i/10)),
+			table.NewString(colors[rng.Intn(len(colors))]),
+			table.NewString(sizes[rng.Intn(len(sizes))]),
+			table.NewFloat(price),
+			table.NewFloat(price * (0.4 + 0.3*rng.Float64())),
+			table.NewInt(int64(1 + rng.Intn(100))),
+		})
+	}
+	d.add(t, "i_item_sk")
+}
+
+func (d *TPCDS) genCustomer(cfg TPCDSConfig, rng *rand.Rand, n int) {
+	sc := table.NewSchema(
+		intc("c_customer_sk"), stringc("c_customer_id"), intc("c_birth_year"),
+		stringc("c_birth_country"), stringc("c_gender"), boolc("c_preferred_flag"),
+	)
+	t := table.New("customer", sc, cfg.DimParts)
+	genders := []string{"M", "F"}
+	for i := 0; i < n; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("CUST%09d", i+1)),
+			table.NewInt(int64(1930 + rng.Intn(70))),
+			table.NewString(countries[rng.Intn(len(countries))]),
+			table.NewString(genders[rng.Intn(2)]),
+			table.NewBool(rng.Float64() < 0.3),
+		})
+	}
+	d.add(t, "c_customer_sk")
+}
+
+func (d *TPCDS) genStore(cfg TPCDSConfig, rng *rand.Rand, n int) {
+	sc := table.NewSchema(
+		intc("s_store_sk"), stringc("s_store_id"), stringc("s_state"),
+		stringc("s_city"), intc("s_market_id"), intc("s_floor_space"),
+	)
+	t := table.New("store", sc, cfg.DimParts)
+	for i := 0; i < n; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("STORE%04d", i+1)),
+			table.NewString(states[i%len(states)]),
+			table.NewString(fmt.Sprintf("city-%d", i%40)),
+			table.NewInt(int64(1 + i%10)),
+			table.NewInt(int64(5000 + rng.Intn(90000))),
+		})
+	}
+	d.add(t, "s_store_sk")
+}
+
+func (d *TPCDS) genPromotion(cfg TPCDSConfig, rng *rand.Rand, n int) {
+	sc := table.NewSchema(
+		intc("p_promo_sk"), stringc("p_promo_id"), boolc("p_channel_email"),
+		boolc("p_channel_tv"), floatc("p_cost"),
+	)
+	t := table.New("promotion", sc, cfg.DimParts)
+	for i := 0; i < n; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("PROMO%05d", i+1)),
+			table.NewBool(rng.Float64() < 0.5),
+			table.NewBool(rng.Float64() < 0.3),
+			table.NewFloat(1000 * rng.Float64()),
+		})
+	}
+	d.add(t, "p_promo_sk")
+}
+
+func (d *TPCDS) genWarehouse(cfg TPCDSConfig, rng *rand.Rand, n int) {
+	sc := table.NewSchema(
+		intc("w_warehouse_sk"), stringc("w_warehouse_id"), stringc("w_state"), intc("w_sq_ft"),
+	)
+	t := table.New("warehouse", sc, cfg.DimParts)
+	for i := 0; i < n; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("WH%03d", i+1)),
+			table.NewString(states[i%len(states)]),
+			table.NewInt(int64(50000 + rng.Intn(500000))),
+		})
+	}
+	d.add(t, "w_warehouse_sk")
+}
+
+// saleKey links a sale row to its potential return.
+type saleKey struct {
+	order int64
+	item  int64
+	cust  int64
+	qty   int64
+	price float64
+}
+
+func (d *TPCDS) genStoreSales(cfg TPCDSConfig, rng *rand.Rand, n int, dates []int64, items, custs, stores, promos int) []saleKey {
+	sc := table.NewSchema(
+		intc("ss_sold_date_sk"), intc("ss_item_sk"), intc("ss_customer_sk"), intc("ss_store_sk"),
+		intc("ss_promo_sk"), intc("ss_ticket_number"), intc("ss_quantity"),
+		floatc("ss_wholesale_cost"), floatc("ss_list_price"), floatc("ss_sales_price"),
+		floatc("ss_ext_sales_price"), floatc("ss_net_profit"), floatc("ss_coupon_amt"),
+	)
+	t := table.New("store_sales", sc, cfg.FactParts)
+	itemZipf := newZipf(rng, 1.2, items)
+	custKeys := newKeyGen(rng, custs)
+	keys := make([]saleKey, 0, n)
+	for i := 0; i < n; i++ {
+		item := int64(itemZipf.Next() + 1)
+		cust := int64(custKeys.Next() + 1)
+		date := dates[rng.Intn(len(dates))]
+		qty := int64(1 + rng.Intn(20))
+		list := 1 + rng.Float64()*100
+		price := list * (0.5 + 0.5*rng.Float64())
+		cost := list * (0.3 + 0.3*rng.Float64())
+		ext := price * float64(qty)
+		profit := (price - cost) * float64(qty)
+		ticket := int64(i + 1)
+		// Coupons are heavily value-skewed: ~95% of sales have none, a
+		// few carry large amounts — the §4.1.2 skewed-SUM scenario.
+		coupon := 0.0
+		if rng.Float64() < 0.05 {
+			coupon = 20 + rng.ExpFloat64()*120
+		}
+		t.Append(i, table.Row{
+			table.NewInt(date), table.NewInt(item), table.NewInt(cust),
+			table.NewInt(int64(1 + rng.Intn(stores))),
+			table.NewInt(int64(1 + rng.Intn(promos))),
+			table.NewInt(ticket), table.NewInt(qty),
+			table.NewFloat(cost), table.NewFloat(list), table.NewFloat(price),
+			table.NewFloat(ext), table.NewFloat(profit), table.NewFloat(coupon),
+		})
+		keys = append(keys, saleKey{order: ticket, item: item, cust: cust, qty: qty, price: price})
+	}
+	d.add(t)
+	return keys
+}
+
+func (d *TPCDS) genStoreReturns(cfg TPCDSConfig, rng *rand.Rand, sales []saleKey, dates []int64) {
+	sc := table.NewSchema(
+		intc("sr_returned_date_sk"), intc("sr_item_sk"), intc("sr_customer_sk"),
+		intc("sr_ticket_number"), intc("sr_return_quantity"),
+		floatc("sr_return_amt"), floatc("sr_net_loss"),
+	)
+	t := table.New("store_returns", sc, cfg.FactParts)
+	i := 0
+	for _, s := range sales {
+		if rng.Float64() >= 0.10 { // ~10% of sales are returned
+			continue
+		}
+		retQty := 1 + rng.Int63n(s.qty)
+		amt := s.price * float64(retQty)
+		t.Append(i, table.Row{
+			table.NewInt(dates[rng.Intn(len(dates))]),
+			table.NewInt(s.item), table.NewInt(s.cust), table.NewInt(s.order),
+			table.NewInt(retQty), table.NewFloat(amt), table.NewFloat(amt * 0.1),
+		})
+		i++
+	}
+	d.add(t)
+}
+
+func (d *TPCDS) genCatalogSales(cfg TPCDSConfig, rng *rand.Rand, n int, dates []int64, items, custs, whs, promos int) []saleKey {
+	sc := table.NewSchema(
+		intc("cs_sold_date_sk"), intc("cs_item_sk"), intc("cs_bill_customer_sk"),
+		intc("cs_warehouse_sk"), intc("cs_promo_sk"), intc("cs_order_number"),
+		intc("cs_quantity"), floatc("cs_sales_price"), floatc("cs_ext_sales_price"),
+		floatc("cs_net_profit"),
+	)
+	t := table.New("catalog_sales", sc, cfg.FactParts)
+	itemKeys := newKeyGen(rng, items)
+	custKeys := newKeyGen(rng, custs)
+	keys := make([]saleKey, 0, n)
+	for i := 0; i < n; i++ {
+		item := int64(itemKeys.Next() + 1)
+		cust := int64(custKeys.Next() + 1)
+		qty := int64(1 + rng.Intn(30))
+		price := 1 + rng.Float64()*120
+		ext := price * float64(qty)
+		order := int64(i + 1)
+		t.Append(i, table.Row{
+			table.NewInt(dates[rng.Intn(len(dates))]),
+			table.NewInt(item), table.NewInt(cust),
+			table.NewInt(int64(1 + rng.Intn(whs))),
+			table.NewInt(int64(1 + rng.Intn(promos))),
+			table.NewInt(order), table.NewInt(qty),
+			table.NewFloat(price), table.NewFloat(ext),
+			table.NewFloat(ext * (0.05 + 0.25*rng.Float64())),
+		})
+		keys = append(keys, saleKey{order: order, item: item, cust: cust, qty: qty, price: price})
+	}
+	d.add(t)
+	return keys
+}
+
+func (d *TPCDS) genCatalogReturns(cfg TPCDSConfig, rng *rand.Rand, sales []saleKey, dates []int64) {
+	sc := table.NewSchema(
+		intc("cr_returned_date_sk"), intc("cr_item_sk"), intc("cr_refunded_customer_sk"),
+		intc("cr_order_number"), intc("cr_return_quantity"), floatc("cr_return_amount"),
+	)
+	t := table.New("catalog_returns", sc, cfg.FactParts)
+	i := 0
+	for _, s := range sales {
+		if rng.Float64() >= 0.08 {
+			continue
+		}
+		retQty := 1 + rng.Int63n(s.qty)
+		t.Append(i, table.Row{
+			table.NewInt(dates[rng.Intn(len(dates))]),
+			table.NewInt(s.item), table.NewInt(s.cust), table.NewInt(s.order),
+			table.NewInt(retQty), table.NewFloat(s.price * float64(retQty)),
+		})
+		i++
+	}
+	d.add(t)
+}
+
+func (d *TPCDS) genWebSales(cfg TPCDSConfig, rng *rand.Rand, n int, dates []int64, items, custs, promos int) []saleKey {
+	sc := table.NewSchema(
+		intc("ws_sold_date_sk"), intc("ws_item_sk"), intc("ws_bill_customer_sk"),
+		intc("ws_promo_sk"), intc("ws_order_number"), intc("ws_quantity"),
+		floatc("ws_sales_price"), floatc("ws_ext_sales_price"), floatc("ws_net_profit"),
+	)
+	t := table.New("web_sales", sc, cfg.FactParts)
+	itemKeys := newKeyGen(rng, items)
+	custKeys := newKeyGen(rng, custs)
+	keys := make([]saleKey, 0, n)
+	for i := 0; i < n; i++ {
+		item := int64(itemKeys.Next() + 1)
+		cust := int64(custKeys.Next() + 1)
+		qty := int64(1 + rng.Intn(10))
+		price := 1 + rng.Float64()*150
+		ext := price * float64(qty)
+		order := int64(i + 1)
+		t.Append(i, table.Row{
+			table.NewInt(dates[rng.Intn(len(dates))]),
+			table.NewInt(item), table.NewInt(cust),
+			table.NewInt(int64(1 + rng.Intn(promos))),
+			table.NewInt(order), table.NewInt(qty),
+			table.NewFloat(price), table.NewFloat(ext),
+			table.NewFloat(ext * (0.02 + 0.3*rng.Float64())),
+		})
+		keys = append(keys, saleKey{order: order, item: item, cust: cust, qty: qty, price: price})
+	}
+	d.add(t)
+	return keys
+}
+
+func (d *TPCDS) genWebReturns(cfg TPCDSConfig, rng *rand.Rand, sales []saleKey, dates []int64) {
+	sc := table.NewSchema(
+		intc("wr_returned_date_sk"), intc("wr_item_sk"), intc("wr_refunded_customer_sk"),
+		intc("wr_order_number"), intc("wr_return_quantity"), floatc("wr_return_amt"),
+	)
+	t := table.New("web_returns", sc, cfg.FactParts)
+	i := 0
+	for _, s := range sales {
+		if rng.Float64() >= 0.12 {
+			continue
+		}
+		retQty := 1 + rng.Int63n(s.qty)
+		t.Append(i, table.Row{
+			table.NewInt(dates[rng.Intn(len(dates))]),
+			table.NewInt(s.item), table.NewInt(s.cust), table.NewInt(s.order),
+			table.NewInt(retQty), table.NewFloat(s.price * float64(retQty)),
+		})
+		i++
+	}
+	d.add(t)
+}

@@ -1,0 +1,199 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// TPCH holds a TPC-H-like schema: lineitem/orders/customer/part/
+// supplier plus nation and region dimensions, used by the Table 9
+// cross-benchmark characteristics comparison.
+type TPCH struct {
+	Tables map[string]*table.Table
+	PKs    map[string][]string
+}
+
+// TPCHConfig scales the TPC-H-like generator.
+type TPCHConfig struct {
+	ScaleFactor float64
+	Seed        int64
+	FactParts   int
+	DimParts    int
+}
+
+// DefaultTPCH returns the configuration used by tests and experiments.
+func DefaultTPCH() TPCHConfig {
+	return TPCHConfig{ScaleFactor: 1, Seed: 19920522, FactParts: 8, DimParts: 2}
+}
+
+// GenerateTPCH builds the schema.
+func GenerateTPCH(cfg TPCHConfig) *TPCH {
+	if cfg.ScaleFactor <= 0 {
+		cfg = DefaultTPCH()
+	}
+	if cfg.FactParts == 0 {
+		cfg.FactParts = 8
+	}
+	if cfg.DimParts == 0 {
+		cfg.DimParts = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := &TPCH{Tables: map[string]*table.Table{}, PKs: map[string][]string{}}
+
+	nations := []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+		"MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+		"UNITED KINGDOM", "UNITED STATES"}
+	regions := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// region
+	rt := table.New("region", table.NewSchema(intc("r_regionkey"), stringc("r_name")), 1)
+	for i, r := range regions {
+		rt.Append(i, table.Row{table.NewInt(int64(i)), table.NewString(r)})
+	}
+	h.add(rt, "r_regionkey")
+
+	// nation
+	nt := table.New("nation", table.NewSchema(intc("n_nationkey"), stringc("n_name"), intc("n_regionkey")), 1)
+	for i, n := range nations {
+		nt.Append(i, table.Row{table.NewInt(int64(i)), table.NewString(n), table.NewInt(int64(i % 5))})
+	}
+	h.add(nt, "n_nationkey")
+
+	numCust := int(1500 * cfg.ScaleFactor)
+	numPart := int(2000 * cfg.ScaleFactor)
+	numSupp := int(100 * cfg.ScaleFactor)
+	numOrders := int(15000 * cfg.ScaleFactor)
+
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	ct := table.New("h_customer", table.NewSchema(
+		intc("c_custkey"), stringc("c_name"), intc("c_nationkey"),
+		stringc("c_mktsegment"), floatc("c_acctbal"),
+	), cfg.DimParts)
+	for i := 0; i < numCust; i++ {
+		ct.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("Customer#%09d", i+1)),
+			table.NewInt(int64(rng.Intn(len(nations)))),
+			table.NewString(segments[rng.Intn(len(segments))]),
+			table.NewFloat(-999 + rng.Float64()*10999),
+		})
+	}
+	h.add(ct, "c_custkey")
+
+	types := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	pt := table.New("part", table.NewSchema(
+		intc("p_partkey"), stringc("p_name"), stringc("p_type"),
+		stringc("p_brand"), intc("p_size"), floatc("p_retailprice"),
+	), cfg.DimParts)
+	for i := 0; i < numPart; i++ {
+		pt.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("part-%d", i+1)),
+			table.NewString(types[rng.Intn(len(types))] + " ANODIZED"),
+			table.NewString(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
+			table.NewInt(int64(1 + rng.Intn(50))),
+			table.NewFloat(900 + rng.Float64()*1100),
+		})
+	}
+	h.add(pt, "p_partkey")
+
+	st := table.New("supplier", table.NewSchema(
+		intc("s_suppkey"), stringc("s_name"), intc("s_nationkey"), floatc("s_acctbal"),
+	), cfg.DimParts)
+	for i := 0; i < numSupp; i++ {
+		st.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewString(fmt.Sprintf("Supplier#%09d", i+1)),
+			table.NewInt(int64(rng.Intn(len(nations)))),
+			table.NewFloat(-999 + rng.Float64()*10999),
+		})
+	}
+	h.add(st, "s_suppkey")
+
+	prios := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	statuses := []string{"O", "F", "P"}
+	ot := table.New("orders", table.NewSchema(
+		intc("o_orderkey"), intc("o_custkey"), stringc("o_orderstatus"),
+		floatc("o_totalprice"), intc("o_orderdate"), stringc("o_orderpriority"),
+	), cfg.FactParts)
+	startDate := lplan.DaysFromCivil(1995, 1, 1)
+	custKeys := newKeyGen(rng, numCust)
+	for i := 0; i < numOrders; i++ {
+		ot.Append(i, table.Row{
+			table.NewInt(int64(i + 1)),
+			table.NewInt(int64(custKeys.Next() + 1)),
+			table.NewString(statuses[rng.Intn(len(statuses))]),
+			table.NewFloat(1000 + rng.Float64()*400000),
+			table.NewInt(startDate + int64(rng.Intn(4*365))),
+			table.NewString(prios[rng.Intn(len(prios))]),
+		})
+	}
+	h.add(ot, "o_orderkey")
+
+	flags := []string{"A", "N", "R"}
+	lt := table.New("lineitem", table.NewSchema(
+		intc("l_orderkey"), intc("l_partkey"), intc("l_suppkey"), intc("l_linenumber"),
+		floatc("l_quantity"), floatc("l_extendedprice"), floatc("l_discount"),
+		floatc("l_tax"), stringc("l_returnflag"), intc("l_shipdate"),
+	), cfg.FactParts)
+	partZipf := newZipf(rng, 1.05, numPart)
+	row := 0
+	for o := 0; o < numOrders; o++ {
+		lines := 1 + rng.Intn(6)
+		for ln := 0; ln < lines; ln++ {
+			lt.Append(row, table.Row{
+				table.NewInt(int64(o + 1)),
+				table.NewInt(int64(partZipf.Next() + 1)),
+				table.NewInt(int64(1 + rng.Intn(numSupp))),
+				table.NewInt(int64(ln + 1)),
+				table.NewFloat(float64(1 + rng.Intn(50))),
+				table.NewFloat(900 + rng.Float64()*104000),
+				table.NewFloat(float64(rng.Intn(11)) / 100),
+				table.NewFloat(float64(rng.Intn(9)) / 100),
+				table.NewString(flags[rng.Intn(len(flags))]),
+				table.NewInt(startDate + int64(rng.Intn(4*365))),
+			})
+			row++
+		}
+	}
+	h.add(lt)
+	return h
+}
+
+func (h *TPCH) add(t *table.Table, pk ...string) {
+	h.Tables[t.Name] = t
+	h.PKs[t.Name] = pk
+}
+
+// Logs generates the "Other" workload dataset: a web request log with
+// heavy-hitter URLs and users, for dashboard-style aggregation queries.
+func Logs(rows int, seed int64, parts int) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	sc := table.NewSchema(
+		intc("log_ts"), intc("log_uid"), stringc("log_url"), stringc("log_country"),
+		intc("log_status"), intc("log_bytes"), floatc("log_latency_ms"),
+	)
+	if parts < 1 {
+		parts = 8
+	}
+	t := table.New("weblogs", sc, parts)
+	urlZipf := newZipf(rng, 1.3, 500)
+	uidZipf := newZipf(rng, 1.1, rows/20+2)
+	statuses := []int64{200, 200, 200, 200, 200, 200, 301, 304, 404, 500}
+	for i := 0; i < rows; i++ {
+		t.Append(i, table.Row{
+			table.NewInt(int64(i) * 250),
+			table.NewInt(int64(uidZipf.Next() + 1)),
+			table.NewString(fmt.Sprintf("/page/%d", urlZipf.Next())),
+			table.NewString(countries[rng.Intn(len(countries))]),
+			table.NewInt(statuses[rng.Intn(len(statuses))]),
+			table.NewInt(int64(200 + rng.Intn(100000))),
+			table.NewFloat(1 + rng.ExpFloat64()*40),
+		})
+	}
+	return t
+}

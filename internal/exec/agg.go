@@ -1,0 +1,313 @@
+package exec
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// aggRunner computes one PHashAgg over one partition. With an
+// EstimatorConfig it produces Horvitz–Thompson estimates (Table 8
+// rewrites) plus one-pass variance estimates (Proposition 2/3):
+//
+//	SUM(X)            -> SUM(w·X)
+//	COUNT(*)          -> SUM(w)
+//	AVG(X)            -> SUM(w·X)/SUM(w)
+//	SUMIF(F, X)       -> SUM(IF(F, w·X, 0))
+//	COUNTIF(F)        -> SUM(IF(F, w, 0))
+//	COUNT(DISTINCT X) -> COUNT(DISTINCT X)·(univ(X) ? 1/p : 1)
+//
+// Variance: for the uniform and distinct samplers rows are included
+// independently, so Var̂[Σ w·x] = Σ_{i∈sample} (w_i²−w_i)·x_i². For the
+// universe sampler whole key-subspaces are included together, so the
+// variance is computed over per-subspace partial sums Y_g:
+// Var̂ = ((1−p)/p²)·Σ_{g∈sample} Y_g².
+type aggRunner struct {
+	p        *PHashAgg
+	groupIdx []int
+	argIdx   []int
+	condIdx  []int
+	uniIdx   []int // positions of universe columns, if present in input
+	groups   map[string]*groupAcc
+}
+
+type groupAcc struct {
+	key  []table.Value
+	n    int64
+	aggs []aggAcc
+}
+
+type aggAcc struct {
+	sumWX    float64
+	sumW     float64
+	varTerm  float64 // Σ (w²−w)·x² (row-independent samplers)
+	distinct map[string]bool
+	min, max table.Value
+	uniSub   map[string]float64 // per-universe-subspace Σx
+	seen     bool
+}
+
+func newAggRunner(p *PHashAgg, cm colMap) (*aggRunner, error) {
+	r := &aggRunner{p: p, groups: map[string]*groupAcc{}}
+	for _, g := range p.GroupCols {
+		i, ok := cm[g]
+		if !ok {
+			return nil, errColMissing(g)
+		}
+		r.groupIdx = append(r.groupIdx, i)
+	}
+	for _, a := range p.Aggs {
+		ai, ci := -1, -1
+		if a.Arg != lplan.NoColumn {
+			i, ok := cm[a.Arg]
+			if !ok {
+				return nil, errColMissing(a.Arg)
+			}
+			ai = i
+		}
+		if a.Cond != lplan.NoColumn {
+			i, ok := cm[a.Cond]
+			if !ok {
+				return nil, errColMissing(a.Cond)
+			}
+			ci = i
+		}
+		r.argIdx = append(r.argIdx, ai)
+		r.condIdx = append(r.condIdx, ci)
+	}
+	if p.Est != nil && p.Est.Type == lplan.SamplerUniverse {
+		for _, u := range p.Est.UniverseCols {
+			if i, ok := cm[u]; ok {
+				r.uniIdx = append(r.uniIdx, i)
+			}
+		}
+	}
+	return r, nil
+}
+
+type colMissingError lplan.ColumnID
+
+func (e colMissingError) Error() string { return "exec: aggregate input column missing" }
+
+func errColMissing(id lplan.ColumnID) error { return colMissingError(id) }
+
+func (r *aggRunner) add(row table.Row, w float64) {
+	var kb strings.Builder
+	for _, i := range r.groupIdx {
+		kb.WriteString(row[i].Key())
+		kb.WriteByte(0)
+	}
+	key := kb.String()
+	g, ok := r.groups[key]
+	if !ok {
+		g = &groupAcc{key: make([]table.Value, len(r.groupIdx)), aggs: make([]aggAcc, len(r.p.Aggs))}
+		for j, i := range r.groupIdx {
+			g.key[j] = row[i]
+		}
+		r.groups[key] = g
+	}
+	g.n++
+
+	uniKey := ""
+	if len(r.uniIdx) > 0 {
+		var ub strings.Builder
+		for _, i := range r.uniIdx {
+			ub.WriteString(row[i].Key())
+			ub.WriteByte(0)
+		}
+		uniKey = ub.String()
+	}
+
+	for j, spec := range r.p.Aggs {
+		acc := &g.aggs[j]
+		ai, ci := r.argIdx[j], r.condIdx[j]
+		condTrue := true
+		if ci >= 0 {
+			condTrue = truthy(row[ci])
+		}
+		var x float64
+		use := false
+		switch spec.Kind {
+		case lplan.AggCount:
+			if ai < 0 || !row[ai].IsNull() {
+				x, use = 1, true
+			}
+		case lplan.AggCountIf:
+			if condTrue {
+				x, use = 1, true
+			}
+		case lplan.AggSum:
+			if ai >= 0 && !row[ai].IsNull() {
+				x, use = row[ai].Float(), true
+			}
+		case lplan.AggSumIf:
+			if condTrue && ai >= 0 && !row[ai].IsNull() {
+				x, use = row[ai].Float(), true
+			}
+		case lplan.AggAvg:
+			if condTrue && ai >= 0 && !row[ai].IsNull() {
+				x, use = row[ai].Float(), true
+			}
+		case lplan.AggCountDistinct:
+			if ai >= 0 && !row[ai].IsNull() {
+				if acc.distinct == nil {
+					acc.distinct = map[string]bool{}
+				}
+				acc.distinct[row[ai].Key()] = true
+			}
+		case lplan.AggMin:
+			if ai >= 0 && !row[ai].IsNull() {
+				if acc.min.IsNull() || row[ai].Compare(acc.min) < 0 {
+					acc.min = row[ai]
+				}
+				acc.seen = true
+			}
+		case lplan.AggMax:
+			if ai >= 0 && !row[ai].IsNull() {
+				if acc.max.IsNull() || row[ai].Compare(acc.max) > 0 {
+					acc.max = row[ai]
+				}
+				acc.seen = true
+			}
+		}
+		if use {
+			acc.sumWX += w * x
+			acc.varTerm += (w*w - w) * x * x
+			acc.seen = true
+			if uniKey != "" {
+				if acc.uniSub == nil {
+					acc.uniSub = map[string]float64{}
+				}
+				acc.uniSub[uniKey] += x
+			}
+		}
+		// Denominator weight for AVG tracks the same condition filter.
+		if spec.Kind == lplan.AggAvg && condTrue && ai >= 0 && !row[ai].IsNull() {
+			acc.sumW += w
+		}
+	}
+}
+
+// finishGroup converts a group's accumulators into output values and
+// standard errors.
+func (r *aggRunner) finishGroup(g *groupAcc) ([]table.Value, []float64) {
+	est := r.p.Est
+	vals := make([]table.Value, len(r.p.Aggs))
+	errs := make([]float64, len(r.p.Aggs))
+	for j, spec := range r.p.Aggs {
+		acc := &g.aggs[j]
+		var v float64
+		switch spec.Kind {
+		case lplan.AggCount, lplan.AggCountIf, lplan.AggSum, lplan.AggSumIf:
+			v = acc.sumWX
+		case lplan.AggAvg:
+			if acc.sumW > 0 {
+				v = acc.sumWX / acc.sumW
+			} else {
+				vals[j] = table.Null
+				continue
+			}
+		case lplan.AggCountDistinct:
+			n := float64(len(acc.distinct))
+			if est != nil && est.Type == lplan.SamplerUniverse && est.P > 0 && r.argIsUniverse(spec) {
+				n /= est.P
+			}
+			vals[j] = table.NewInt(int64(math.Round(n)))
+			continue
+		case lplan.AggMin:
+			vals[j] = acc.min
+			continue
+		case lplan.AggMax:
+			vals[j] = acc.max
+			continue
+		}
+		// Variance estimate.
+		variance := acc.varTerm
+		if est != nil && est.Type == lplan.SamplerUniverse && est.P > 0 && len(acc.uniSub) > 0 {
+			var sub float64
+			for _, y := range acc.uniSub {
+				sub += y * y
+			}
+			uvar := (1 - est.P) / (est.P * est.P) * sub
+			if uvar > variance {
+				variance = uvar
+			}
+		}
+		if variance > 0 {
+			errs[j] = math.Sqrt(variance)
+			if spec.Kind == lplan.AggAvg && acc.sumW > 0 {
+				errs[j] /= acc.sumW
+			}
+		}
+		switch spec.Out.Kind {
+		case table.KindInt:
+			vals[j] = table.NewInt(int64(math.Round(v)))
+		default:
+			vals[j] = table.NewFloat(v)
+		}
+	}
+	return vals, errs
+}
+
+// argIsUniverse reports whether the aggregate argument is exactly over
+// the universe-sampled columns (the COUNT DISTINCT scaling case of
+// Table 8).
+func (r *aggRunner) argIsUniverse(spec lplan.AggSpec) bool {
+	if r.p.Est == nil {
+		return false
+	}
+	for _, u := range r.p.Est.UniverseCols {
+		if u == spec.Arg {
+			return true
+		}
+	}
+	return false
+}
+
+// emit renders the partition's groups as output rows (deterministically
+// ordered) plus estimate records.
+func (r *aggRunner) emit() ([]wrow, []GroupEstimate) {
+	keys := make([]string, 0, len(r.groups))
+	for k := range r.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]wrow, 0, len(keys))
+	ests := make([]GroupEstimate, 0, len(keys))
+	for _, k := range keys {
+		g := r.groups[k]
+		vals, errs := r.finishGroup(g)
+		row := make(table.Row, 0, len(g.key)+len(vals))
+		row = append(row, g.key...)
+		row = append(row, vals...)
+		rows = append(rows, wrow{row: row, w: 1})
+		ests = append(ests, GroupEstimate{Key: g.key, Values: vals, StdErr: errs, SampleRows: g.n})
+	}
+	// Global aggregate over an empty input still yields one row.
+	if len(r.groups) == 0 && len(r.groupIdx) == 0 {
+		row := make(table.Row, len(r.p.Aggs))
+		for j, spec := range r.p.Aggs {
+			switch spec.Kind {
+			case lplan.AggCount, lplan.AggCountIf, lplan.AggCountDistinct:
+				row[j] = table.NewInt(0)
+			default:
+				row[j] = table.Null
+			}
+		}
+		rows = append(rows, wrow{row: row, w: 1})
+		ests = append(ests, GroupEstimate{Values: row, StdErr: make([]float64, len(r.p.Aggs))})
+	}
+	return rows, ests
+}
+
+// GroupEstimate is the per-group outcome of the top aggregate: values,
+// standard errors of the HT estimators, and sample support.
+type GroupEstimate struct {
+	Key        []table.Value
+	Values     []table.Value
+	StdErr     []float64
+	SampleRows int64
+}

@@ -1,0 +1,336 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"quickr/internal/cluster"
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// buildT creates a two-column table (k BIGINT, v DOUBLE) with the given
+// rows spread over parts partitions.
+func buildT(name string, parts int, rows [][2]float64) (*table.Table, []lplan.ColumnInfo) {
+	sc := table.NewSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "v", Kind: table.KindFloat},
+	)
+	t := table.New(name, sc, parts)
+	for i, r := range rows {
+		t.Append(i, table.Row{table.NewInt(int64(r[0])), table.NewFloat(r[1])})
+	}
+	return t, nil
+}
+
+var nextID lplan.ColumnID = 100
+
+func scanOf(t *table.Table) *PScan {
+	cols := make([]lplan.ColumnInfo, t.Schema.Len())
+	idx := make([]int, t.Schema.Len())
+	for i, c := range t.Schema.Cols {
+		nextID++
+		cols[i] = lplan.ColumnInfo{ID: nextID, Name: c.Name, Kind: c.Kind}
+		idx[i] = i
+	}
+	return &PScan{Tbl: t, OutCols: cols, ColIdx: idx, WeightIdx: -1}
+}
+
+func run(t *testing.T, p PNode) *Result {
+	t.Helper()
+	res, err := Run(p, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScanFilterProject(t *testing.T) {
+	tbl, _ := buildT("t", 3, [][2]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}})
+	scan := scanOf(tbl)
+	kCol, vCol := scan.OutCols[0], scan.OutCols[1]
+	filter := &PFilter{In: scan, Pred: &lplan.Binary{
+		Op: lplan.OpGt,
+		L:  &lplan.ColRef{ID: kCol.ID, Name: "k", Kind: table.KindInt},
+		R:  &lplan.Const{Val: table.NewInt(2)},
+	}}
+	nextID++
+	outCol := lplan.ColumnInfo{ID: nextID, Name: "v2", Kind: table.KindFloat}
+	proj := &PProject{In: filter, Exprs: []lplan.Expr{
+		&lplan.Binary{Op: lplan.OpMul,
+			L: &lplan.ColRef{ID: vCol.ID, Name: "v", Kind: table.KindFloat},
+			R: &lplan.Const{Val: table.NewInt(2)}},
+	}, OutCols: []lplan.ColumnInfo{outCol}}
+
+	res := run(t, proj)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	sum := res.Rows[0][0].Float() + res.Rows[1][0].Float()
+	if sum != 140 { // (30+40)*2
+		t.Errorf("sum %v want 140", sum)
+	}
+}
+
+func TestHashJoinInnerAndOuter(t *testing.T) {
+	left, _ := buildT("l", 2, [][2]float64{{1, 1}, {2, 2}, {3, 3}})
+	right, _ := buildT("r", 2, [][2]float64{{2, 20}, {3, 30}, {3, 31}})
+	ls, rs := scanOf(left), scanOf(right)
+
+	join := &PHashJoin{
+		Kind: lplan.InnerJoin, Left: ls, Right: rs,
+		LeftKeys:  []lplan.ColumnID{ls.OutCols[0].ID},
+		RightKeys: []lplan.ColumnID{rs.OutCols[0].ID},
+		Broadcast: true,
+	}
+	res := run(t, join)
+	if len(res.Rows) != 3 { // 2 matches 1, 3 matches 2
+		t.Fatalf("inner join rows: %d", len(res.Rows))
+	}
+
+	outer := &PHashJoin{
+		Kind: lplan.LeftOuterJoin, Left: scanOf(left), Right: scanOf(right),
+		LeftKeys:  []lplan.ColumnID{0},
+		RightKeys: []lplan.ColumnID{0},
+		Broadcast: true,
+	}
+	outer.LeftKeys[0] = outer.Left.Cols()[0].ID
+	outer.RightKeys[0] = outer.Right.Cols()[0].ID
+	res = run(t, outer)
+	if len(res.Rows) != 4 { // 1 padded, 2→1, 3→2
+		t.Fatalf("outer join rows: %d", len(res.Rows))
+	}
+	padded := 0
+	for _, r := range res.Rows {
+		if r[2].IsNull() {
+			padded++
+		}
+	}
+	if padded != 1 {
+		t.Errorf("padded rows %d want 1", padded)
+	}
+}
+
+func TestPartitionedJoinMatchesBroadcast(t *testing.T) {
+	var rows [][2]float64
+	for i := 0; i < 500; i++ {
+		rows = append(rows, [2]float64{float64(i % 37), float64(i)})
+	}
+	left, _ := buildT("l", 4, rows)
+	right, _ := buildT("r", 4, rows[:200])
+
+	build := func(broadcast bool) int {
+		ls, rs := scanOf(left), scanOf(right)
+		var l, r PNode = ls, rs
+		if !broadcast {
+			l = &PExchange{In: ls, Keys: []lplan.ColumnID{ls.OutCols[0].ID}, Parts: 5}
+			r = &PExchange{In: rs, Keys: []lplan.ColumnID{rs.OutCols[0].ID}, Parts: 5}
+		}
+		j := &PHashJoin{
+			Kind: lplan.InnerJoin, Left: l, Right: r,
+			LeftKeys:  []lplan.ColumnID{ls.OutCols[0].ID},
+			RightKeys: []lplan.ColumnID{rs.OutCols[0].ID},
+			Broadcast: broadcast,
+		}
+		return len(run(t, j).Rows)
+	}
+	if a, b := build(true), build(false); a != b {
+		t.Errorf("broadcast %d != partitioned %d", a, b)
+	}
+}
+
+func TestHashAggExact(t *testing.T) {
+	tbl, _ := buildT("t", 4, [][2]float64{{1, 10}, {1, 20}, {2, 5}, {2, 5}, {3, 1}})
+	scan := scanOf(tbl)
+	k, v := scan.OutCols[0], scan.OutCols[1]
+	nextID += 2
+	agg := &PHashAgg{
+		In:        &PExchange{In: scan, Keys: []lplan.ColumnID{k.ID}, Parts: 2},
+		GroupCols: []lplan.ColumnID{k.ID},
+		GroupInfo: []lplan.ColumnInfo{k},
+		Aggs: []lplan.AggSpec{
+			{Kind: lplan.AggSum, Arg: v.ID, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "s", Kind: table.KindFloat}},
+			{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID, Name: "c", Kind: table.KindInt}},
+		},
+		Top: true,
+	}
+	res := run(t, agg)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups: %v", res.Rows)
+	}
+	byKey := map[int64][2]float64{}
+	for _, r := range res.Rows {
+		byKey[r[0].Int()] = [2]float64{r[1].Float(), float64(r[2].Int())}
+	}
+	if byKey[1] != [2]float64{30, 2} || byKey[2] != [2]float64{10, 2} || byKey[3] != [2]float64{1, 1} {
+		t.Errorf("agg values: %v", byKey)
+	}
+	if len(res.Estimates) != 3 {
+		t.Errorf("estimates: %d", len(res.Estimates))
+	}
+}
+
+func TestWeightedAggregation(t *testing.T) {
+	// Rows weighted 4 via a uniform sampler at p=0.25 on a constant
+	// column: COUNT estimates the original cardinality.
+	var rows [][2]float64
+	for i := 0; i < 8000; i++ {
+		rows = append(rows, [2]float64{1, 2})
+	}
+	tbl, _ := buildT("t", 4, rows)
+	scan := scanOf(tbl)
+	k, v := scan.OutCols[0], scan.OutCols[1]
+	smp := &PSample{In: scan, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.25}, Seed: 9}
+	nextID += 2
+	agg := &PHashAgg{
+		In:        &PExchange{In: smp, Parts: 1},
+		GroupCols: nil,
+		Aggs: []lplan.AggSpec{
+			{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "c", Kind: table.KindInt}},
+			{Kind: lplan.AggSum, Arg: v.ID, Out: lplan.ColumnInfo{ID: nextID, Name: "s", Kind: table.KindFloat}},
+		},
+		Est: &EstimatorConfig{Type: lplan.SamplerUniform, P: 0.25},
+		Top: true,
+	}
+	_ = k
+	res := run(t, agg)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	cnt := float64(res.Rows[0][0].Int())
+	if math.Abs(cnt-8000)/8000 > 0.1 {
+		t.Errorf("estimated count %v want ~8000", cnt)
+	}
+	sum := res.Rows[0][1].Float()
+	if math.Abs(sum-16000)/16000 > 0.1 {
+		t.Errorf("estimated sum %v want ~16000", sum)
+	}
+	// CI must be positive and plausible.
+	se := res.Estimates[0].StdErr[1]
+	if se <= 0 || se > 2000 {
+		t.Errorf("stderr %v", se)
+	}
+}
+
+func TestEmptyGlobalAggregate(t *testing.T) {
+	tbl, _ := buildT("t", 2, nil)
+	scan := scanOf(tbl)
+	nextID += 2
+	agg := &PHashAgg{
+		In: &PExchange{In: scan, Parts: 1},
+		Aggs: []lplan.AggSpec{
+			{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "c", Kind: table.KindInt}},
+			{Kind: lplan.AggSum, Arg: scan.OutCols[1].ID, Out: lplan.ColumnInfo{ID: nextID, Name: "s", Kind: table.KindFloat}},
+		},
+		Top: true,
+	}
+	res := run(t, agg)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Errorf("empty agg: %v", res.Rows[0])
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	tbl, _ := buildT("t", 3, [][2]float64{{3, 1}, {1, 2}, {2, 3}, {5, 4}, {4, 5}})
+	scan := scanOf(tbl)
+	sorted := &PSort{
+		In:   &PExchange{In: scan, Parts: 1},
+		Keys: []lplan.SortKey{{Col: scan.OutCols[0].ID, Desc: true}},
+	}
+	lim := &PLimit{In: sorted, N: 3}
+	res := run(t, lim)
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit rows: %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Int() != 5 || res.Rows[1][0].Int() != 4 || res.Rows[2][0].Int() != 3 {
+		t.Errorf("sorted: %v", res.Rows)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	a, _ := buildT("a", 2, [][2]float64{{1, 1}, {2, 2}})
+	b, _ := buildT("b", 2, [][2]float64{{3, 3}})
+	sa, sb := scanOf(a), scanOf(b)
+	u := &PUnion{Ins: []PNode{sa, sb}, OutCols: sa.OutCols}
+	res := run(t, u)
+	if len(res.Rows) != 3 {
+		t.Errorf("union rows: %d", len(res.Rows))
+	}
+}
+
+func TestSharedUniverseJoinWeights(t *testing.T) {
+	// Both join inputs universe-sampled on the key with the same seed:
+	// joined rows carry weight 1/p (not 1/p²) and SUM stays unbiased.
+	var lrows, rrows [][2]float64
+	var trueSum float64
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		k := i % 100
+		lrows = append(lrows, [2]float64{float64(k), 1})
+		counts[k]++
+	}
+	for k := 0; k < 100; k++ {
+		rrows = append(rrows, [2]float64{float64(k), 3})
+		trueSum += 3 * float64(counts[k])
+	}
+	left, _ := buildT("l", 4, lrows)
+	right, _ := buildT("r", 2, rrows)
+
+	var mean float64
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		ls, rs := scanOf(left), scanOf(right)
+		seed := uint64(trial + 1)
+		const p = 0.2
+		sl := &PSample{In: ls, Def: lplan.SamplerDef{Type: lplan.SamplerUniverse, P: p, Cols: []lplan.ColumnID{ls.OutCols[0].ID}, Seed: seed}}
+		sr := &PSample{In: rs, Def: lplan.SamplerDef{Type: lplan.SamplerUniverse, P: p, Cols: []lplan.ColumnID{rs.OutCols[0].ID}, Seed: seed}}
+		j := &PHashJoin{
+			Kind: lplan.InnerJoin, Left: sl, Right: sr,
+			LeftKeys:        []lplan.ColumnID{ls.OutCols[0].ID},
+			RightKeys:       []lplan.ColumnID{rs.OutCols[0].ID},
+			Broadcast:       true,
+			SharedUniverseP: p,
+		}
+		nextID++
+		agg := &PHashAgg{
+			In: &PExchange{In: j, Parts: 1},
+			Aggs: []lplan.AggSpec{{Kind: lplan.AggSum, Arg: rs.OutCols[1].ID,
+				Out: lplan.ColumnInfo{ID: nextID, Name: "s", Kind: table.KindFloat}}},
+			Top: true,
+		}
+		res := run(t, agg)
+		mean += res.Rows[0][0].Float()
+	}
+	mean /= trials
+	if rel := math.Abs(mean-trueSum) / trueSum; rel > 0.1 {
+		t.Errorf("paired-universe join SUM biased: %.0f vs %.0f (%.3f)", mean, trueSum, rel)
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	var rows [][2]float64
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, [2]float64{float64(i % 10), 1})
+	}
+	tbl, _ := buildT("t", 4, rows)
+	scan := scanOf(tbl)
+	nextID++
+	agg := &PHashAgg{
+		In:        &PExchange{In: scan, Keys: []lplan.ColumnID{scan.OutCols[0].ID}, Parts: 2},
+		GroupCols: []lplan.ColumnID{scan.OutCols[0].ID},
+		GroupInfo: []lplan.ColumnInfo{scan.OutCols[0]},
+		Aggs: []lplan.AggSpec{{Kind: lplan.AggCount, Arg: lplan.NoColumn,
+			Out: lplan.ColumnInfo{ID: nextID, Name: "c", Kind: table.KindInt}}},
+	}
+	res := run(t, agg)
+	m := res.Metrics
+	if m.MachineHours <= 0 || m.Runtime <= 0 || m.Passes <= 1 || m.ShuffledBytes <= 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+	if m.Stages < 2 {
+		t.Errorf("stages: %d", m.Stages)
+	}
+}

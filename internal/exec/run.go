@@ -1,0 +1,685 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"quickr/internal/cluster"
+	"quickr/internal/lplan"
+	"quickr/internal/sampler"
+	"quickr/internal/table"
+)
+
+// parallelParts runs fn(i) for each partition index concurrently, with
+// at most GOMAXPROCS workers, and returns the first error. Per-stage
+// task accounting is index-disjoint (each partition touches only its own
+// task counters), so operators parallelize without locks.
+func parallelParts(n int, fn func(i int) error) error {
+	if n <= 1 {
+		if n == 1 {
+			return fn(0)
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// wrow is an in-flight row with its sampling weight.
+type wrow struct {
+	row table.Row
+	w   float64
+}
+
+func wrowBytes(r wrow) float64 { return float64(r.row.ByteSize() + 8) }
+
+// stream is the in-flight state between operators: the data partitions
+// plus the stage currently accumulating their cost. A nil stage means
+// the data was materialized at a boundary (exchange/union); the next
+// compute operator opens a new stage depending on deps.
+type stream struct {
+	parts [][]wrow
+	stage *cluster.Stage
+	deps  []int
+}
+
+// Result is the outcome of executing a physical plan.
+type Result struct {
+	Cols    []lplan.ColumnInfo
+	Rows    []table.Row
+	Metrics cluster.Metrics
+	// Estimates holds per-group HT estimates from the top aggregate
+	// (confidence intervals for the public API).
+	Estimates []GroupEstimate
+	// StageReport is a human-readable per-stage accounting dump.
+	StageReport string
+	// PlanText is the executed physical plan.
+	PlanText string
+}
+
+// Run executes the physical plan under the given cluster configuration.
+func Run(p PNode, cfg cluster.Config) (*Result, error) {
+	ex := &executor{run: cluster.NewRun(cfg)}
+	s, err := ex.exec(p)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "final")
+	s.stage.Final = true
+	var rows []table.Row
+	for i, part := range s.parts {
+		var bytes float64
+		for _, r := range part {
+			bytes += wrowBytes(r)
+			rows = append(rows, r.row)
+		}
+		s.stage.AddOutput(i, int64(len(part)), bytes)
+		ex.run.JobOutputBytes += bytes
+	}
+	res := &Result{
+		Cols:        p.Cols(),
+		Rows:        rows,
+		Metrics:     ex.run.Finish(),
+		Estimates:   ex.topEstimates,
+		StageReport: ex.run.String(),
+		PlanText:    FormatPlan(p),
+	}
+	return res, nil
+}
+
+type executor struct {
+	run          *cluster.Run
+	topEstimates []GroupEstimate
+	samplerSeq   uint64
+}
+
+// ensureStage opens a stage for a materialized stream so subsequent
+// pipelined operators have tasks to charge.
+func (ex *executor) ensureStage(s *stream, name string) {
+	if s.stage != nil {
+		return
+	}
+	st := ex.run.NewStage(name, len(s.parts), s.deps...)
+	for i, part := range s.parts {
+		var bytes float64
+		for _, r := range part {
+			bytes += wrowBytes(r)
+		}
+		st.AddInput(i, int64(len(part)), bytes)
+	}
+	s.stage = st
+	s.deps = nil
+}
+
+// materialize closes the stream's stage, recording task outputs; the
+// stream becomes stage-less with a dependency on the closed stage.
+func (ex *executor) materialize(s *stream, shuffle bool) {
+	if s.stage == nil {
+		return
+	}
+	for i, part := range s.parts {
+		var bytes float64
+		for _, r := range part {
+			bytes += wrowBytes(r)
+		}
+		s.stage.AddOutput(i, int64(len(part)), bytes)
+	}
+	if shuffle {
+		s.stage.ShuffleOut = true
+	}
+	s.deps = []int{s.stage.ID}
+	s.stage = nil
+}
+
+func (ex *executor) exec(n PNode) (*stream, error) {
+	switch p := n.(type) {
+	case *PScan:
+		return ex.execScan(p)
+	case *PFilter:
+		return ex.execFilter(p)
+	case *PProject:
+		return ex.execProject(p)
+	case *PSample:
+		return ex.execSample(p)
+	case *PExchange:
+		return ex.execExchange(p)
+	case *PHashJoin:
+		return ex.execJoin(p)
+	case *PHashAgg:
+		return ex.execAgg(p)
+	case *PSort:
+		return ex.execSort(p)
+	case *PLimit:
+		return ex.execLimit(p)
+	case *PUnion:
+		return ex.execUnion(p)
+	case *PWindow:
+		return ex.execWindow(p)
+	}
+	return nil, fmt.Errorf("exec: unknown physical node %T", n)
+}
+
+func (ex *executor) execScan(p *PScan) (*stream, error) {
+	st := ex.run.NewStage("scan:"+p.Tbl.Name, len(p.Tbl.Partitions))
+	st.Extract = true
+	prune := len(p.ColIdx) > 0
+	parts := make([][]wrow, len(p.Tbl.Partitions))
+	partBytes := make([]float64, len(p.Tbl.Partitions))
+	_ = parallelParts(len(p.Tbl.Partitions), func(i int) error {
+		src := p.Tbl.Partitions[i]
+		part := make([]wrow, len(src))
+		var bytes float64
+		for j, r := range src {
+			bytes += float64(r.ByteSize())
+			w := 1.0
+			if p.WeightIdx >= 0 && p.WeightIdx < len(r) {
+				w = r[p.WeightIdx].Float()
+				if w <= 0 {
+					w = 1
+				}
+			}
+			if prune {
+				pr := make(table.Row, len(p.ColIdx))
+				for k, ci := range p.ColIdx {
+					pr[k] = r[ci]
+				}
+				r = pr
+			}
+			part[j] = wrow{row: r, w: w}
+		}
+		parts[i] = part
+		partBytes[i] = bytes
+		st.AddInput(i, int64(len(src)), bytes)
+		st.AddCPU(i, float64(len(src)))
+		return nil
+	})
+	for _, b := range partBytes {
+		ex.run.JobInputBytes += b
+	}
+	return &stream{parts: parts, stage: st}, nil
+}
+
+func (ex *executor) execFilter(p *PFilter) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "filter")
+	pred, err := compileExpr(p.Pred, buildColMap(p.In.Cols()))
+	if err != nil {
+		return nil, err
+	}
+	_ = parallelParts(len(s.parts), func(i int) error {
+		part := s.parts[i]
+		out := part[:0]
+		for _, r := range part {
+			if truthy(pred(r.row)) {
+				out = append(out, r)
+			}
+		}
+		s.parts[i] = out
+		s.stage.AddCPU(i, float64(len(part)))
+		return nil
+	})
+	return s, nil
+}
+
+func (ex *executor) execProject(p *PProject) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "project")
+	cm := buildColMap(p.In.Cols())
+	fns := make([]evalFunc, len(p.Exprs))
+	for i, e := range p.Exprs {
+		f, err := compileExpr(e, cm)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	cost := 0.5 + 0.3*float64(len(fns))
+	if err := parallelParts(len(s.parts), func(i int) error {
+		part := s.parts[i]
+		for j, r := range part {
+			out := make(table.Row, len(fns))
+			for k, f := range fns {
+				out[k] = f(r.row)
+			}
+			part[j] = wrow{row: out, w: r.w}
+		}
+		s.stage.AddCPU(i, cost*float64(len(part)))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (ex *executor) execSample(p *PSample) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	if p.Def.Type == lplan.SamplerPassThrough {
+		return s, nil
+	}
+	ex.ensureStage(s, "sample")
+	cm := buildColMap(p.In.Cols())
+	colIdx := make([]int, 0, len(p.Def.Cols))
+	for _, id := range p.Def.Cols {
+		i, ok := cm[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: sampler column #%d not available", id)
+		}
+		colIdx = append(colIdx, i)
+	}
+	d := len(s.parts)
+	if err := parallelParts(len(s.parts), func(i int) error {
+		part := s.parts[i]
+		var sm sampler.Sampler
+		switch p.Def.Type {
+		case lplan.SamplerUniform:
+			sm = sampler.NewUniform(p.Def.P, p.Seed*2654435761+uint64(i)+1)
+		case lplan.SamplerUniverse:
+			// Universe instances share (cols, seed, p) so every instance —
+			// and every related sampler on the other join input — picks the
+			// same subspace.
+			sm = sampler.NewUniverse(p.Def.P, colIdx, p.Def.Seed)
+		case lplan.SamplerDistinct:
+			delta := sampler.DeltaForParallelism(p.Def.Delta, d)
+			ds := sampler.NewDistinct(p.Def.P, colIdx, delta, p.Seed*0x9E3779B9+uint64(i)+1)
+			// Bucketized stratification: ⌈col/width⌉ joins the stratum key
+			// (the paper's function-of-columns stratification, §4.1.2).
+			for bi, id := range p.Def.BucketCols {
+				pos, ok := cm[id]
+				if !ok {
+					return fmt.Errorf("exec: bucket column #%d not available", id)
+				}
+				width := p.Def.BucketWidths[bi]
+				if width <= 0 {
+					width = 1
+				}
+				ds.KeyFuncs = append(ds.KeyFuncs, func(r table.Row) table.Value {
+					v := r[pos]
+					if !v.IsNumeric() {
+						return v
+					}
+					return table.NewInt(int64(math.Ceil(v.Float() / width)))
+				})
+			}
+			sm = ds
+		}
+		out := part[:0]
+		dist, _ := sm.(*sampler.Distinct)
+		for _, r := range part {
+			if pass, w := sm.Admit(r.row, r.w); pass {
+				out = append(out, wrow{row: r.row, w: w})
+			}
+			if dist != nil {
+				for _, fl := range dist.TakePending() {
+					out = append(out, wrow{row: fl.Row, w: fl.W})
+				}
+			}
+		}
+		for _, fl := range sm.Flush() {
+			out = append(out, wrow{row: fl.Row, w: fl.W})
+		}
+		s.parts[i] = out
+		s.stage.AddCPU(i, sm.CostPerRow()*float64(len(part)))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (ex *executor) execExchange(p *PExchange) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "exchange-src")
+	ex.materialize(s, true)
+	parts := p.Parts
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][]wrow, parts)
+	if len(p.Keys) == 0 {
+		for i, part := range s.parts {
+			out[i%parts] = append(out[i%parts], part...)
+		}
+	} else {
+		cm := buildColMap(p.In.Cols())
+		idx := make([]int, len(p.Keys))
+		for i, id := range p.Keys {
+			pos, ok := cm[id]
+			if !ok {
+				return nil, fmt.Errorf("exec: exchange key #%d not available", id)
+			}
+			idx[i] = pos
+		}
+		for _, part := range s.parts {
+			for _, r := range part {
+				h := table.HashRow(r.row, idx, 7) % uint64(parts)
+				out[h] = append(out[h], r)
+			}
+		}
+	}
+	return &stream{parts: out, deps: s.deps}, nil
+}
+
+func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
+	right, err := ex.exec(p.Right)
+	if err != nil {
+		return nil, err
+	}
+	rightCols := p.Right.Cols()
+	rcm := buildColMap(rightCols)
+	rIdx := make([]int, len(p.RightKeys))
+	for i, id := range p.RightKeys {
+		pos, ok := rcm[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: right join key #%d not available", id)
+		}
+		rIdx[i] = pos
+	}
+
+	left, err := ex.exec(p.Left)
+	if err != nil {
+		return nil, err
+	}
+	lcm := buildColMap(p.Left.Cols())
+	lIdx := make([]int, len(p.LeftKeys))
+	for i, id := range p.LeftKeys {
+		pos, ok := lcm[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: left join key #%d not available", id)
+		}
+		lIdx[i] = pos
+	}
+
+	var residual evalFunc
+	if p.Residual != nil {
+		f, err := compileExpr(p.Residual, buildColMap(p.Cols()))
+		if err != nil {
+			return nil, err
+		}
+		residual = f
+	}
+
+	nRightCols := len(rightCols)
+	joinRows := func(st *cluster.Stage, task int, lpart, rpart []wrow) []wrow {
+		ht := make(map[uint64][]wrow, len(rpart))
+		for _, r := range rpart {
+			h := table.HashRow(r.row, rIdx, 3)
+			ht[h] = append(ht[h], r)
+		}
+		out := make([]wrow, 0, len(lpart))
+		for _, l := range lpart {
+			h := table.HashRow(l.row, lIdx, 3)
+			matched := false
+			for _, r := range ht[h] {
+				if !keysEqual(l.row, lIdx, r.row, rIdx) {
+					continue
+				}
+				combined := make(table.Row, 0, len(l.row)+len(r.row))
+				combined = append(combined, l.row...)
+				combined = append(combined, r.row...)
+				w := l.w * r.w
+				if p.SharedUniverseP > 0 {
+					// Both inputs carry the same universe sampler: the join
+					// output is a p-probability universe sample, not p², so
+					// the double-counted 1/p factor is removed (§4.1.3).
+					w *= p.SharedUniverseP
+				}
+				if residual != nil && !truthy(residual(combined)) {
+					continue
+				}
+				out = append(out, wrow{row: combined, w: w})
+				matched = true
+			}
+			if !matched && p.Kind == lplan.LeftOuterJoin {
+				combined := make(table.Row, 0, len(l.row)+nRightCols)
+				combined = append(combined, l.row...)
+				for k := 0; k < nRightCols; k++ {
+					combined = append(combined, table.Null)
+				}
+				out = append(out, wrow{row: combined, w: l.w})
+			}
+		}
+		st.AddCPU(task, 2*float64(len(rpart))+2*float64(len(lpart)))
+		return out
+	}
+
+	if p.Broadcast {
+		// Build side is gathered and replicated to every probe task.
+		ex.ensureStage(right, "build-src")
+		ex.materialize(right, true)
+		var buildRows []wrow
+		for _, part := range right.parts {
+			buildRows = append(buildRows, part...)
+		}
+		ex.ensureStage(left, "probe")
+		left.stage.Deps = appendDep(left.stage.Deps, right.deps)
+		var bbytes float64
+		for _, r := range buildRows {
+			bbytes += wrowBytes(r)
+		}
+		_ = parallelParts(len(left.parts), func(i int) error {
+			left.stage.AddInput(i, int64(len(buildRows)), bbytes)
+			left.parts[i] = joinRows(left.stage, i, left.parts[i], buildRows)
+			return nil
+		})
+		return left, nil
+	}
+
+	// Partitioned join: children arrive materialized (below exchanges)
+	// and co-partitioned; the join opens a new stage reading both.
+	ex.ensureStage(left, "join-left-src")
+	ex.materialize(left, false)
+	ex.ensureStage(right, "join-right-src")
+	ex.materialize(right, false)
+	if len(left.parts) != len(right.parts) {
+		return nil, fmt.Errorf("exec: join inputs have %d vs %d partitions", len(left.parts), len(right.parts))
+	}
+	deps := append(append([]int{}, left.deps...), right.deps...)
+	st := ex.run.NewStage("join", len(left.parts), deps...)
+	out := make([][]wrow, len(left.parts))
+	_ = parallelParts(len(left.parts), func(i int) error {
+		var inRows int64
+		var inBytes float64
+		for _, r := range left.parts[i] {
+			inBytes += wrowBytes(r)
+			inRows++
+		}
+		for _, r := range right.parts[i] {
+			inBytes += wrowBytes(r)
+			inRows++
+		}
+		st.AddInput(i, inRows, inBytes)
+		out[i] = joinRows(st, i, left.parts[i], right.parts[i])
+		return nil
+	})
+	return &stream{parts: out, stage: st}, nil
+}
+
+func appendDep(deps []int, more []int) []int {
+	for _, d := range more {
+		found := false
+		for _, e := range deps {
+			if e == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			deps = append(deps, d)
+		}
+	}
+	return deps
+}
+
+func keysEqual(l table.Row, lIdx []int, r table.Row, rIdx []int) bool {
+	for i := range lIdx {
+		if !l[lIdx[i]].Equal(r[rIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "aggregate")
+	cm := buildColMap(p.In.Cols())
+	partEsts := make([][]GroupEstimate, len(s.parts))
+	if err := parallelParts(len(s.parts), func(i int) error {
+		part := s.parts[i]
+		r, err := newAggRunner(p, cm)
+		if err != nil {
+			return err
+		}
+		for _, w := range part {
+			r.add(w.row, w.w)
+		}
+		rows, ests := r.emit()
+		// A grouped aggregate on a non-first partition must not emit the
+		// empty-input global row.
+		if len(p.GroupCols) == 0 && i > 0 && len(part) == 0 {
+			rows, ests = nil, nil
+		}
+		s.parts[i] = rows
+		s.stage.AddCPU(i, 2*float64(len(part)))
+		if p.Top {
+			partEsts[i] = ests
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if p.Top {
+		var allEsts []GroupEstimate
+		for _, es := range partEsts {
+			allEsts = append(allEsts, es...)
+		}
+		ex.topEstimates = allEsts
+	}
+	return s, nil
+}
+
+func (ex *executor) execSort(p *PSort) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "sort")
+	cm := buildColMap(p.In.Cols())
+	idx := make([]int, len(p.Keys))
+	for i, k := range p.Keys {
+		pos, ok := cm[k.Col]
+		if !ok {
+			return nil, fmt.Errorf("exec: sort key #%d not available", k.Col)
+		}
+		idx[i] = pos
+	}
+	for pi, part := range s.parts {
+		n := len(part)
+		sort.SliceStable(part, func(a, b int) bool {
+			ra, rb := part[a].row, part[b].row
+			for i, k := range p.Keys {
+				c := ra[idx[i]].Compare(rb[idx[i]])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			// Deterministic tie-break on the whole row.
+			return table.CompareRows(ra, rb) < 0
+		})
+		if n > 1 {
+			s.stage.AddCPU(pi, float64(n)*logf(n))
+		}
+	}
+	return s, nil
+}
+
+func logf(n int) float64 {
+	l := 0.0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l + 1
+}
+
+func (ex *executor) execLimit(p *PLimit) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "limit")
+	remaining := p.N
+	for i, part := range s.parts {
+		if int64(len(part)) > remaining {
+			s.parts[i] = part[:remaining]
+		}
+		remaining -= int64(len(s.parts[i]))
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return s, nil
+}
+
+func (ex *executor) execUnion(p *PUnion) (*stream, error) {
+	var parts [][]wrow
+	var deps []int
+	for _, in := range p.Ins {
+		s, err := ex.exec(in)
+		if err != nil {
+			return nil, err
+		}
+		ex.ensureStage(s, "union-src")
+		ex.materialize(s, false)
+		parts = append(parts, s.parts...)
+		deps = appendDep(deps, s.deps)
+	}
+	return &stream{parts: parts, deps: deps}, nil
+}

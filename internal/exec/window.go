@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// PWindow computes window functions (paper Table 1 "Others"): each
+// input row gains one column per spec. The planner co-partitions the
+// input on the shared PARTITION BY columns (or gathers when the specs
+// have none/different ones), so each task sees whole window partitions.
+type PWindow struct {
+	In    PNode
+	Specs []lplan.WinSpec
+}
+
+// Cols implements PNode.
+func (p *PWindow) Cols() []lplan.ColumnInfo {
+	out := append([]lplan.ColumnInfo{}, p.In.Cols()...)
+	for _, s := range p.Specs {
+		out = append(out, s.Out)
+	}
+	return out
+}
+
+// Kids implements PNode.
+func (p *PWindow) Kids() []PNode { return []PNode{p.In} }
+
+// Describe implements PNode.
+func (p *PWindow) Describe() string {
+	parts := make([]string, len(p.Specs))
+	for i, s := range p.Specs {
+		parts[i] = s.Kind.String()
+	}
+	return "Window [" + strings.Join(parts, ",") + "]"
+}
+
+func (ex *executor) execWindow(p *PWindow) (*stream, error) {
+	s, err := ex.exec(p.In)
+	if err != nil {
+		return nil, err
+	}
+	ex.ensureStage(s, "window")
+	cm := buildColMap(p.In.Cols())
+	if err := parallelParts(len(s.parts), func(i int) error {
+		part := s.parts[i]
+		// One appended value per spec per row, in input order first; the
+		// final row order within the task follows the last spec's
+		// partition/order sort (deterministic).
+		extra := make([][]table.Value, len(p.Specs))
+		for si, spec := range p.Specs {
+			vals, err := computeWindow(spec, cm, part)
+			if err != nil {
+				return err
+			}
+			extra[si] = vals
+		}
+		out := make([]wrow, len(part))
+		for j, r := range part {
+			row := make(table.Row, 0, len(r.row)+len(p.Specs))
+			row = append(row, r.row...)
+			for si := range p.Specs {
+				row = append(row, extra[si][j])
+			}
+			out[j] = wrow{row: row, w: r.w}
+		}
+		s.parts[i] = out
+		cost := float64(len(part))
+		if cost > 1 {
+			s.stage.AddCPU(i, 2*cost*logf(len(part)))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// computeWindow returns, for one spec, the output value for each input
+// row (indexed like part).
+func computeWindow(spec lplan.WinSpec, cm colMap, part []wrow) ([]table.Value, error) {
+	partIdx := make([]int, len(spec.PartitionBy))
+	for i, id := range spec.PartitionBy {
+		pos, ok := cm[id]
+		if !ok {
+			return nil, fmt.Errorf("exec: window partition column #%d missing", id)
+		}
+		partIdx[i] = pos
+	}
+	orderIdx := make([]int, len(spec.OrderBy))
+	for i, k := range spec.OrderBy {
+		pos, ok := cm[k.Col]
+		if !ok {
+			return nil, fmt.Errorf("exec: window order column #%d missing", k.Col)
+		}
+		orderIdx[i] = pos
+	}
+	argIdx := -1
+	if spec.Arg != lplan.NoColumn {
+		pos, ok := cm[spec.Arg]
+		if !ok {
+			return nil, fmt.Errorf("exec: window argument column #%d missing", spec.Arg)
+		}
+		argIdx = pos
+	}
+
+	// Group row indexes by partition key.
+	groups := map[string][]int{}
+	var keys []string
+	var kb strings.Builder
+	for j, r := range part {
+		kb.Reset()
+		for _, pi := range partIdx {
+			kb.WriteString(r.row[pi].Key())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], j)
+	}
+	sort.Strings(keys)
+
+	out := make([]table.Value, len(part))
+	for _, k := range keys {
+		idxs := groups[k]
+		// Sort partition rows by the ORDER BY keys (stable; ties broken
+		// by full row compare for determinism).
+		sort.SliceStable(idxs, func(a, b int) bool {
+			ra, rb := part[idxs[a]].row, part[idxs[b]].row
+			for oi, key := range spec.OrderBy {
+				c := ra[orderIdx[oi]].Compare(rb[orderIdx[oi]])
+				if key.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return table.CompareRows(ra, rb) < 0
+		})
+		computePartition(spec, part, idxs, orderIdx, argIdx, out)
+	}
+	return out, nil
+}
+
+// computePartition fills out[...] for one sorted window partition.
+func computePartition(spec lplan.WinSpec, part []wrow, idxs []int, orderIdx []int, argIdx int, out []table.Value) {
+	peers := func(a, b int) bool {
+		// Rows are peers when all ORDER BY keys are equal.
+		ra, rb := part[idxs[a]].row, part[idxs[b]].row
+		for _, oi := range orderIdx {
+			if ra[oi].Compare(rb[oi]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch spec.Kind {
+	case lplan.WinRowNumber:
+		for n, j := range idxs {
+			out[j] = table.NewInt(int64(n + 1))
+		}
+		return
+	case lplan.WinRank:
+		rank := 1
+		for n, j := range idxs {
+			if n > 0 && !peers(n-1, n) {
+				rank = n + 1
+			}
+			out[j] = table.NewInt(int64(rank))
+		}
+		return
+	}
+
+	// Aggregate window functions. Without ORDER BY the frame is the
+	// whole partition; with ORDER BY it is the running prefix including
+	// the current row's peers (RANGE UNBOUNDED PRECEDING..CURRENT ROW).
+	running := len(spec.OrderBy) > 0
+	var sum float64
+	var cnt int64
+	minV, maxV := table.Null, table.Null
+	consume := func(j int) {
+		var v table.Value = table.Null
+		if argIdx >= 0 {
+			v = part[j].row[argIdx]
+		}
+		switch spec.Kind {
+		case lplan.WinCount:
+			if argIdx < 0 || !v.IsNull() {
+				cnt++
+			}
+		default:
+			if v.IsNull() {
+				return
+			}
+			sum += v.Float()
+			cnt++
+			if minV.IsNull() || v.Compare(minV) < 0 {
+				minV = v
+			}
+			if maxV.IsNull() || v.Compare(maxV) > 0 {
+				maxV = v
+			}
+		}
+	}
+	emit := func() table.Value {
+		switch spec.Kind {
+		case lplan.WinSum:
+			if cnt == 0 {
+				return table.Null
+			}
+			if spec.Out.Kind == table.KindInt {
+				return table.NewInt(int64(sum))
+			}
+			return table.NewFloat(sum)
+		case lplan.WinCount:
+			return table.NewInt(cnt)
+		case lplan.WinAvg:
+			if cnt == 0 {
+				return table.Null
+			}
+			return table.NewFloat(sum / float64(cnt))
+		case lplan.WinMin:
+			return minV
+		case lplan.WinMax:
+			return maxV
+		}
+		return table.Null
+	}
+
+	if !running {
+		for _, j := range idxs {
+			consume(j)
+		}
+		v := emit()
+		for _, j := range idxs {
+			out[j] = v
+		}
+		return
+	}
+	// Running frame: advance in peer groups.
+	n := 0
+	for n < len(idxs) {
+		end := n + 1
+		for end < len(idxs) && peers(n, end) {
+			end++
+		}
+		for m := n; m < end; m++ {
+			consume(idxs[m])
+		}
+		v := emit()
+		for m := n; m < end; m++ {
+			out[idxs[m]] = v
+		}
+		n = end
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quickr/internal/trace"
+)
+
+// Fig2aResult is the heavy-tailed input usage curve (paper Fig. 2a).
+type Fig2aResult struct {
+	CumSizePB []float64
+	CumFrac   []float64
+	// Milestones report the cumulative input size at round fractions of
+	// cluster time (the paper: half the cluster-hours touch ~20PB).
+	HalfPB   float64
+	EightyPB float64
+	TotalPB  float64
+}
+
+// Fig2a regenerates the Fig. 2a series from the synthetic trace.
+func Fig2a() *Fig2aResult {
+	t := trace.Generate(trace.DefaultConfig())
+	size, frac := t.HeavyTailCurve()
+	out := &Fig2aResult{CumSizePB: size, CumFrac: frac}
+	for i, f := range frac {
+		if out.HalfPB == 0 && f >= 0.5 {
+			out.HalfPB = size[i]
+		}
+		if out.EightyPB == 0 && f >= 0.8 {
+			out.EightyPB = size[i]
+		}
+	}
+	if len(size) > 0 {
+		out.TotalPB = size[len(size)-1]
+	}
+	return out
+}
+
+// Render prints the CDF at decile resolution.
+func (r *Fig2aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2a: cumulative fraction of cluster time vs cumulative size of distinct input files\n")
+	b.WriteString("cum-size(PB)  cum-fraction-of-cluster-time\n")
+	next := 0.1
+	for i, f := range r.CumFrac {
+		if f >= next || i == len(r.CumFrac)-1 {
+			fmt.Fprintf(&b, "%10.2f    %.2f\n", r.CumSizePB[i], f)
+			for next <= f {
+				next += 0.1
+			}
+		}
+	}
+	fmt.Fprintf(&b, "half of cluster time touches %.1fPB of %.1fPB total (heavy tail: last 20%% of time needs %.1fPB more)\n",
+		r.HalfPB, r.TotalPB, r.TotalPB-r.EightyPB)
+	return b.String()
+}
+
+// Fig2bResult is the production query characteristics table (Fig. 2b).
+type Fig2bResult struct {
+	Percentiles []float64
+	Rows        map[string][]float64
+	Order       []string
+}
+
+// Fig2b regenerates the Fig. 2b percentile table from the synthetic
+// trace.
+func Fig2b() *Fig2bResult {
+	t := trace.Generate(trace.DefaultConfig())
+	ps := []float64{25, 50, 75, 90, 95}
+	rows := t.Percentiles(ps)
+	return &Fig2bResult{
+		Percentiles: ps,
+		Rows:        rows,
+		Order: []string{
+			"# of Passes over Data", "1/firstpass duration frac", "# operators",
+			"depth of operators", "# Aggregation Ops.", "# Joins",
+			"# user-defined aggs.", "# user-defined functions", "size of QCS+QVS",
+		},
+	}
+}
+
+// Render prints the table.
+func (r *Fig2bResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2b: characteristics of queries in a production big-data cluster (synthetic trace)\n")
+	fmt.Fprintf(&b, "%-28s", "Metric")
+	for _, p := range r.Percentiles {
+		fmt.Fprintf(&b, "%8.0fth", p)
+	}
+	b.WriteByte('\n')
+	for _, name := range r.Order {
+		fmt.Fprintf(&b, "%-28s", name)
+		for _, v := range r.Rows[name] {
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quickr/internal/workload"
+)
+
+// Fig8Result bundles the paper's headline evaluation: performance gains
+// (Fig. 8a), error metrics (Fig. 8b), and the correlation of gains with
+// query aspects (Fig. 8c), all over the TPC-DS-like suite.
+type Fig8Result struct {
+	Outcomes []Outcome
+
+	// Fig. 8a CDF inputs (Baseline/Quickr ratios, one per query).
+	GainMachineHours []float64
+	GainRuntime      []float64
+	GainIntermediate []float64
+	GainShuffled     []float64
+
+	// Fig. 8b CDF inputs.
+	AggError         []float64
+	MissedGroups     []float64
+	AggErrorFull     []float64
+	MissedGroupsFull []float64
+
+	Unapproximable int
+}
+
+// Fig8 runs the suite and collects the Fig. 8 series.
+func Fig8(env *Env) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, q := range workload.TPCDSQueries() {
+		out := RunQuery(env, q)
+		if out.Err != nil {
+			return nil, out.Err
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		res.GainMachineHours = append(res.GainMachineHours, out.GainMachineHours)
+		res.GainRuntime = append(res.GainRuntime, out.GainRuntime)
+		res.GainIntermediate = append(res.GainIntermediate, out.GainIntermediate)
+		res.GainShuffled = append(res.GainShuffled, out.GainShuffled)
+		res.AggError = append(res.AggError, out.AggError)
+		res.MissedGroups = append(res.MissedGroups, out.MissedGroups)
+		res.AggErrorFull = append(res.AggErrorFull, out.AggErrorFull)
+		res.MissedGroupsFull = append(res.MissedGroupsFull, out.MissedGroupsFull)
+		if out.Unapproximable {
+			res.Unapproximable++
+		}
+	}
+	return res, nil
+}
+
+// RenderA prints the Fig. 8a CDFs plus headline medians.
+func (r *Fig8Result) RenderA() string {
+	var b strings.Builder
+	b.WriteString("Figure 8a: CDF of Baseline/Quickr performance ratios (x>1 means Quickr wins)\n")
+	b.WriteString(renderCDF(map[string][]float64{
+		"Machine-hours": r.GainMachineHours,
+		"Runtime":       r.GainRuntime,
+		"Interm. Data":  r.GainIntermediate,
+		"Shuffled Data": r.GainShuffled,
+	}, []string{"Machine-hours", "Runtime", "Interm. Data", "Shuffled Data"}))
+	fmt.Fprintf(&b, "median machine-hours gain: %.2fx; median runtime gain: %.2fx\n",
+		Median(r.GainMachineHours), Median(r.GainRuntime))
+	fmt.Fprintf(&b, "queries gaining >1.5x machine-hours: %.0f%%; unapproximable: %.0f%%\n",
+		100*fracAbove(r.GainMachineHours, 1.5),
+		100*float64(r.Unapproximable)/float64(len(r.Outcomes)))
+	return b.String()
+}
+
+// RenderB prints the Fig. 8b error CDFs.
+func (r *Fig8Result) RenderB() string {
+	var b strings.Builder
+	b.WriteString("Figure 8b: CDF of Quickr error metrics (%)\n")
+	scale := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = 100 * x
+		}
+		return out
+	}
+	b.WriteString(renderCDF(map[string][]float64{
+		"Agg. Error":          scale(r.AggError),
+		"Missed Groups":       scale(r.MissedGroups),
+		"Agg. Error: Full":    scale(r.AggErrorFull),
+		"Missed Groups: Full": scale(r.MissedGroupsFull),
+	}, []string{"Agg. Error", "Missed Groups", "Agg. Error: Full", "Missed Groups: Full"}))
+	fmt.Fprintf(&b, "queries with agg error <=10%%: %.0f%%; <=20%%: %.0f%% (full answers)\n",
+		100*fracBelow(r.AggErrorFull, 0.10+1e-12), 100*fracBelow(r.AggErrorFull, 0.20+1e-12))
+	fmt.Fprintf(&b, "queries missing no groups in full answers: %.0f%%\n",
+		100*fracBelow(r.MissedGroupsFull, 1e-12))
+	return b.String()
+}
+
+// Fig8cBucket is one x-axis bucket of the gains correlation figure.
+type Fig8cBucket struct {
+	GainLo, GainHi  float64
+	N               int
+	SamplerSrcDist  float64
+	TotalFirstRatio float64
+	IntermRatio     float64
+	PassesRatio     float64
+}
+
+// Fig8c correlates machine-hour gains with query aspects, averaging
+// each metric within gain buckets as the paper does.
+func (r *Fig8Result) Fig8c(env *Env) []Fig8cBucket {
+	type rec struct {
+		gain, dist, tf, interm, passes float64
+	}
+	var recs []rec
+	for _, out := range r.Outcomes {
+		if out.Exact == nil || out.Approx == nil {
+			continue
+		}
+		dists := samplerDistances(out.Approx.PlanText)
+		avgDist := 0.0
+		for _, d := range dists {
+			avgDist += float64(d)
+		}
+		if len(dists) > 0 {
+			avgDist /= float64(len(dists))
+		}
+		tfB := ratio(out.Exact.Metrics.Runtime, out.Exact.Metrics.FirstPassTime)
+		tfQ := ratio(out.Approx.Metrics.Runtime, out.Approx.Metrics.FirstPassTime)
+		passes := ratio(out.Exact.Metrics.Passes, out.Approx.Metrics.Passes)
+		recs = append(recs, rec{
+			gain:   out.GainMachineHours,
+			dist:   avgDist,
+			tf:     ratio(tfB, tfQ),
+			interm: out.GainIntermediate,
+			passes: passes,
+		})
+	}
+	bounds := []float64{0, 1.05, 1.5, 2, 3, 1e9}
+	var out []Fig8cBucket
+	for i := 0; i+1 < len(bounds); i++ {
+		b := Fig8cBucket{GainLo: bounds[i], GainHi: bounds[i+1]}
+		for _, r := range recs {
+			if r.gain >= b.GainLo && r.gain < b.GainHi {
+				b.N++
+				b.SamplerSrcDist += r.dist
+				b.TotalFirstRatio += r.tf
+				b.IntermRatio += r.interm
+				b.PassesRatio += r.passes
+			}
+		}
+		if b.N > 0 {
+			b.SamplerSrcDist /= float64(b.N)
+			b.TotalFirstRatio /= float64(b.N)
+			b.IntermRatio /= float64(b.N)
+			b.PassesRatio /= float64(b.N)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// RenderC prints the Fig. 8c buckets.
+func RenderFig8c(buckets []Fig8cBucket) string {
+	var b strings.Builder
+	b.WriteString("Figure 8c: average query aspects per machine-hours-gain bucket\n")
+	fmt.Fprintf(&b, "%-14s%4s%18s%22s%18s%18s\n",
+		"gain bucket", "n", "sampler-src dist", "B/Q total/first-pass", "B/Q interm. data", "B/Q # passes")
+	for _, bk := range buckets {
+		hi := fmt.Sprintf("%.2f", bk.GainHi)
+		if bk.GainHi > 1e8 {
+			hi = "inf"
+		}
+		fmt.Fprintf(&b, "[%.2f,%s) %5d%18.2f%22.2f%18.2f%18.2f\n",
+			bk.GainLo, hi, bk.N, bk.SamplerSrcDist, bk.TotalFirstRatio, bk.IntermRatio, bk.PassesRatio)
+	}
+	return b.String()
+}
+
+// renderCDF prints aligned CDF milestones for multiple series.
+func renderCDF(series map[string][]float64, order []string) string {
+	var b strings.Builder
+	fracs := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	fmt.Fprintf(&b, "%-22s", "series \\ CDF fraction")
+	for _, f := range fracs {
+		fmt.Fprintf(&b, "%9.0f%%", 100*f)
+	}
+	b.WriteByte('\n')
+	for _, name := range order {
+		xs := append([]float64{}, series[name]...)
+		sort.Float64s(xs)
+		fmt.Fprintf(&b, "%-22s", name)
+		for _, f := range fracs {
+			idx := int(f*float64(len(xs))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(xs) {
+				idx = len(xs) - 1
+			}
+			fmt.Fprintf(&b, "%10.2f", xs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fracAbove(xs []float64, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x > t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func fracBelow(xs []float64, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"quickr/internal/workload"
+)
+
+// TestTPCDSSuiteRuns is the integration gate: every query in all three
+// suites must parse, bind, optimize and execute under both the Baseline
+// and the Quickr plan, with sane error metrics.
+func TestTPCDSSuiteRuns(t *testing.T) {
+	env := NewFullEnv(1)
+	suites := [][]workload.Query{
+		workload.TPCDSQueries(),
+		workload.TPCHQueries(),
+		workload.OtherQueries(),
+	}
+	sampled := 0
+	total := 0
+	for _, suite := range suites {
+		for _, q := range suite {
+			q := q
+			t.Run(q.ID, func(t *testing.T) {
+				total++
+				out := RunQuery(env, q)
+				if out.Err != nil {
+					t.Fatalf("%s: %v\nSQL: %s", q.ID, out.Err, q.SQL)
+				}
+				if len(out.Exact.Rows) == 0 {
+					t.Fatalf("%s: exact answer empty", q.ID)
+				}
+				if out.Sampled {
+					sampled++
+					if out.MissedGroupsFull > 0.2 {
+						t.Errorf("%s: missed %.0f%% of full groups", q.ID, 100*out.MissedGroupsFull)
+					}
+					if out.AggErrorFull > 0.6 {
+						t.Errorf("%s: full agg error %.2f too high", q.ID, out.AggErrorFull)
+					}
+				}
+			})
+		}
+	}
+	if total >= 60 && sampled < total/3 {
+		t.Errorf("only %d of %d queries sampled; expected more approximable queries", sampled, total)
+	}
+	t.Logf("sampled %d of %d queries", sampled, total)
+}

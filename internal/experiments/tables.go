@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quickr"
+	"quickr/internal/workload"
+)
+
+// Table3Result is the TPC-DS query-characteristics table (paper
+// Table 3), computed from the optimized plans and exact runs of our
+// suite.
+type Table3Result struct {
+	Percentiles []float64
+	Rows        map[string][]float64
+	Order       []string
+}
+
+// Table3 computes the characteristics of the TPC-DS-like suite.
+func Table3(env *Env) (*Table3Result, error) {
+	return characteristics(env, workload.TPCDSQueries())
+}
+
+func characteristics(env *Env, queries []workload.Query) (*Table3Result, error) {
+	type rec struct {
+		passes, totalFirst, aggs, joins, depth, ops, qcsqvs, qcs, udfs float64
+	}
+	var recs []rec
+	for _, q := range queries {
+		st, err := env.Eng.Analyze(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		res, err := env.Eng.Exec(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		tf := 1.0
+		if res.Metrics.FirstPassTime > 0 {
+			tf = res.Metrics.Runtime / res.Metrics.FirstPassTime
+		}
+		recs = append(recs, rec{
+			passes:     res.Metrics.Passes,
+			totalFirst: tf,
+			aggs:       float64(st.Aggregations),
+			joins:      float64(st.Joins),
+			depth:      float64(st.Depth),
+			ops:        float64(st.Operators),
+			qcsqvs:     float64(st.QCSPlusQVS),
+			qcs:        float64(st.QCS),
+			udfs:       float64(st.UDFs),
+		})
+	}
+	ps := []float64{10, 25, 50, 75, 90, 95}
+	col := func(f func(rec) float64) []float64 {
+		xs := make([]float64, len(recs))
+		for i, r := range recs {
+			xs[i] = f(r)
+		}
+		out := make([]float64, len(ps))
+		for i, p := range ps {
+			out[i] = Percentile(xs, p)
+		}
+		return out
+	}
+	return &Table3Result{
+		Percentiles: ps,
+		Rows: map[string][]float64{
+			"# of passes":           col(func(r rec) float64 { return r.passes }),
+			"Total/First pass time": col(func(r rec) float64 { return r.totalFirst }),
+			"# Aggregation Ops.":    col(func(r rec) float64 { return r.aggs }),
+			"# Joins":               col(func(r rec) float64 { return r.joins }),
+			"depth of operators":    col(func(r rec) float64 { return r.depth }),
+			"# operators":           col(func(r rec) float64 { return r.ops }),
+			"size of QCS + QVS":     col(func(r rec) float64 { return r.qcsqvs }),
+			"size of QCS":           col(func(r rec) float64 { return r.qcs }),
+			"# user-defined func.":  col(func(r rec) float64 { return r.udfs }),
+		},
+		Order: []string{
+			"# of passes", "Total/First pass time", "# Aggregation Ops.", "# Joins",
+			"depth of operators", "# operators", "size of QCS + QVS", "size of QCS",
+			"# user-defined func.",
+		},
+	}, nil
+}
+
+// Render prints the table.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: characteristics of the TPC-DS-like queries used in evaluation\n")
+	fmt.Fprintf(&b, "%-24s", "Metric")
+	for _, p := range r.Percentiles {
+		fmt.Fprintf(&b, "%7.0fth", p)
+	}
+	b.WriteByte('\n')
+	for _, name := range r.Order {
+		fmt.Fprintf(&b, "%-24s", name)
+		for _, v := range r.Rows[name] {
+			fmt.Fprintf(&b, "%9.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table4Result compares query-optimization times (paper Table 4).
+type Table4Result struct {
+	Percentiles []float64
+	Baseline    []float64 // seconds
+	Quickr      []float64 // seconds
+}
+
+// Table4 measures optimization latency for both optimizers, median of
+// three runs per query as in the paper.
+func Table4(env *Env) (*Table4Result, error) {
+	queries := workload.TPCDSQueries()
+	var base, quick []float64
+	for _, q := range queries {
+		b, err := medianOptTime(env.Eng, q.SQL, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		qq, err := medianOptTime(env.Eng, q.SQL, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		base = append(base, b)
+		quick = append(quick, qq)
+	}
+	ps := []float64{10, 25, 50, 75, 90, 95}
+	res := &Table4Result{Percentiles: ps}
+	for _, p := range ps {
+		res.Baseline = append(res.Baseline, Percentile(base, p))
+		res.Quickr = append(res.Quickr, Percentile(quick, p))
+	}
+	return res, nil
+}
+
+func medianOptTime(eng *quickr.Engine, sql string, approx bool) (float64, error) {
+	var times []float64
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := eng.Plan(sql, approx); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start).Seconds())
+	}
+	return Median(times), nil
+}
+
+// Render prints the table.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: query optimization times (seconds)\n")
+	fmt.Fprintf(&b, "%-18s", "Metric")
+	for _, p := range r.Percentiles {
+		fmt.Fprintf(&b, "%9.0fth", p)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "Baseline QO time")
+	for _, v := range r.Baseline {
+		fmt.Fprintf(&b, "%11.5f", v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "Quickr QO time")
+	for _, v := range r.Quickr {
+		fmt.Fprintf(&b, "%11.5f", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table5Result reports samplers per query and sampler-source distance
+// (paper Table 5).
+type Table5Result struct {
+	// SamplersPerQuery[n] is the fraction of queries with n samplers
+	// (index 5 aggregates 5+).
+	SamplersPerQuery []float64
+	// SourceDistance[d] is the fraction of samplers at d IO passes from
+	// extraction (index 4 aggregates 4+); distance 0 = first pass.
+	SourceDistance []float64
+	TotalQueries   int
+	TotalSamplers  int
+}
+
+// Table5 computes sampler counts and locations over the suite.
+func Table5(env *Env) (*Table5Result, error) {
+	res := &Table5Result{
+		SamplersPerQuery: make([]float64, 6),
+		SourceDistance:   make([]float64, 5),
+	}
+	for _, q := range workload.TPCDSQueries() {
+		info, err := env.Eng.Plan(q.SQL, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		res.TotalQueries++
+		n := len(info.Samplers)
+		if n > 5 {
+			n = 5
+		}
+		res.SamplersPerQuery[n]++
+		for _, d := range samplerDistances(info.Physical) {
+			if d > 4 {
+				d = 4
+			}
+			res.SourceDistance[d]++
+			res.TotalSamplers++
+		}
+	}
+	for i := range res.SamplersPerQuery {
+		res.SamplersPerQuery[i] /= float64(res.TotalQueries)
+	}
+	if res.TotalSamplers > 0 {
+		for i := range res.SourceDistance {
+			res.SourceDistance[i] /= float64(res.TotalSamplers)
+		}
+	}
+	return res, nil
+}
+
+// samplerDistances parses the physical plan text and, for each Sample
+// operator (excluding pass-throughs), counts exchanges strictly below
+// it — the IO passes between extraction and the sampler.
+func samplerDistances(physical string) []int {
+	lines := strings.Split(physical, "\n")
+	indent := func(s string) int {
+		n := 0
+		for strings.HasPrefix(s[n:], "  ") {
+			n += 2
+		}
+		return n / 2
+	}
+	var out []int
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "Sample ") || strings.Contains(t, "PASSTHROUGH") {
+			continue
+		}
+		base := indent(line)
+		dist := 0
+		for j := i + 1; j < len(lines); j++ {
+			if strings.TrimSpace(lines[j]) == "" {
+				continue
+			}
+			if indent(lines[j]) <= base {
+				break
+			}
+			if strings.HasPrefix(strings.TrimSpace(lines[j]), "Exchange") {
+				dist++
+			}
+		}
+		out = append(out, dist)
+	}
+	return out
+}
+
+// Render prints the table.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 5: number of samplers per query and their locations\n")
+	fmt.Fprintf(&b, "%-24s", "Value")
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "%6d", i)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-24s", "Samplers per query")
+	for _, v := range r.SamplersPerQuery {
+		fmt.Fprintf(&b, "%5.0f%%", 100*v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-24s", "Sampler-Source dist.")
+	for _, v := range r.SourceDistance {
+		fmt.Fprintf(&b, "%5.0f%%", 100*v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table7Result reports sampler-type usage frequency (paper Table 7).
+type Table7Result struct {
+	// Distribution is the share of each type among all samplers.
+	Distribution map[string]float64
+	// QueriesWith is the fraction of queries using at least one sampler
+	// of each type.
+	QueriesWith map[string]float64
+}
+
+// Table7 computes sampler-type frequencies over the suite.
+func Table7(env *Env) (*Table7Result, error) {
+	dist := map[string]float64{}
+	with := map[string]float64{}
+	total := 0.0
+	queries := workload.TPCDSQueries()
+	for _, q := range queries {
+		info, err := env.Eng.Plan(q.SQL, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		seen := map[string]bool{}
+		for _, s := range info.Samplers {
+			dist[s.Type]++
+			total++
+			seen[s.Type] = true
+		}
+		for t := range seen {
+			with[t]++
+		}
+	}
+	for t := range dist {
+		dist[t] /= total
+	}
+	for t := range with {
+		with[t] /= float64(len(queries))
+	}
+	return &Table7Result{Distribution: dist, QueriesWith: with}, nil
+}
+
+// Render prints the table.
+func (r *Table7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 7: frequency of use of various samplers\n")
+	fmt.Fprintf(&b, "%-42s%10s%10s%10s\n", "Metric", "UNIFORM", "DISTINCT", "UNIVERSE")
+	fmt.Fprintf(&b, "%-42s%9.0f%%%9.0f%%%9.0f%%\n", "Distribution across samplers",
+		100*r.Distribution["UNIFORM"], 100*r.Distribution["DISTINCT"], 100*r.Distribution["UNIVERSE"])
+	fmt.Fprintf(&b, "%-42s%9.0f%%%9.0f%%%9.0f%%\n", "Queries that use at least 1 of this type",
+		100*r.QueriesWith["UNIFORM"], 100*r.QueriesWith["DISTINCT"], 100*r.QueriesWith["UNIVERSE"])
+	return b.String()
+}
+
+// Table9Result compares plan characteristics across benchmarks (paper
+// Table 9).
+type Table9Result struct {
+	Suites []string
+	// Rows[metric][suite][pctIdx]; percentiles are 50 and 90.
+	Rows  map[string][][2]float64
+	Order []string
+}
+
+// Table9 computes the cross-benchmark comparison.
+func Table9(env *Env) (*Table9Result, error) {
+	suites := map[string][]workload.Query{
+		"TPC-DS": workload.TPCDSQueries(),
+		"TPC-H":  workload.TPCHQueries(),
+		"Other":  workload.OtherQueries(),
+	}
+	order := []string{"Total/First pass time", "# of passes", "# Aggregation Ops.", "# Joins",
+		"depth of operators", "size of QCS + QVS", "size of QCS"}
+	names := []string{"TPC-DS", "TPC-H", "Other"}
+	res := &Table9Result{Suites: names, Rows: map[string][][2]float64{}, Order: order}
+	for _, metric := range order {
+		res.Rows[metric] = make([][2]float64, len(names))
+	}
+	for si, name := range names {
+		tab, err := characteristics(env, suites[name])
+		if err != nil {
+			return nil, err
+		}
+		pick := func(metric string) [2]float64 {
+			vals := tab.Rows[metric]
+			// characteristics percentiles: 10,25,50,75,90,95 → indexes 2, 4.
+			return [2]float64{vals[2], vals[4]}
+		}
+		for _, metric := range order {
+			res.Rows[metric][si] = pick(metric)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the table.
+func (r *Table9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 9: query attributes from different workloads (50th | 90th percentile)\n")
+	fmt.Fprintf(&b, "%-24s", "Metric")
+	for _, s := range r.Suites {
+		fmt.Fprintf(&b, "%16s", s)
+	}
+	b.WriteByte('\n')
+	for _, metric := range r.Order {
+		fmt.Fprintf(&b, "%-24s", metric)
+		for si := range r.Suites {
+			v := r.Rows[metric][si]
+			fmt.Fprintf(&b, "%8.1f|%7.1f", v[0], v[1])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,344 @@
+// Package lplan defines the bound logical query algebra that the binder
+// produces, the optimizer transforms, and the physical planner compiles.
+//
+// Columns are identified by globally unique ColumnIDs rather than
+// positions, so transformation rules (join reordering, predicate and
+// sampler pushdown) never have to re-index expressions. Every column
+// carries its lineage back to base-table columns, which ASALQA uses to
+// compute query column sets (QCS) and to ask the statistics store for
+// distinct-value counts.
+package lplan
+
+import (
+	"fmt"
+	"strings"
+
+	"quickr/internal/table"
+)
+
+// ColumnID uniquely identifies a column within one planning session.
+type ColumnID int
+
+// BaseCol names a base-table column; the unit of lineage.
+type BaseCol struct {
+	Table  string
+	Column string
+}
+
+func (b BaseCol) String() string { return b.Table + "." + b.Column }
+
+// ColumnInfo describes one output column of a plan node.
+type ColumnInfo struct {
+	ID   ColumnID
+	Name string
+	Kind table.Kind
+	// Origins is the set of base columns this column derives from. A
+	// plain scan column has exactly one origin; computed columns union
+	// the origins of their inputs (paper §3: QCS columns are recursively
+	// replaced by their generating columns).
+	Origins []BaseCol
+}
+
+// Expr is a bound scalar expression.
+type Expr interface {
+	String() string
+	// Eval evaluates the expression against a row using the resolver to
+	// map ColumnIDs to row positions.
+	expr()
+}
+
+// ColRef references a column by ID.
+type ColRef struct {
+	ID   ColumnID
+	Name string
+	Kind table.Kind
+}
+
+func (*ColRef) expr()            {}
+func (c *ColRef) String() string { return fmt.Sprintf("%s#%d", c.Name, c.ID) }
+
+// Const is a literal constant.
+type Const struct {
+	Val table.Value
+}
+
+func (*Const) expr() {}
+func (c *Const) String() string {
+	if c.Val.Kind() == table.KindString {
+		return "'" + c.Val.Str() + "'"
+	}
+	return c.Val.String()
+}
+
+// BinOp enumerates binary scalar operators.
+type BinOp int
+
+// Binary operators; comparison operators yield booleans with SQL
+// three-valued logic collapsed to false-on-NULL.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// IsComparison reports whether o is a comparison operator.
+func (o BinOp) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression.
+type Not struct{ X Expr }
+
+func (*Not) expr()            {}
+func (n *Not) String() string { return "NOT " + n.X.String() }
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+func (*Neg) expr()            {}
+func (n *Neg) String() string { return "-" + n.X.String() }
+
+// Func is a scalar (row-local) function application: a UDF in the
+// paper's terminology.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+func (*Func) expr() {}
+func (f *Func) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// In tests membership of X in a literal list.
+type In struct {
+	X    Expr
+	Vals []table.Value
+	Inv  bool
+}
+
+func (*In) expr() {}
+func (e *In) String() string {
+	parts := make([]string, len(e.Vals))
+	for i, v := range e.Vals {
+		parts[i] = v.String()
+	}
+	not := ""
+	if e.Inv {
+		not = "NOT "
+	}
+	return e.X.String() + " " + not + "IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// IsNull tests for NULL.
+type IsNull struct {
+	X   Expr
+	Inv bool
+}
+
+func (*IsNull) expr() {}
+func (e *IsNull) String() string {
+	if e.Inv {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+// Like is a SQL LIKE match with % and _ wildcards.
+type Like struct {
+	X       Expr
+	Pattern string
+	Inv     bool
+}
+
+func (*Like) expr() {}
+func (e *Like) String() string {
+	not := ""
+	if e.Inv {
+		not = "NOT "
+	}
+	return e.X.String() + " " + not + "LIKE '" + e.Pattern + "'"
+}
+
+// Case is a searched CASE expression.
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+// When is one arm of a Case.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*Case) expr() {}
+func (e *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Then.String())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// WalkExpr visits e and all sub-expressions in pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Not:
+		WalkExpr(x.X, fn)
+	case *Neg:
+		WalkExpr(x.X, fn)
+	case *Func:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case *In:
+		WalkExpr(x.X, fn)
+	case *IsNull:
+		WalkExpr(x.X, fn)
+	case *Like:
+		WalkExpr(x.X, fn)
+	case *Case:
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(x.Else, fn)
+	}
+}
+
+// ExprColumns returns the set of ColumnIDs referenced by e.
+func ExprColumns(e Expr) map[ColumnID]bool {
+	out := map[ColumnID]bool{}
+	WalkExpr(e, func(x Expr) {
+		if c, ok := x.(*ColRef); ok {
+			out[c.ID] = true
+		}
+	})
+	return out
+}
+
+// ColSet is a set of ColumnIDs with helpers.
+type ColSet map[ColumnID]bool
+
+// NewColSet builds a set from ids.
+func NewColSet(ids ...ColumnID) ColSet {
+	s := ColSet{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Add inserts id.
+func (s ColSet) Add(id ColumnID) { s[id] = true }
+
+// Has reports membership.
+func (s ColSet) Has(id ColumnID) bool { return s[id] }
+
+// Union returns s ∪ o as a new set.
+func (s ColSet) Union(o ColSet) ColSet {
+	out := ColSet{}
+	for k := range s {
+		out[k] = true
+	}
+	for k := range o {
+		out[k] = true
+	}
+	return out
+}
+
+// Intersect returns s ∩ o as a new set.
+func (s ColSet) Intersect(o ColSet) ColSet {
+	out := ColSet{}
+	for k := range s {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Minus returns s \ o as a new set.
+func (s ColSet) Minus(o ColSet) ColSet {
+	out := ColSet{}
+	for k := range s {
+		if !o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s ColSet) SubsetOf(o ColSet) bool {
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the ids in ascending order.
+func (s ColSet) Sorted() []ColumnID {
+	out := make([]ColumnID, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// String renders the set like {3,7}.
+func (s ColSet) String() string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

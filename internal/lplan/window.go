@@ -1,0 +1,66 @@
+package lplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WinKind enumerates window functions.
+type WinKind int
+
+// Window function kinds. The aggregate kinds use the standard default
+// frame: the whole partition when there is no ORDER BY, the running
+// prefix (unbounded preceding .. current row, with peers) when there is.
+const (
+	WinRowNumber WinKind = iota
+	WinRank
+	WinSum
+	WinCount
+	WinAvg
+	WinMin
+	WinMax
+)
+
+var winNames = [...]string{"ROW_NUMBER", "RANK", "SUM", "COUNT", "AVG", "MIN", "MAX"}
+
+func (k WinKind) String() string { return winNames[k] }
+
+// WinSpec is one window function computed by a Window node.
+type WinSpec struct {
+	Kind        WinKind
+	Arg         ColumnID // NoColumn for ROW_NUMBER/RANK/COUNT(*)
+	PartitionBy []ColumnID
+	OrderBy     []SortKey
+	Out         ColumnInfo
+}
+
+// Window appends one output column per WinSpec to its input rows
+// (paper Table 1 "Others": windowed aggregates).
+type Window struct {
+	Input Node
+	Specs []WinSpec
+}
+
+// Columns implements Node.
+func (w *Window) Columns() []ColumnInfo {
+	out := append([]ColumnInfo{}, w.Input.Columns()...)
+	for _, s := range w.Specs {
+		out = append(out, s.Out)
+	}
+	return out
+}
+
+// Children implements Node.
+func (w *Window) Children() []Node { return []Node{w.Input} }
+
+// WithChildren implements Node.
+func (w *Window) WithChildren(ch []Node) Node { return &Window{Input: ch[0], Specs: w.Specs} }
+
+// Describe implements Node.
+func (w *Window) Describe() string {
+	parts := make([]string, len(w.Specs))
+	for i, s := range w.Specs {
+		parts[i] = fmt.Sprintf("%s over part=%v order=%v", s.Kind, s.PartitionBy, s.OrderBy)
+	}
+	return "Window " + strings.Join(parts, "; ")
+}

@@ -1,0 +1,413 @@
+// Package opt is the cost-based query optimizer substrate: cardinality
+// and distinct-value estimation derived from the one-pass table
+// statistics (Table 2), normalization rewrites (predicate pushdown,
+// column pruning, join-input ordering), a cost model mirroring the
+// cluster simulator, and the physical planner that places exchanges,
+// picks join strategies and degrees of parallelism.
+//
+// ASALQA (internal/core) plugs into this package: it explores sampled
+// plan alternatives and uses the same estimator and cost model to pick
+// among them, which is the paper's "samplers as first-class operators
+// in a Cascades-style optimizer" architecture.
+package opt
+
+import (
+	"math"
+
+	"quickr/internal/catalog"
+	"quickr/internal/lplan"
+	"quickr/internal/stats"
+	"quickr/internal/table"
+)
+
+// Props are derived properties of a logical sub-plan.
+type Props struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// RowBytes is the estimated average bytes per output row.
+	RowBytes float64
+}
+
+// Bytes returns the estimated total output bytes.
+func (p Props) Bytes() float64 { return p.Rows * p.RowBytes }
+
+// Estimator derives cardinalities, selectivities and distinct-value
+// counts for logical plans, using base-table statistics plus
+// independence assumptions refined by heavy-hitter information.
+type Estimator struct {
+	Cat  *catalog.Catalog
+	memo map[lplan.Node]Props
+}
+
+// NewEstimator creates an estimator over the catalog's statistics.
+func NewEstimator(cat *catalog.Catalog) *Estimator {
+	return &Estimator{Cat: cat, memo: map[lplan.Node]Props{}}
+}
+
+// Props estimates the output of node n.
+func (e *Estimator) Props(n lplan.Node) Props {
+	if p, ok := e.memo[n]; ok {
+		return p
+	}
+	p := e.derive(n)
+	if p.Rows < 0 {
+		p.Rows = 0
+	}
+	if p.RowBytes < 8 {
+		p.RowBytes = 8
+	}
+	e.memo[n] = p
+	return p
+}
+
+func (e *Estimator) derive(n lplan.Node) Props {
+	switch x := n.(type) {
+	case *lplan.Scan:
+		ts, err := e.Cat.TableStats(x.Table)
+		if err != nil {
+			return Props{Rows: 1000, RowBytes: 64}
+		}
+		rb := 64.0
+		if ts.RowCount > 0 {
+			rb = float64(ts.Bytes) / float64(ts.RowCount)
+		}
+		// Column pruning shrinks row bytes proportionally.
+		if full := len(ts.Columns); full > 0 && len(x.Cols) < full {
+			rb *= float64(len(x.Cols)) / float64(full)
+		}
+		return Props{Rows: float64(ts.RowCount), RowBytes: rb}
+	case *lplan.Select:
+		in := e.Props(x.Input)
+		return Props{Rows: in.Rows * e.Selectivity(x.Pred, x.Input), RowBytes: in.RowBytes}
+	case *lplan.Project:
+		in := e.Props(x.Input)
+		return Props{Rows: in.Rows, RowBytes: 4 + 10*float64(len(x.Exprs))}
+	case *lplan.Join:
+		return e.deriveJoin(x)
+	case *lplan.Aggregate:
+		in := e.Props(x.Input)
+		rows := 1.0
+		if len(x.GroupCols) > 0 {
+			rows = math.Min(e.NDV(x.Input, x.GroupCols), in.Rows)
+		}
+		return Props{Rows: rows, RowBytes: 8 * float64(len(x.GroupCols)+len(x.Aggs))}
+	case *lplan.Sample:
+		in := e.Props(x.Input)
+		p := 0.1
+		if x.Def != nil {
+			p = x.Def.P
+		}
+		rows := in.Rows * p
+		if x.Def != nil && x.Def.Type == lplan.SamplerDistinct {
+			// The distinct sampler leaks δ rows per distinct value.
+			rows += float64(x.Def.Delta) * e.NDV(x.Input, x.Def.Cols)
+			rows = math.Min(rows, in.Rows)
+		}
+		if x.Def != nil && x.Def.Type == lplan.SamplerPassThrough {
+			rows = in.Rows
+		}
+		return Props{Rows: rows, RowBytes: in.RowBytes + 8}
+	case *lplan.Sort:
+		return e.Props(x.Input)
+	case *lplan.Limit:
+		in := e.Props(x.Input)
+		return Props{Rows: math.Min(in.Rows, float64(x.N)), RowBytes: in.RowBytes}
+	case *lplan.UnionAll:
+		var rows, bytes float64
+		for _, in := range x.Inputs {
+			p := e.Props(in)
+			rows += p.Rows
+			bytes += p.Bytes()
+		}
+		rb := 64.0
+		if rows > 0 {
+			rb = bytes / rows
+		}
+		return Props{Rows: rows, RowBytes: rb}
+	}
+	// Unknown wrappers (e.g. the binder's union wrapper) delegate to
+	// children.
+	ch := n.Children()
+	if len(ch) == 1 {
+		return e.Props(ch[0])
+	}
+	var rows, bytes float64
+	for _, c := range ch {
+		p := e.Props(c)
+		rows += p.Rows
+		bytes += p.Bytes()
+	}
+	rb := 64.0
+	if rows > 0 {
+		rb = bytes / rows
+	}
+	return Props{Rows: rows, RowBytes: rb}
+}
+
+func (e *Estimator) deriveJoin(j *lplan.Join) Props {
+	l, r := e.Props(j.Left), e.Props(j.Right)
+	rb := l.RowBytes + r.RowBytes
+	if len(j.LeftKeys) == 0 {
+		return Props{Rows: l.Rows * r.Rows, RowBytes: rb} // cross join
+	}
+	var rows float64
+	if j.FKJoin {
+		// FK join with a dimension table: each left row matches at most
+		// one right row; the right side acts as a filter with selectivity
+		// |R| / |R_base|.
+		sel := 1.0
+		if base := e.baseRows(j.Right); base > 0 {
+			sel = math.Min(1, r.Rows/base)
+		}
+		rows = l.Rows * sel
+	} else {
+		dl := e.NDV(j.Left, j.LeftKeys)
+		dr := e.NDV(j.Right, j.RightKeys)
+		d := math.Max(dl, dr)
+		if d < 1 {
+			d = 1
+		}
+		rows = l.Rows * r.Rows / d
+	}
+	if j.Kind == lplan.LeftOuterJoin && rows < l.Rows {
+		rows = l.Rows
+	}
+	if sel := e.residualSelectivity(j); sel < 1 {
+		rows *= sel
+	}
+	return Props{Rows: rows, RowBytes: rb}
+}
+
+func (e *Estimator) residualSelectivity(j *lplan.Join) float64 {
+	if j.Residual == nil {
+		return 1
+	}
+	return e.Selectivity(j.Residual, j)
+}
+
+// baseRows finds the unfiltered base-table cardinality under n (first
+// scan found), for FK selectivity.
+func (e *Estimator) baseRows(n lplan.Node) float64 {
+	var rows float64
+	lplan.Walk(n, func(x lplan.Node) {
+		if s, ok := x.(*lplan.Scan); ok && rows == 0 {
+			if ts, err := e.Cat.TableStats(s.Table); err == nil {
+				rows = float64(ts.RowCount)
+			}
+		}
+	})
+	return rows
+}
+
+// NDV estimates the number of distinct value combinations of cols at
+// node n, using base-column lineage: per origin table the stored
+// column-set NDV, combined across tables by the independence assumption
+// and capped at the node's cardinality.
+func (e *Estimator) NDV(n lplan.Node, cols []lplan.ColumnID) float64 {
+	props := e.Props(n)
+	return math.Min(e.NDVNoCap(n, cols), math.Max(1, props.Rows))
+}
+
+// NDVNoCap is NDV without the cardinality cap. ASALQA's support check
+// multiplies this by the stratification frequency multiplier before
+// capping — capping first would destroy the factorization the sfm
+// correction relies on (§4.2.4).
+func (e *Estimator) NDVNoCap(n lplan.Node, cols []lplan.ColumnID) float64 {
+	if len(cols) == 0 {
+		return 1
+	}
+	byTable := map[string][]string{}
+	unknown := 0
+	boolCols := 0
+	outCols := n.Columns()
+	for _, id := range cols {
+		ci, ok := lplan.ColumnByID(outCols, id)
+		if ok && ci.Kind == table.KindBool {
+			// Computed booleans (e.g. *IF condition columns) have at most
+			// two values however wide their origin columns are.
+			boolCols++
+			continue
+		}
+		if !ok || len(ci.Origins) == 0 {
+			unknown++
+			continue
+		}
+		for _, o := range ci.Origins {
+			byTable[o.Table] = append(byTable[o.Table], o.Column)
+		}
+	}
+	ndv := math.Pow(2, float64(boolCols))
+	for tbl, cs := range byTable {
+		ts, err := e.Cat.TableStats(tbl)
+		if err != nil {
+			ndv *= 100
+			continue
+		}
+		ndv *= ts.NDVSet(dedupe(cs))
+	}
+	for i := 0; i < unknown; i++ {
+		ndv *= 10 // computed columns with no lineage: assume few values
+	}
+	return math.Max(1, ndv)
+}
+
+func dedupe(s []string) []string {
+	seen := map[string]bool{}
+	out := s[:0]
+	for _, x := range s {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Selectivity estimates the fraction of input rows passing pred.
+func (e *Estimator) Selectivity(pred lplan.Expr, input lplan.Node) float64 {
+	s := e.sel(pred, input)
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func (e *Estimator) sel(pred lplan.Expr, input lplan.Node) float64 {
+	switch x := pred.(type) {
+	case *lplan.Binary:
+		switch x.Op {
+		case lplan.OpAnd:
+			return e.sel(x.L, input) * e.sel(x.R, input)
+		case lplan.OpOr:
+			a, b := e.sel(x.L, input), e.sel(x.R, input)
+			return a + b - a*b
+		case lplan.OpEq:
+			if col, con, ok := colConst(x.L, x.R); ok {
+				return e.eqSelectivity(input, col, con)
+			}
+			return 0.1
+		case lplan.OpNe:
+			if col, con, ok := colConst(x.L, x.R); ok {
+				return 1 - e.eqSelectivity(input, col, con)
+			}
+			return 0.9
+		case lplan.OpLt, lplan.OpLe, lplan.OpGt, lplan.OpGe:
+			if col, con, ok := colConst(x.L, x.R); ok {
+				return e.rangeSelectivity(input, col, con, x.Op)
+			}
+			return 1.0 / 3
+		}
+		return 1.0 / 3
+	case *lplan.Not:
+		return 1 - e.sel(x.X, input)
+	case *lplan.In:
+		if col, ok := x.X.(*lplan.ColRef); ok {
+			d := e.NDV(input, []lplan.ColumnID{col.ID})
+			s := float64(len(x.Vals)) / math.Max(1, d)
+			if x.Inv {
+				return 1 - s
+			}
+			return math.Min(1, s)
+		}
+		return 0.2
+	case *lplan.Like:
+		if x.Inv {
+			return 0.75
+		}
+		return 0.25
+	case *lplan.IsNull:
+		if x.Inv {
+			return 0.95
+		}
+		return 0.05
+	case *lplan.Const:
+		if x.Val.Kind() == table.KindBool && x.Val.Bool() {
+			return 1
+		}
+		return 0
+	}
+	return 1.0 / 3
+}
+
+func colConst(l, r lplan.Expr) (*lplan.ColRef, table.Value, bool) {
+	if c, ok := l.(*lplan.ColRef); ok {
+		if k, ok2 := r.(*lplan.Const); ok2 {
+			return c, k.Val, true
+		}
+	}
+	if c, ok := r.(*lplan.ColRef); ok {
+		if k, ok2 := l.(*lplan.Const); ok2 {
+			return c, k.Val, true
+		}
+	}
+	return nil, table.Value{}, false
+}
+
+func (e *Estimator) eqSelectivity(input lplan.Node, col *lplan.ColRef, con table.Value) float64 {
+	// Heavy-hitter refinement: if the constant is a known frequent value
+	// of the origin column, use its observed frequency (§4.2.6: "the
+	// derivation improves upon prior work by using heavy hitter identity
+	// and frequency").
+	if ci, ok := lplan.ColumnByID(input.Columns(), col.ID); ok && len(ci.Origins) == 1 {
+		o := ci.Origins[0]
+		if ts, err := e.Cat.TableStats(o.Table); err == nil && ts.RowCount > 0 {
+			if f := ts.HeavyFreq(o.Column, con); f > 0 {
+				return float64(f) / float64(ts.RowCount)
+			}
+			// If the heavy hitters cover essentially the whole column and
+			// the constant is not among them, the predicate matches almost
+			// nothing.
+			if cs := ts.Columns[o.Column]; cs != nil {
+				var hhSum int64
+				for _, h := range cs.Heavy {
+					hhSum += h.Freq
+				}
+				if float64(hhSum) > 0.95*float64(ts.RowCount) {
+					return 1 / float64(ts.RowCount)
+				}
+			}
+		}
+	}
+	d := e.NDV(input, []lplan.ColumnID{col.ID})
+	return 1 / math.Max(1, d)
+}
+
+func (e *Estimator) rangeSelectivity(input lplan.Node, col *lplan.ColRef, con table.Value, op lplan.BinOp) float64 {
+	cs := e.originStats(input, col)
+	if cs == nil || !con.IsNumeric() || cs.Min.IsNull() || !cs.Min.IsNumeric() {
+		return 1.0 / 3
+	}
+	lo, hi, v := cs.Min.Float(), cs.Max.Float(), con.Float()
+	if hi <= lo {
+		return 1.0 / 3
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch op {
+	case lplan.OpLt, lplan.OpLe:
+		return frac
+	default:
+		return 1 - frac
+	}
+}
+
+func (e *Estimator) originStats(input lplan.Node, col *lplan.ColRef) *stats.ColumnStats {
+	ci, ok := lplan.ColumnByID(input.Columns(), col.ID)
+	if !ok || len(ci.Origins) != 1 {
+		return nil
+	}
+	o := ci.Origins[0]
+	ts, err := e.Cat.TableStats(o.Table)
+	if err != nil {
+		return nil
+	}
+	return ts.Columns[o.Column]
+}

@@ -1,0 +1,270 @@
+package opt
+
+import (
+	"quickr/internal/lplan"
+)
+
+// Normalize applies the heuristic rewrites that run before exploration:
+// splitting and pushing selection predicates toward the scans, pruning
+// unused columns out of scans and projections, and ordering inner-join
+// inputs so the smaller side is the build side. Both the Baseline plans
+// and Quickr plans share this pass.
+func Normalize(n lplan.Node, est *Estimator) lplan.Node {
+	n = pushSelections(n)
+	n = pruneColumns(n)
+	n = orderJoinInputs(n, est)
+	return n
+}
+
+// pushSelections pushes predicates as close to the inputs as possible.
+func pushSelections(n lplan.Node) lplan.Node {
+	// Bottom-up: normalize children first.
+	ch := n.Children()
+	if len(ch) > 0 {
+		newCh := make([]lplan.Node, len(ch))
+		changed := false
+		for i, c := range ch {
+			newCh[i] = pushSelections(c)
+			if newCh[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(newCh)
+		}
+	}
+	sel, ok := n.(*lplan.Select)
+	if !ok {
+		return n
+	}
+	conj := splitConjuncts(sel.Pred)
+	pushed, err := pushConjuncts(sel.Input, conj)
+	if err != nil {
+		return n
+	}
+	return pushed
+}
+
+// splitConjuncts flattens AND trees.
+func splitConjuncts(e lplan.Expr) []lplan.Expr {
+	if b, ok := e.(*lplan.Binary); ok && b.Op == lplan.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []lplan.Expr{e}
+}
+
+func conjoin(es []lplan.Expr) lplan.Expr {
+	var out lplan.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &lplan.Binary{Op: lplan.OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// pushConjuncts pushes each conjunct into n as deep as legal, wrapping
+// what remains in a Select above n.
+func pushConjuncts(n lplan.Node, conj []lplan.Expr) (lplan.Node, error) {
+	if len(conj) == 0 {
+		return n, nil
+	}
+	switch x := n.(type) {
+	case *lplan.Join:
+		leftIDs := lplan.OutputIDs(x.Left)
+		rightIDs := lplan.OutputIDs(x.Right)
+		var toLeft, toRight, stay []lplan.Expr
+		for _, c := range conj {
+			refs := exprColSet(c)
+			switch {
+			case refs.SubsetOf(leftIDs):
+				toLeft = append(toLeft, c)
+			case refs.SubsetOf(rightIDs) && x.Kind == lplan.InnerJoin:
+				// Right-side predicates only push through inner joins: below
+				// a left outer join they would change padding semantics.
+				toRight = append(toRight, c)
+			default:
+				stay = append(stay, c)
+			}
+		}
+		left, err := pushConjuncts(x.Left, toLeft)
+		if err != nil {
+			return nil, err
+		}
+		right, err := pushConjuncts(x.Right, toRight)
+		if err != nil {
+			return nil, err
+		}
+		out := x.WithChildren([]lplan.Node{left, right})
+		return wrapSelect(out, stay), nil
+	case *lplan.Select:
+		return pushConjuncts(x.Input, append(conj, splitConjuncts(x.Pred)...))
+	case *lplan.Project:
+		// Push conjuncts that reference only pass-through columns.
+		pass := lplan.ColSet{}
+		for i, e := range x.Exprs {
+			if cr, ok := e.(*lplan.ColRef); ok && cr.ID == x.Cols[i].ID {
+				pass.Add(cr.ID)
+			}
+		}
+		var down, stay []lplan.Expr
+		for _, c := range conj {
+			if exprColSet(c).SubsetOf(pass) {
+				down = append(down, c)
+			} else {
+				stay = append(stay, c)
+			}
+		}
+		in, err := pushConjuncts(x.Input, down)
+		if err != nil {
+			return nil, err
+		}
+		return wrapSelect(x.WithChildren([]lplan.Node{in}), stay), nil
+	default:
+		return wrapSelect(n, conj), nil
+	}
+}
+
+func wrapSelect(n lplan.Node, conj []lplan.Expr) lplan.Node {
+	if len(conj) == 0 {
+		return n
+	}
+	return &lplan.Select{Input: n, Pred: conjoin(conj)}
+}
+
+func exprColSet(e lplan.Expr) lplan.ColSet {
+	s := lplan.ColSet{}
+	for id := range lplan.ExprColumns(e) {
+		s.Add(id)
+	}
+	return s
+}
+
+// pruneColumns removes unused columns from scans (early projection in
+// the storage layer) and unused expressions from projections.
+func pruneColumns(n lplan.Node) lplan.Node {
+	required := lplan.ColSet{}
+	for _, c := range n.Columns() {
+		required.Add(c.ID)
+	}
+	return pruneNode(n, required)
+}
+
+func pruneNode(n lplan.Node, required lplan.ColSet) lplan.Node {
+	switch x := n.(type) {
+	case *lplan.Scan:
+		kept := make([]lplan.ColumnInfo, 0, len(x.Cols))
+		for _, c := range x.Cols {
+			if required.Has(c.ID) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			kept = x.Cols[:1]
+		}
+		if len(kept) == len(x.Cols) {
+			return x
+		}
+		return &lplan.Scan{Table: x.Table, Cols: kept}
+	case *lplan.Select:
+		need := required.Union(exprColSet(x.Pred))
+		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})
+	case *lplan.Project:
+		keptExprs := make([]lplan.Expr, 0, len(x.Exprs))
+		keptCols := make([]lplan.ColumnInfo, 0, len(x.Cols))
+		need := lplan.ColSet{}
+		for i, c := range x.Cols {
+			if required.Has(c.ID) {
+				keptExprs = append(keptExprs, x.Exprs[i])
+				keptCols = append(keptCols, c)
+				need = need.Union(exprColSet(x.Exprs[i]))
+			}
+		}
+		if len(keptExprs) == 0 && len(x.Exprs) > 0 {
+			keptExprs = x.Exprs[:1]
+			keptCols = x.Cols[:1]
+			need = exprColSet(x.Exprs[0])
+		}
+		return &lplan.Project{Input: pruneNode(x.Input, need), Exprs: keptExprs, Cols: keptCols}
+	case *lplan.Join:
+		need := required.Union(lplan.NewColSet(x.LeftKeys...)).Union(lplan.NewColSet(x.RightKeys...))
+		if x.Residual != nil {
+			need = need.Union(exprColSet(x.Residual))
+		}
+		left := pruneNode(x.Left, need)
+		right := pruneNode(x.Right, need)
+		return x.WithChildren([]lplan.Node{left, right})
+	case *lplan.Aggregate:
+		need := lplan.NewColSet(x.GroupCols...)
+		for _, a := range x.Aggs {
+			if a.Arg != lplan.NoColumn {
+				need.Add(a.Arg)
+			}
+			if a.Cond != lplan.NoColumn {
+				need.Add(a.Cond)
+			}
+		}
+		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})
+	case *lplan.Sort:
+		need := required.Union(lplan.ColSet{})
+		for _, k := range x.Keys {
+			need.Add(k.Col)
+		}
+		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})
+	case *lplan.Limit:
+		return x.WithChildren([]lplan.Node{pruneNode(x.Input, required)})
+	case *lplan.Sample:
+		need := required.Union(lplan.NewColSet(x.State.Strat.Sorted()...)).
+			Union(lplan.NewColSet(x.State.Univ.Sorted()...))
+		if x.Def != nil {
+			need = need.Union(lplan.NewColSet(x.Def.Cols...))
+		}
+		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})
+	default:
+		// Union wrappers and anything else: prune children with all of
+		// their own outputs required (IDs differ across union arms).
+		ch := n.Children()
+		if len(ch) == 0 {
+			return n
+		}
+		newCh := make([]lplan.Node, len(ch))
+		for i, c := range ch {
+			req := lplan.ColSet{}
+			for _, col := range c.Columns() {
+				req.Add(col.ID)
+			}
+			newCh[i] = pruneNode(c, req)
+		}
+		return n.WithChildren(newCh)
+	}
+}
+
+// orderJoinInputs swaps inner-join inputs so the estimated-smaller side
+// is on the right (the build side for the physical hash join).
+func orderJoinInputs(n lplan.Node, est *Estimator) lplan.Node {
+	ch := n.Children()
+	if len(ch) > 0 {
+		newCh := make([]lplan.Node, len(ch))
+		for i, c := range ch {
+			newCh[i] = orderJoinInputs(c, est)
+		}
+		n = n.WithChildren(newCh)
+	}
+	j, ok := n.(*lplan.Join)
+	if !ok || j.Kind != lplan.InnerJoin || j.FKJoin {
+		return n
+	}
+	if est.Props(j.Left).Bytes() < est.Props(j.Right).Bytes() {
+		return &lplan.Join{
+			Kind:      j.Kind,
+			Left:      j.Right,
+			Right:     j.Left,
+			LeftKeys:  j.RightKeys,
+			RightKeys: j.LeftKeys,
+			Residual:  j.Residual,
+		}
+	}
+	return n
+}

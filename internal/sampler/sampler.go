@@ -1,0 +1,123 @@
+// Package sampler implements Quickr's three sampler operators (§4.1).
+// All samplers run in a single pass with bounded memory and are
+// partitionable: many instances over different partitions of the input
+// together mimic one instance over the whole input. Each passed row
+// carries a weight — the inverse of its inclusion probability — used by
+// the Horvitz–Thompson estimators downstream.
+package sampler
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+
+	"quickr/internal/table"
+)
+
+// Weighted is a row with its sampling weight.
+type Weighted struct {
+	Row table.Row
+	W   float64
+}
+
+// Sampler consumes rows one at a time and emits a (usually smaller)
+// weighted stream. Admit processes one row with its incoming weight and
+// reports whether it passes immediately and with what weight; Flush
+// returns rows the sampler buffered (only the distinct sampler buffers).
+type Sampler interface {
+	Admit(r table.Row, w float64) (pass bool, weight float64)
+	Flush() []Weighted
+	// CostPerRow is the relative CPU cost of examining one row; the
+	// uniform sampler only tosses a coin, the universe sampler computes a
+	// cryptographic hash, the distinct sampler updates a sketch (§A).
+	CostPerRow() float64
+}
+
+// ---------------------------------------------------------------------
+// Uniform sampler Γ^U_p (§4.1.1)
+
+// Uniform lets each row through independently with probability p and
+// weight 1/p (a Poisson/Bernoulli sampler: streaming and partitionable,
+// unlike fixed-size reservoir designs).
+type Uniform struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewUniform creates a uniform sampler with pass probability p.
+func NewUniform(p float64, seed uint64) *Uniform {
+	return &Uniform{P: p, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Admit implements Sampler.
+func (u *Uniform) Admit(r table.Row, w float64) (bool, float64) {
+	if u.rng.Float64() < u.P {
+		return true, w / u.P
+	}
+	return false, 0
+}
+
+// Flush implements Sampler.
+func (u *Uniform) Flush() []Weighted { return nil }
+
+// CostPerRow implements Sampler.
+func (u *Uniform) CostPerRow() float64 { return 1 }
+
+// ---------------------------------------------------------------------
+// Universe sampler Γ^V_{p,C} (§4.1.3)
+
+// Universe projects the value of columns C through a strong hash into
+// [0,1) and passes rows landing in the chosen p-fraction subspace.
+// Samplers sharing (C, seed, p) pick the same subspace, so both inputs
+// of an equi-join sample consistently: joining p-probability universe
+// samples is statistically equivalent to a p-probability universe
+// sample of the join output.
+type Universe struct {
+	P    float64
+	Cols []int // positions of the universe columns in the input row
+	Seed uint64
+
+	threshold uint64
+}
+
+// NewUniverse creates a universe sampler over the given row positions.
+func NewUniverse(p float64, cols []int, seed uint64) *Universe {
+	t := uint64(p * float64(^uint64(0)))
+	return &Universe{P: p, Cols: cols, Seed: seed, threshold: t}
+}
+
+// HashValues computes the 64-bit subspace coordinate of the column
+// values using SHA-256 (a cryptographically strong hash, per the paper,
+// so the subspace is independent of the key distribution).
+func HashValues(vals []table.Value, seed uint64) uint64 {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	for _, v := range vals {
+		h.Write([]byte(v.Key()))
+		h.Write([]byte{0})
+	}
+	sum := h.Sum(nil)
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Admit implements Sampler. Whether a row passes depends only on the
+// values of the universe columns, so the sampler is stateless and all
+// parallel instances agree.
+func (u *Universe) Admit(r table.Row, w float64) (bool, float64) {
+	vals := make([]table.Value, len(u.Cols))
+	for i, c := range u.Cols {
+		vals[i] = r[c]
+	}
+	if HashValues(vals, u.Seed) <= u.threshold {
+		return true, w / u.P
+	}
+	return false, 0
+}
+
+// Flush implements Sampler.
+func (u *Universe) Flush() []Weighted { return nil }
+
+// CostPerRow implements Sampler.
+func (u *Universe) CostPerRow() float64 { return 3 }

@@ -1,0 +1,297 @@
+package sampler
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"quickr/internal/table"
+)
+
+// estimateSum runs a sampler over rows and returns the HT estimate of
+// SUM(col 0).
+func estimateSum(s Sampler, rows []table.Row) float64 {
+	var sum float64
+	for _, r := range rows {
+		if pass, w := s.Admit(r, 1); pass {
+			sum += w * r[0].Float()
+		}
+		if d, ok := s.(*Distinct); ok {
+			for _, fl := range d.TakePending() {
+				sum += fl.W * fl.Row[0].Float()
+			}
+		}
+	}
+	for _, fl := range s.Flush() {
+		sum += fl.W * fl.Row[0].Float()
+	}
+	return sum
+}
+
+func makeRows(n int) ([]table.Row, float64) {
+	rows := make([]table.Row, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		v := float64(1 + i%7)
+		rows[i] = table.Row{table.NewFloat(v), table.NewInt(int64(i % 50))}
+		total += v
+	}
+	return rows, total
+}
+
+func TestUniformUnbiased(t *testing.T) {
+	rows, total := makeRows(20000)
+	var sum float64
+	const trials = 40
+	for seed := 0; seed < trials; seed++ {
+		s := NewUniform(0.1, uint64(seed+1))
+		sum += estimateSum(s, rows)
+	}
+	mean := sum / trials
+	if rel := math.Abs(mean-total) / total; rel > 0.03 {
+		t.Errorf("uniform estimator biased: mean %.0f vs true %.0f (%.3f)", mean, total, rel)
+	}
+}
+
+func TestUniformSampleFraction(t *testing.T) {
+	rows, _ := makeRows(50000)
+	s := NewUniform(0.05, 7)
+	kept := 0
+	for _, r := range rows {
+		if pass, w := s.Admit(r, 1); pass {
+			kept++
+			if math.Abs(w-20) > 1e-9 {
+				t.Fatalf("weight %v want 20", w)
+			}
+		}
+	}
+	frac := float64(kept) / 50000
+	if frac < 0.04 || frac > 0.06 {
+		t.Errorf("pass fraction %.4f want ~0.05", frac)
+	}
+}
+
+func TestUniverseConsistencyAcrossInstances(t *testing.T) {
+	// Two independent instances (e.g. on the two join inputs, or two
+	// parallel partitions) must admit exactly the same key values.
+	rows, _ := makeRows(5000)
+	a := NewUniverse(0.2, []int{1}, 99)
+	b := NewUniverse(0.2, []int{1}, 99)
+	for _, r := range rows {
+		pa, _ := a.Admit(r, 1)
+		pb, _ := b.Admit(r, 1)
+		if pa != pb {
+			t.Fatalf("instances disagree on row %v", r)
+		}
+	}
+}
+
+func TestUniverseWholeSubspaces(t *testing.T) {
+	// Every row of an admitted key value must be admitted.
+	rows, _ := makeRows(10000)
+	s := NewUniverse(0.3, []int{1}, 5)
+	decision := map[string]bool{}
+	for _, r := range rows {
+		pass, w := s.Admit(r, 1)
+		key := r[1].Key()
+		if prev, seen := decision[key]; seen && prev != pass {
+			t.Fatalf("inconsistent decision for key %s", key)
+		}
+		decision[key] = pass
+		if pass && math.Abs(w-1/0.3) > 1e-9 {
+			t.Fatalf("universe weight %v want %v", w, 1/0.3)
+		}
+	}
+	// Roughly p fraction of the 50 key values chosen.
+	chosen := 0
+	for _, v := range decision {
+		if v {
+			chosen++
+		}
+	}
+	if chosen < 5 || chosen > 28 {
+		t.Errorf("chose %d of 50 key values at p=0.3", chosen)
+	}
+}
+
+func TestUniverseUnbiased(t *testing.T) {
+	rows, total := makeRows(20000)
+	var sum float64
+	const trials = 60
+	for seed := 0; seed < trials; seed++ {
+		s := NewUniverse(0.2, []int{1}, uint64(seed)*7919+1)
+		sum += estimateSum(s, rows)
+	}
+	mean := sum / trials
+	if rel := math.Abs(mean-total) / total; rel > 0.06 {
+		t.Errorf("universe estimator biased: mean %.0f vs true %.0f (%.3f)", mean, total, rel)
+	}
+}
+
+func TestUniverseJoinEquivalence(t *testing.T) {
+	// Joining p-samples of both inputs on the universe key must equal
+	// the p-universe-sample of the exact join (§4.1.3).
+	type fact struct {
+		key int64
+		val float64
+	}
+	var left, right []fact
+	for i := 0; i < 600; i++ {
+		left = append(left, fact{key: int64(i % 40), val: float64(i%5 + 1)})
+	}
+	for i := 0; i < 300; i++ {
+		right = append(right, fact{key: int64(i % 40), val: 2})
+	}
+	const p, seed = 0.25, 31
+
+	admit := func(k int64) bool {
+		u := NewUniverse(p, []int{0}, seed)
+		pass, _ := u.Admit(table.Row{table.NewInt(k)}, 1)
+		return pass
+	}
+
+	// sample-then-join
+	var stj float64
+	for _, l := range left {
+		if !admit(l.key) {
+			continue
+		}
+		for _, r := range right {
+			if r.key == l.key && admit(r.key) {
+				// paired samplers: corrected weight is 1/p, not 1/p².
+				stj += (1 / p) * l.val * r.val
+			}
+		}
+	}
+	// join-then-sample
+	var jts float64
+	for _, l := range left {
+		for _, r := range right {
+			if r.key == l.key && admit(l.key) {
+				jts += (1 / p) * l.val * r.val
+			}
+		}
+	}
+	if math.Abs(stj-jts) > 1e-6 {
+		t.Errorf("sample-then-join %.1f != join-then-sample %.1f", stj, jts)
+	}
+}
+
+func TestDistinctGuaranteesStrata(t *testing.T) {
+	// Every distinct value of the stratification column must appear in
+	// the output at least min(δ, freq) times.
+	var rows []table.Row
+	freqs := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		g := int64(i % 30) // 100 rows per group
+		rows = append(rows, table.Row{table.NewFloat(1), table.NewInt(g)})
+		freqs[table.NewInt(g).Key()]++
+	}
+	// Plus some rare groups.
+	for g := 100; g < 110; g++ {
+		rows = append(rows, table.Row{table.NewFloat(1), table.NewInt(int64(g))})
+		freqs[table.NewInt(int64(g)).Key()]++
+	}
+	const delta = 4
+	s := NewDistinct(0.05, []int{1}, delta, 11)
+	got := map[string]int{}
+	collect := func(r table.Row) { got[r[1].Key()]++ }
+	for _, r := range rows {
+		if pass, _ := s.Admit(r, 1); pass {
+			collect(r)
+		}
+		for _, fl := range s.TakePending() {
+			collect(fl.Row)
+		}
+	}
+	for _, fl := range s.Flush() {
+		collect(fl.Row)
+	}
+	for key, f := range freqs {
+		want := delta
+		if f < delta {
+			want = f
+		}
+		if got[key] < want {
+			t.Errorf("stratum %s got %d rows, want >= %d", key, got[key], want)
+		}
+	}
+}
+
+func TestDistinctUnbiased(t *testing.T) {
+	// The reservoir de-biasing should make SUM estimates unbiased even
+	// for values in the tricky (δ, δ+S/p] frequency band.
+	var rows []table.Row
+	var total float64
+	for i := 0; i < 4000; i++ {
+		v := float64(1 + i%3)
+		rows = append(rows, table.Row{table.NewFloat(v), table.NewInt(int64(i % 80))}) // freq 50
+		total += v
+	}
+	var sum float64
+	const trials = 50
+	for seed := 0; seed < trials; seed++ {
+		s := NewDistinct(0.1, []int{1}, 5, uint64(seed)+1)
+		sum += estimateSum(s, rows)
+	}
+	mean := sum / trials
+	if rel := math.Abs(mean-total) / total; rel > 0.04 {
+		t.Errorf("distinct estimator biased: mean %.0f vs true %.0f (%.3f)", mean, total, rel)
+	}
+}
+
+func TestDistinctReducesData(t *testing.T) {
+	var rows []table.Row
+	for i := 0; i < 20000; i++ {
+		rows = append(rows, table.Row{table.NewFloat(1), table.NewInt(int64(i % 10))})
+	}
+	s := NewDistinct(0.05, []int{1}, 10, 3)
+	kept := 0
+	for _, r := range rows {
+		if pass, _ := s.Admit(r, 1); pass {
+			kept++
+		}
+		kept += len(s.TakePending())
+	}
+	kept += len(s.Flush())
+	if kept > 20000/5 {
+		t.Errorf("distinct sampler kept %d of 20000 rows", kept)
+	}
+}
+
+func TestDeltaForParallelism(t *testing.T) {
+	if got := DeltaForParallelism(30, 1); got != 30 {
+		t.Errorf("D=1: %d", got)
+	}
+	// ⌈δ/D⌉+ε with ε=δ/D (paper §4.1.2).
+	if got := DeltaForParallelism(30, 3); got != 10+10 {
+		t.Errorf("D=3: %d want 20", got)
+	}
+	if got := DeltaForParallelism(4, 8); got < 2 {
+		t.Errorf("small delta: %d", got)
+	}
+}
+
+func TestDistinctMemoryFootprintBounded(t *testing.T) {
+	s := NewDistinct(0.01, []int{0}, 3, 5)
+	for i := 0; i < 200000; i++ {
+		r := table.Row{table.NewString(fmt.Sprintf("k%d", i%100000))}
+		s.Admit(r, 1)
+		s.TakePending()
+	}
+	// The exact map is capped; the sketch holds O(1/eps log eps N).
+	if fp := s.MemoryFootprint(); fp > 400000 {
+		t.Errorf("memory footprint %d unbounded", fp)
+	}
+}
+
+func TestSamplerCosts(t *testing.T) {
+	// §A: uniform cheapest, universe next (crypto hash), distinct most
+	// expensive (sketch + reservoirs).
+	u := NewUniform(0.1, 1).CostPerRow()
+	v := NewUniverse(0.1, []int{0}, 1).CostPerRow()
+	d := NewDistinct(0.1, []int{0}, 3, 1).CostPerRow()
+	if !(u < v && v < d) {
+		t.Errorf("cost ordering broken: %v %v %v", u, v, d)
+	}
+}

@@ -1,0 +1,161 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents original case
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "ON": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "IS": true, "NULL": true,
+	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "UNION": true, "ALL": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "CROSS": true, "OVER": true, "PARTITION": true,
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+			} else if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+			} else if (ch == 'e' || ch == 'E') && !seenExp && l.pos+1 < len(l.src) &&
+				(l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+				seenExp = true
+				l.pos += 2
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,217 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	s := mustParse(t, "SELECT a, b AS bb FROM t WHERE a > 5")
+	if len(s.Items) != 2 || s.Items[1].Alias != "bb" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	if s.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+	if s.String() != "SELECT a, bb AS bb FROM t WHERE (a > 5)" &&
+		!strings.Contains(s.String(), "WHERE (a > 5)") {
+		t.Errorf("roundtrip: %s", s.String())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a + b * c - d FROM t")
+	want := "((a + (b * c)) - d)"
+	if got := s.Items[0].Expr.String(); got != want {
+		t.Errorf("precedence: got %s want %s", got, want)
+	}
+	s = mustParse(t, "SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	want = "((a = 1) OR ((b = 2) AND (c = 3)))"
+	if got := s.Where.String(); got != want {
+		t.Errorf("bool precedence: got %s want %s", got, want)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustParse(t, `SELECT a FROM t1 JOIN t2 ON t1.x = t2.y LEFT JOIN t3 ON t2.z = t3.z`)
+	j, ok := s.From.(*JoinExpr)
+	if !ok || j.Kind != JoinLeftOuter {
+		t.Fatalf("outer join shape: %T %+v", s.From, s.From)
+	}
+	inner, ok := j.Left.(*JoinExpr)
+	if !ok || inner.Kind != JoinInner {
+		t.Fatalf("inner join shape: %+v", j.Left)
+	}
+}
+
+func TestParseRightOuterAndFullOuter(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t1 RIGHT OUTER JOIN t2 ON t1.x = t2.y")
+	if j := s.From.(*JoinExpr); j.Kind != JoinRightOuter {
+		t.Fatalf("right outer: %v", j.Kind)
+	}
+	if _, err := Parse("SELECT a FROM t1 FULL OUTER JOIN t2 ON t1.x = t2.y"); err == nil {
+		t.Fatal("full outer join must be rejected (paper Table 1)")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := mustParse(t, `SELECT g, COUNT(*), COUNT(DISTINCT c), SUM(x), AVG(y),
+		SUMIF(x > 1, y), COUNTIF(x > 1)
+		FROM t GROUP BY g HAVING SUM(x) > 10 ORDER BY g LIMIT 100`)
+	if len(s.GroupBy) != 1 || s.Having == nil || s.Limit != 100 || len(s.OrderBy) != 1 {
+		t.Fatalf("clauses: %+v", s)
+	}
+	cd := s.Items[2].Expr.(*FuncCall)
+	if !cd.Distinct || cd.Name != "COUNT" {
+		t.Fatalf("COUNT DISTINCT: %+v", cd)
+	}
+	star := s.Items[1].Expr.(*FuncCall)
+	if !star.Star {
+		t.Fatal("COUNT(*) star flag")
+	}
+	if !HasAggregate(s.Items[5].Expr) {
+		t.Fatal("SUMIF must register as aggregate")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := mustParse(t, `SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 4 AND 5
+		AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (9)`)
+	str := s.Where.String()
+	for _, want := range []string{"IN (1, 2, 3)", "BETWEEN 4 AND 5", "LIKE 'x%'", "IS NOT NULL", "NOT IN (9)"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("missing %q in %s", want, str)
+		}
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	s := mustParse(t, "SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t")
+	c, ok := s.Items[0].Expr.(*CaseExpr)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case: %+v", s.Items[0].Expr)
+	}
+}
+
+func TestParseDerivedTableAndUnion(t *testing.T) {
+	s := mustParse(t, `SELECT g, SUM(v) FROM (SELECT a AS g, b AS v FROM t) AS sub GROUP BY g`)
+	if _, ok := s.From.(*Subquery); !ok {
+		t.Fatalf("derived table: %T", s.From)
+	}
+	s = mustParse(t, "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v")
+	if len(s.UnionAll) != 2 {
+		t.Fatalf("union arms: %d", len(s.UnionAll))
+	}
+	if _, err := Parse("SELECT a FROM t UNION SELECT b FROM u"); err == nil {
+		t.Fatal("bare UNION must be rejected")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE b = 'it''s'")
+	lit := s.Where.(*BinaryExpr).R.(*Literal)
+	if lit.Val.Str() != "it's" {
+		t.Errorf("escaped quote parsed as %q", lit.Val.Str())
+	}
+	// Rendering must re-escape so the output is valid SQL.
+	if !strings.Contains(s.Where.String(), "'it''s'") {
+		t.Errorf("rendered: %s", s.Where.String())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := mustParse(t, "SELECT a -- trailing comment\nFROM t -- another\n")
+	if len(s.Items) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE x > 1.5e3 AND y < -2")
+	str := s.Where.String()
+	if !strings.Contains(str, "1500") || !strings.Contains(str, "-2") {
+		t.Errorf("numbers: %s", str)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT abc",
+		"SELECT a FROM t JOIN u",          // missing ON
+		"SELECT a FROM (SELECT b FROM t)", // derived table needs alias
+		"SELECT a FROM t WHERE 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseOrdinalOrderBy(t *testing.T) {
+	s := mustParse(t, "SELECT a, b FROM t ORDER BY 2 DESC, a ASC")
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("order: %+v", s.OrderBy)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	s := mustParse(t, "select A from T where A between 1 and 2")
+	if s.Where == nil {
+		t.Fatal("lowercase keywords must parse")
+	}
+}
+
+func TestParseWindowFunctions(t *testing.T) {
+	s := mustParse(t, `SELECT a, RANK() OVER (PARTITION BY b ORDER BY c DESC),
+		SUM(x) OVER (PARTITION BY b), COUNT(*) OVER (ORDER BY c) FROM t`)
+	rank := s.Items[1].Expr.(*FuncCall)
+	if rank.Over == nil || len(rank.Over.PartitionBy) != 1 || len(rank.Over.OrderBy) != 1 || !rank.Over.OrderBy[0].Desc {
+		t.Fatalf("rank window: %+v", rank.Over)
+	}
+	sum := s.Items[2].Expr.(*FuncCall)
+	if sum.Over == nil || len(sum.Over.OrderBy) != 0 {
+		t.Fatalf("sum window: %+v", sum.Over)
+	}
+	cnt := s.Items[3].Expr.(*FuncCall)
+	if !cnt.Star || cnt.Over == nil {
+		t.Fatalf("count(*) over: %+v", cnt)
+	}
+	if !HasWindow(s.Items[1].Expr) || HasWindow(s.Items[0].Expr) {
+		t.Error("HasWindow detection broken")
+	}
+	// A windowed aggregate is not a plain aggregate.
+	if HasAggregate(s.Items[2].Expr) {
+		t.Error("windowed SUM must not count as a plain aggregate")
+	}
+	if !strings.Contains(s.Items[1].Expr.String(), "OVER (PARTITION BY b ORDER BY c DESC)") {
+		t.Errorf("window rendering: %s", s.Items[1].Expr.String())
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	bad := []string{
+		"SELECT RANK() OVER FROM t",
+		"SELECT RANK() OVER (PARTITION b) FROM t",
+		"SELECT RANK() OVER (ORDER c) FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"quickr/internal/table"
+)
+
+// Statistics persistence: the paper computes table statistics once ("by
+// the first query that touches the dataset") and reuses them for every
+// later query. These helpers serialize a Store to JSON so a process
+// restart keeps the warm statistics without rescanning the data.
+
+// storedValue serializes a table.Value with its kind.
+type storedValue struct {
+	Kind string  `json:"kind"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	S    string  `json:"s,omitempty"`
+	B    bool    `json:"b,omitempty"`
+}
+
+func toStored(v table.Value) storedValue {
+	switch v.Kind() {
+	case table.KindInt:
+		return storedValue{Kind: "int", I: v.Int()}
+	case table.KindFloat:
+		return storedValue{Kind: "float", F: v.Float()}
+	case table.KindString:
+		return storedValue{Kind: "string", S: v.Str()}
+	case table.KindBool:
+		return storedValue{Kind: "bool", B: v.Bool()}
+	default:
+		return storedValue{Kind: "null"}
+	}
+}
+
+func fromStored(sv storedValue) table.Value {
+	switch sv.Kind {
+	case "int":
+		return table.NewInt(sv.I)
+	case "float":
+		return table.NewFloat(sv.F)
+	case "string":
+		return table.NewString(sv.S)
+	case "bool":
+		return table.NewBool(sv.B)
+	default:
+		return table.Null
+	}
+}
+
+type storedHeavy struct {
+	Value storedValue `json:"value"`
+	Freq  int64       `json:"freq"`
+}
+
+type storedColumn struct {
+	Name      string        `json:"name"`
+	Kind      string        `json:"kind"`
+	NullCount int64         `json:"null_count"`
+	NDV       float64       `json:"ndv"`
+	Avg       float64       `json:"avg"`
+	Var       float64       `json:"var"`
+	Min       storedValue   `json:"min"`
+	Max       storedValue   `json:"max"`
+	Heavy     []storedHeavy `json:"heavy,omitempty"`
+}
+
+type storedTable struct {
+	Table     string             `json:"table"`
+	RowCount  int64              `json:"row_count"`
+	Bytes     int64              `json:"bytes"`
+	Columns   []storedColumn     `json:"columns"`
+	ColSetNDV map[string]float64 `json:"colset_ndv,omitempty"`
+}
+
+type storedStats struct {
+	Version int           `json:"version"`
+	Tables  []storedTable `json:"tables"`
+}
+
+// Save writes every collected table's statistics as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := storedStats{Version: 1}
+	for _, name := range names {
+		ts := s.tables[name]
+		st := storedTable{
+			Table:     ts.Table,
+			RowCount:  ts.RowCount,
+			Bytes:     ts.Bytes,
+			ColSetNDV: map[string]float64{},
+		}
+		colNames := make([]string, 0, len(ts.Columns))
+		for c := range ts.Columns {
+			colNames = append(colNames, c)
+		}
+		sort.Strings(colNames)
+		for _, c := range colNames {
+			cs := ts.Columns[c]
+			sc := storedColumn{
+				Name: cs.Name, Kind: cs.Kind.String(), NullCount: cs.NullCount,
+				NDV: cs.NDV, Avg: cs.Avg, Var: cs.Var,
+				Min: toStored(cs.Min), Max: toStored(cs.Max),
+			}
+			for _, h := range cs.Heavy {
+				sc.Heavy = append(sc.Heavy, storedHeavy{Value: toStored(h.Value), Freq: h.Freq})
+			}
+			st.Columns = append(st.Columns, sc)
+		}
+		ts.mu.Lock()
+		for k, v := range ts.colSetNDV {
+			st.ColSetNDV[k] = v
+		}
+		ts.mu.Unlock()
+		out.Tables = append(out.Tables, st)
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load reads previously saved statistics into the store. Loaded entries
+// carry no source table, so multi-column NDV requests beyond the cached
+// sets fall back to the independence estimate.
+func (s *Store) Load(r io.Reader) error {
+	var in storedStats
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("stats: decoding: %w", err)
+	}
+	if in.Version != 1 {
+		return fmt.Errorf("stats: unsupported version %d", in.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range in.Tables {
+		ts := &TableStats{
+			Table:     st.Table,
+			RowCount:  st.RowCount,
+			Bytes:     st.Bytes,
+			Columns:   map[string]*ColumnStats{},
+			colSetNDV: map[string]float64{},
+		}
+		for _, sc := range st.Columns {
+			cs := &ColumnStats{
+				Name: sc.Name, NullCount: sc.NullCount, NDV: sc.NDV,
+				Avg: sc.Avg, Var: sc.Var,
+				Min: fromStored(sc.Min), Max: fromStored(sc.Max),
+			}
+			for _, h := range sc.Heavy {
+				cs.Heavy = append(cs.Heavy, HeavyValue{Value: fromStored(h.Value), Freq: h.Freq})
+			}
+			ts.Columns[cs.Name] = cs
+		}
+		for k, v := range st.ColSetNDV {
+			ts.colSetNDV[k] = v
+		}
+		s.tables[st.Table] = ts
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one tuple: a slice of values positionally aligned with a schema.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (values are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// ByteSize approximates the serialized size of the row.
+func (r Row) ByteSize() int {
+	n := 0
+	for _, v := range r {
+		n += v.ByteSize()
+	}
+	return n
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of named, typed columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from (name, kind) pairs.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a BIGINT, b VARCHAR)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Table is an immutable in-memory table, horizontally split into
+// partitions. Partitioning mimics the distributed file system layout:
+// scans schedule one task per partition.
+type Table struct {
+	Name       string
+	Schema     *Schema
+	Partitions [][]Row
+}
+
+// New creates a table with the given number of empty partitions.
+func New(name string, schema *Schema, parts int) *Table {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Table{Name: name, Schema: schema, Partitions: make([][]Row, parts)}
+}
+
+// Append adds a row to partition i%len(partitions) (round-robin helper).
+func (t *Table) Append(i int, r Row) {
+	p := i % len(t.Partitions)
+	t.Partitions[p] = append(t.Partitions[p], r)
+}
+
+// NumRows returns the total number of rows in the table.
+func (t *Table) NumRows() int {
+	n := 0
+	for _, p := range t.Partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// ByteSize approximates the total stored bytes of the table.
+func (t *Table) ByteSize() int64 {
+	var n int64
+	for _, p := range t.Partitions {
+		for _, r := range p {
+			n += int64(r.ByteSize())
+		}
+	}
+	return n
+}
+
+// AllRows flattens the table into a single slice (test/debug helper).
+func (t *Table) AllRows() []Row {
+	out := make([]Row, 0, t.NumRows())
+	for _, p := range t.Partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SortRows sorts a row slice lexicographically; used to compare result
+// sets deterministically in tests and experiments.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return CompareRows(rows[i], rows[j]) < 0 })
+}
+
+// CompareRows lexicographically compares two rows.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// HashRow hashes the projection of row r onto column indexes idx, with a
+// seed; used by exchanges and joins for partitioning.
+func HashRow(r Row, idx []int, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ seed*1099511628211
+	for _, i := range idx {
+		h ^= r[i].Hash64()
+		h *= 1099511628211
+	}
+	return h
+}

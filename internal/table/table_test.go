@@ -1,0 +1,163 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{NewInt(42), KindInt, "42"},
+		{NewInt(-7), KindInt, "-7"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("abc"), KindString, "abc"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: string %q want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	if Null.Equal(Null) {
+		t.Error("NULL must not equal NULL")
+	}
+	if Null.Equal(NewInt(0)) || NewInt(0).Equal(Null) {
+		t.Error("NULL must not equal 0")
+	}
+	if Null.Compare(NewInt(-999)) != -1 {
+		t.Error("NULL must sort first")
+	}
+	if !Add(Null, NewInt(1)).IsNull() {
+		t.Error("NULL + 1 must be NULL")
+	}
+}
+
+func TestCrossKindNumericEquality(t *testing.T) {
+	if !NewInt(2).Equal(NewFloat(2.0)) {
+		t.Error("2 must equal 2.0")
+	}
+	if NewInt(2).Compare(NewFloat(2.5)) != -1 {
+		t.Error("2 < 2.5")
+	}
+	if NewInt(2).Key() != NewFloat(2.0).Key() {
+		t.Error("map keys of 2 and 2.0 must collide (Equal consistency)")
+	}
+	if NewInt(2).Hash64() != NewFloat(2.0).Hash64() {
+		t.Error("hashes of 2 and 2.0 must collide (Equal consistency)")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(NewInt(2), NewInt(3)); got.Kind() != KindInt || got.Int() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Div(NewInt(7), NewInt(2)); math.Abs(got.Float()-3.5) > 1e-12 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if !Div(NewInt(1), NewInt(0)).IsNull() {
+		t.Error("division by zero must be NULL")
+	}
+	if got := Mod(NewInt(7), NewInt(3)); got.Int() != 1 {
+		t.Errorf("7%%3 = %v", got)
+	}
+	if !Mod(NewFloat(7), NewInt(3)).IsNull() {
+		t.Error("float mod must be NULL")
+	}
+	if got := Mul(NewInt(4), NewFloat(0.5)); got.Kind() != KindFloat || got.Float() != 2 {
+		t.Errorf("4*0.5 = %v", got)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for
+// non-null numeric values.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, c2 := va.Compare(vb), vb.Compare(va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal values have equal hashes and keys.
+func TestHashKeyConsistency(t *testing.T) {
+	f := func(x int64, s string) bool {
+		a, b := NewInt(x), NewInt(x)
+		if a.Hash64() != b.Hash64() || a.Key() != b.Key() {
+			return false
+		}
+		sa, sb := NewString(s), NewString(s)
+		return sa.Hash64() == sb.Hash64() && sa.Key() == sb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTablePartitioning(t *testing.T) {
+	sc := NewSchema(Column{Name: "a", Kind: KindInt})
+	tbl := New("t", sc, 4)
+	for i := 0; i < 10; i++ {
+		tbl.Append(i, Row{NewInt(int64(i))})
+	}
+	if tbl.NumRows() != 10 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	if len(tbl.Partitions) != 4 {
+		t.Fatalf("partitions = %d", len(tbl.Partitions))
+	}
+	if got := len(tbl.AllRows()); got != 10 {
+		t.Fatalf("AllRows = %d", got)
+	}
+}
+
+func TestCompareRowsLexicographic(t *testing.T) {
+	a := Row{NewInt(1), NewString("b")}
+	b := Row{NewInt(1), NewString("c")}
+	if CompareRows(a, b) != -1 || CompareRows(b, a) != 1 || CompareRows(a, a) != 0 {
+		t.Error("lexicographic row comparison broken")
+	}
+	short := Row{NewInt(1)}
+	if CompareRows(short, a) != -1 {
+		t.Error("shorter row must sort first on tie")
+	}
+}
+
+func TestHashRowDependsOnlyOnIndexedCols(t *testing.T) {
+	r1 := Row{NewInt(1), NewString("x"), NewFloat(9)}
+	r2 := Row{NewInt(1), NewString("y"), NewFloat(8)}
+	if HashRow(r1, []int{0}, 3) != HashRow(r2, []int{0}, 3) {
+		t.Error("hash over col 0 must ignore other columns")
+	}
+	if HashRow(r1, []int{0}, 3) == HashRow(r1, []int{0}, 4) {
+		t.Error("different seeds should give different hashes (overwhelmingly)")
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	sc := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "b", Kind: KindString})
+	if sc.Index("b") != 1 || sc.Index("missing") != -1 {
+		t.Error("schema index lookup broken")
+	}
+	if sc.String() != "(a BIGINT, b VARCHAR)" {
+		t.Errorf("schema string: %s", sc.String())
+	}
+}

@@ -1,0 +1,348 @@
+// Package table provides the typed value model, row and schema types, and
+// in-memory partitioned tables that the rest of the engine operates on.
+//
+// Values are a compact tagged union rather than interface{} so that hot
+// operator loops (filters, hash joins, samplers) avoid per-row allocation.
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL of any type.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer. Dates are stored as KindInt
+	// counting days since an arbitrary epoch.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindString is a UTF-8 string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding one SQL value.
+// The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Kind reports the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It is valid only when Kind()==KindInt or
+// KindBool.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload when KindFloat, or the integer payload
+// widened to float when KindInt.
+func (v Value) Float() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload. Valid only when Kind()==KindString.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the boolean payload. Valid only when Kind()==KindBool.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports SQL equality; NULL equals nothing, including NULL.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			return v.i == o.i
+		}
+		return v.Float() == o.Float()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.i == o.i
+	}
+	return false
+}
+
+// Compare returns -1, 0 or +1 ordering v relative to o. NULL sorts first.
+// Cross-kind numeric comparisons are performed in float space.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == KindNull && o.kind == KindNull:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			switch {
+			case v.i < o.i:
+				return -1
+			case v.i > o.i:
+				return 1
+			}
+			return 0
+		}
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.kind != o.kind {
+		// Deterministic but arbitrary cross-kind ordering.
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Hash64 hashes the value with FNV-1a. Numeric values hash by canonical
+// form so NewInt(2) and NewFloat(2.0) collide, matching Equal.
+func (v Value) Hash64() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hasher interface{ Write([]byte) (int, error) }
+
+func (v Value) hashInto(h hasher) {
+	var tag [1]byte
+	switch v.kind {
+	case KindNull:
+		tag[0] = 0
+		h.Write(tag[:])
+	case KindInt, KindFloat:
+		f := v.Float()
+		if v.kind == KindInt || f == math.Trunc(f) && !math.IsInf(f, 0) {
+			tag[0] = 1
+			h.Write(tag[:])
+			var b [8]byte
+			u := uint64(int64(f))
+			if v.kind == KindInt {
+				u = uint64(v.i)
+			}
+			putUint64(b[:], u)
+			h.Write(b[:])
+		} else {
+			tag[0] = 2
+			h.Write(tag[:])
+			var b [8]byte
+			putUint64(b[:], math.Float64bits(f))
+			h.Write(b[:])
+		}
+	case KindString:
+		tag[0] = 3
+		h.Write(tag[:])
+		h.Write([]byte(v.s))
+	case KindBool:
+		tag[0] = 4
+		h.Write(tag[:])
+		var b [1]byte
+		b[0] = byte(v.i)
+		h.Write(b[:])
+	}
+}
+
+func putUint64(b []byte, u uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+// Key returns a canonical string key of the value, usable as a map key
+// with the same collision semantics as Equal.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
+			return "i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f" + strconv.FormatUint(math.Float64bits(v.f), 16)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.i != 0 {
+			return "bt"
+		}
+		return "bf"
+	}
+	return "?"
+}
+
+// ByteSize approximates the in-flight size of the value in bytes; used by
+// the cluster simulator to account for shuffled and intermediate data.
+func (v Value) ByteSize() int {
+	switch v.kind {
+	case KindString:
+		return 8 + len(v.s)
+	case KindNull:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// Arithmetic helpers. Operations involving NULL yield NULL. Integer
+// arithmetic stays integral; mixed int/float widens to float.
+
+// Add returns v + o.
+func Add(v, o Value) Value { return arith(v, o, '+') }
+
+// Sub returns v - o.
+func Sub(v, o Value) Value { return arith(v, o, '-') }
+
+// Mul returns v * o.
+func Mul(v, o Value) Value { return arith(v, o, '*') }
+
+// Div returns v / o; division by zero yields NULL.
+func Div(v, o Value) Value { return arith(v, o, '/') }
+
+// Mod returns v % o for integers; NULL otherwise or on zero divisor.
+func Mod(v, o Value) Value {
+	if v.kind != KindInt || o.kind != KindInt || o.i == 0 {
+		return Null
+	}
+	return NewInt(v.i % o.i)
+}
+
+func arith(v, o Value, op byte) Value {
+	if !v.IsNumeric() || !o.IsNumeric() {
+		return Null
+	}
+	if v.kind == KindInt && o.kind == KindInt && op != '/' {
+		switch op {
+		case '+':
+			return NewInt(v.i + o.i)
+		case '-':
+			return NewInt(v.i - o.i)
+		case '*':
+			return NewInt(v.i * o.i)
+		}
+	}
+	a, b := v.Float(), o.Float()
+	switch op {
+	case '+':
+		return NewFloat(a + b)
+	case '-':
+		return NewFloat(a - b)
+	case '*':
+		return NewFloat(a * b)
+	case '/':
+		if b == 0 {
+			return Null
+		}
+		return NewFloat(a / b)
+	}
+	return Null
+}

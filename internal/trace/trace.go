@@ -1,0 +1,234 @@
+// Package trace synthesizes a production-cluster query trace with the
+// distributional properties §3 of the paper reports for Microsoft's
+// Cosmos clusters: heavy-tailed usage of inputs (jobs covering half the
+// cluster-hours touch ~20PB of distinct files, Fig. 2a), and complex
+// queries (the Fig. 2b percentile table: effective passes over data,
+// operator counts and depth, joins, aggregations, user-defined
+// functions, and query column/value set sizes). The real trace is
+// proprietary; this generator is calibrated so the reproduced figures
+// preserve the paper's shapes.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls the synthesized trace.
+type Config struct {
+	NumInputs  int
+	NumQueries int
+	Seed       int64
+}
+
+// DefaultConfig sizes the trace for the experiments.
+func DefaultConfig() Config {
+	return Config{NumInputs: 4000, NumQueries: 60000, Seed: 31337}
+}
+
+// Input is one distinct dataset in the cluster.
+type Input struct {
+	ID int
+	// SizeTB is the file size in terabytes (Pareto distributed).
+	SizeTB float64
+	// Popularity weights how often queries reference the input.
+	Popularity float64
+}
+
+// Query is one synthesized job with the §3 complexity metrics.
+type Query struct {
+	Inputs        []int
+	ClusterHours  float64
+	Passes        float64
+	FirstPassFrac float64 // first-pass duration / total duration
+	Operators     int
+	Depth         int
+	Aggregations  int
+	Joins         int
+	UDAs          int
+	UDFs          int
+	QCSQVS        int
+}
+
+// Trace is the synthesized workload.
+type Trace struct {
+	Inputs  []Input
+	Queries []Query
+}
+
+// Generate synthesizes the trace.
+func Generate(cfg Config) *Trace {
+	if cfg.NumInputs == 0 {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{}
+
+	// Input sizes: Pareto with a heavy tail; popularity: Zipf so a small
+	// set of inputs serves most queries.
+	for i := 0; i < cfg.NumInputs; i++ {
+		size := 0.05 * math.Pow(1-rng.Float64(), -0.8) // TB, heavy tail
+		if size > 2000 {
+			size = 2000
+		}
+		pop := 1.0 / math.Pow(float64(i+1), 1.1)
+		t.Inputs = append(t.Inputs, Input{ID: i, SizeTB: size, Popularity: pop})
+	}
+	// Popularity is over a random permutation of sizes, so big inputs
+	// are not automatically popular.
+	perm := rng.Perm(cfg.NumInputs)
+	cum := make([]float64, cfg.NumInputs)
+	total := 0.0
+	for i, p := range perm {
+		total += t.Inputs[p].Popularity
+		cum[i] = total
+	}
+	pickInput := func() int {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= cfg.NumInputs {
+			i = cfg.NumInputs - 1
+		}
+		return perm[i]
+	}
+
+	for q := 0; q < cfg.NumQueries; q++ {
+		nIn := 1 + poissonish(rng, 1.2)
+		ins := map[int]bool{}
+		for len(ins) < nIn {
+			ins[pickInput()] = true
+		}
+		inputs := make([]int, 0, len(ins))
+		for id := range ins {
+			inputs = append(inputs, id)
+		}
+		sort.Ints(inputs)
+		// Sum in sorted order: float addition order must be stable for
+		// deterministic generation.
+		var sizeSum float64
+		for _, id := range inputs {
+			sizeSum += t.Inputs[id].SizeTB
+		}
+
+		// Complexity knobs calibrated against Fig. 2b percentiles.
+		joins := quantized(rng, []int{1, 2, 3, 5, 8, 11, 27}, []float64{0.15, 0.25, 0.25, 0.15, 0.1, 0.07, 0.03})
+		aggs := quantized(rng, []int{1, 2, 3, 6, 9, 37, 112}, []float64{0.2, 0.2, 0.25, 0.15, 0.1, 0.07, 0.03})
+		ops := int(105 + 16*float64(joins+aggs) + rng.ExpFloat64()*110)
+		depth := int(15 + 2.4*float64(joins) + rng.ExpFloat64()*7)
+		passes := 1.15 + 0.3*float64(joins) + rng.ExpFloat64()*0.55
+		udfs := quantized(rng, []int{2, 7, 18, 27, 45, 127, 260}, []float64{0.15, 0.2, 0.2, 0.18, 0.15, 0.08, 0.04})
+		udas := quantized(rng, []int{0, 0, 1, 2, 3, 5, 9}, []float64{0.35, 0.2, 0.18, 0.12, 0.08, 0.05, 0.02})
+		qcs := quantized(rng, []int{2, 4, 8, 16, 24, 49, 104}, []float64{0.15, 0.2, 0.25, 0.15, 0.12, 0.09, 0.04})
+
+		hours := sizeSum * passes * (0.5 + rng.ExpFloat64())
+		t.Queries = append(t.Queries, Query{
+			Inputs:        inputs,
+			ClusterHours:  hours,
+			Passes:        passes,
+			FirstPassFrac: 1 / (1.1 + 0.35*(passes-1) + rng.ExpFloat64()*0.5),
+			Operators:     ops,
+			Depth:         depth,
+			Aggregations:  aggs,
+			Joins:         joins,
+			UDAs:          udas,
+			UDFs:          udfs,
+			QCSQVS:        qcs,
+		})
+	}
+	return t
+}
+
+func poissonish(rng *rand.Rand, mean float64) int {
+	n := 0
+	for rng.Float64() < mean/(mean+1) && n < 6 {
+		n++
+		mean *= 0.6
+	}
+	return n
+}
+
+// quantized draws one of vals with the given probabilities, jittering
+// between neighbours.
+func quantized(rng *rand.Rand, vals []int, probs []float64) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x <= acc {
+			v := vals[i]
+			if i+1 < len(vals) && rng.Float64() < 0.5 {
+				v += rng.Intn(vals[i+1] - vals[i] + 1)
+			}
+			return v
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// HeavyTailCurve computes the Fig. 2a series: cumulative fraction of
+// cluster time versus cumulative size of distinct input files, with
+// cluster hours apportioned to inputs proportional to input size.
+func (t *Trace) HeavyTailCurve() (cumSizePB, cumFrac []float64) {
+	hours := make([]float64, len(t.Inputs))
+	for _, q := range t.Queries {
+		var sizeSum float64
+		for _, id := range q.Inputs {
+			sizeSum += t.Inputs[id].SizeTB
+		}
+		if sizeSum == 0 {
+			continue
+		}
+		for _, id := range q.Inputs {
+			hours[id] += q.ClusterHours * t.Inputs[id].SizeTB / sizeSum
+		}
+	}
+	type rec struct {
+		hours float64
+		size  float64
+	}
+	recs := make([]rec, len(t.Inputs))
+	var totalHours float64
+	for i := range t.Inputs {
+		recs[i] = rec{hours: hours[i], size: t.Inputs[i].SizeTB}
+		totalHours += hours[i]
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].hours > recs[j].hours })
+	var cs, ch float64
+	for _, r := range recs {
+		cs += r.size
+		ch += r.hours
+		cumSizePB = append(cumSizePB, cs/1000) // TB -> PB
+		cumFrac = append(cumFrac, ch/totalHours)
+	}
+	return cumSizePB, cumFrac
+}
+
+// Percentiles computes the Fig. 2b table rows for the synthesized
+// queries at the given percentiles (e.g. 25, 50, 75, 90, 95).
+func (t *Trace) Percentiles(ps []float64) map[string][]float64 {
+	get := func(f func(Query) float64) []float64 {
+		xs := make([]float64, len(t.Queries))
+		for i, q := range t.Queries {
+			xs[i] = f(q)
+		}
+		sort.Float64s(xs)
+		out := make([]float64, len(ps))
+		for i, p := range ps {
+			idx := int(p / 100 * float64(len(xs)-1))
+			out[i] = xs[idx]
+		}
+		return out
+	}
+	return map[string][]float64{
+		"# of Passes over Data":     get(func(q Query) float64 { return q.Passes }),
+		"1/firstpass duration frac": get(func(q Query) float64 { return 1 / q.FirstPassFrac }),
+		"# operators":               get(func(q Query) float64 { return float64(q.Operators) }),
+		"depth of operators":        get(func(q Query) float64 { return float64(q.Depth) }),
+		"# Aggregation Ops.":        get(func(q Query) float64 { return float64(q.Aggregations) }),
+		"# Joins":                   get(func(q Query) float64 { return float64(q.Joins) }),
+		"# user-defined aggs.":      get(func(q Query) float64 { return float64(q.UDAs) }),
+		"# user-defined functions":  get(func(q Query) float64 { return float64(q.UDFs) }),
+		"size of QCS+QVS":           get(func(q Query) float64 { return float64(q.QCSQVS) }),
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{NumInputs: 500, NumQueries: 2000, Seed: 9})
+	b := Generate(Config{NumInputs: 500, NumQueries: 2000, Seed: 9})
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("nondeterministic query count")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].ClusterHours != b.Queries[i].ClusterHours {
+			t.Fatal("nondeterministic cluster hours")
+		}
+	}
+}
+
+func TestHeavyTailShape(t *testing.T) {
+	tr := Generate(DefaultConfig())
+	size, frac := tr.HeavyTailCurve()
+	if len(size) == 0 || len(size) != len(frac) {
+		t.Fatal("empty curve")
+	}
+	// Monotone non-decreasing in both axes.
+	for i := 1; i < len(size); i++ {
+		if size[i] < size[i-1] || frac[i] < frac[i-1]-1e-12 {
+			t.Fatal("curve not monotone")
+		}
+	}
+	if math.Abs(frac[len(frac)-1]-1) > 1e-9 {
+		t.Errorf("curve must end at 1, got %v", frac[len(frac)-1])
+	}
+	// The defining heavy-tail property (paper Fig. 2a): the first half
+	// of cluster time needs far less input than the rest.
+	var halfIdx int
+	for i, f := range frac {
+		if f >= 0.5 {
+			halfIdx = i
+			break
+		}
+	}
+	halfSize := size[halfIdx]
+	total := size[len(size)-1]
+	if halfSize > 0.45*total {
+		t.Errorf("not heavy-tailed: half the time touches %.1f of %.1f PB", halfSize, total)
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	tr := Generate(Config{NumInputs: 500, NumQueries: 5000, Seed: 4})
+	rows := tr.Percentiles([]float64{25, 50, 75, 90, 95})
+	for name, vals := range rows {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Errorf("%s percentiles not monotone: %v", name, vals)
+			}
+		}
+	}
+	// Median query must be complex (paper: ~3 joins, ~192 operators).
+	if rows["# Joins"][1] < 1 {
+		t.Errorf("median joins %v", rows["# Joins"][1])
+	}
+	if rows["# operators"][1] < 50 {
+		t.Errorf("median operators %v", rows["# operators"][1])
+	}
+	if rows["# of Passes over Data"][1] < 1.5 {
+		t.Errorf("median passes %v", rows["# of Passes over Data"][1])
+	}
+}

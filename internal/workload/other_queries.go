@@ -1,0 +1,122 @@
+package workload
+
+// TPCHQueries returns the TPC-H-like suite (used for Table 9's
+// cross-benchmark characteristics; these queries are simpler than the
+// TPC-DS-like ones, matching the paper's observation).
+func TPCHQueries() []Query {
+	return []Query{
+		{ID: "h01", Desc: "pricing summary report (Q1-like)", SQL: `
+			SELECT l_returnflag, SUM(l_quantity) AS sum_qty, SUM(l_extendedprice) AS sum_base,
+			       AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+			FROM lineitem
+			GROUP BY l_returnflag`},
+		{ID: "h03", Desc: "shipping priority (Q3-like)", HasLimit: true, SQL: `
+			SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM lineitem
+			JOIN orders ON l_orderkey = o_orderkey
+			JOIN h_customer ON o_custkey = c_custkey
+			WHERE c_mktsegment = 'BUILDING'
+			GROUP BY o_orderkey
+			ORDER BY revenue DESC
+			LIMIT 100`},
+		{ID: "h05", Desc: "local supplier volume (Q5-like)", SQL: `
+			SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM lineitem
+			JOIN orders ON l_orderkey = o_orderkey
+			JOIN h_customer ON o_custkey = c_custkey
+			JOIN nation ON c_nationkey = n_nationkey
+			JOIN region ON n_regionkey = r_regionkey
+			WHERE r_name = 'ASIA'
+			GROUP BY n_name`},
+		{ID: "h06", Desc: "forecasting revenue change (Q6-like)", SQL: `
+			SELECT SUM(l_extendedprice * l_discount) AS revenue, COUNT(*) AS cnt
+			FROM lineitem
+			WHERE l_discount BETWEEN 0.02 AND 0.06 AND l_quantity < 24
+			GROUP BY l_returnflag`},
+		{ID: "h10", Desc: "returned item reporting (Q10-like)", HasLimit: true, SQL: `
+			SELECT c_custkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+			FROM lineitem
+			JOIN orders ON l_orderkey = o_orderkey
+			JOIN h_customer ON o_custkey = c_custkey
+			WHERE l_returnflag = 'R'
+			GROUP BY c_custkey
+			ORDER BY revenue DESC
+			LIMIT 100`},
+		{ID: "h12", Desc: "priority shipping mix (Q12-like)", SQL: `
+			SELECT o_orderpriority, COUNT(*) AS order_count, SUM(o_totalprice) AS value
+			FROM orders
+			GROUP BY o_orderpriority`},
+		{ID: "h14", Desc: "promotion effect (Q14-like)", SQL: `
+			SELECT SUMIF(p_type LIKE 'PROMO%', l_extendedprice * (1 - l_discount)) AS promo_rev,
+			       SUM(l_extendedprice * (1 - l_discount)) AS total_rev
+			FROM lineitem
+			JOIN part ON l_partkey = p_partkey
+			GROUP BY l_returnflag`},
+		{ID: "h17", Desc: "small-quantity revenue per brand", SQL: `
+			SELECT p_brand, AVG(l_extendedprice) AS avg_price, COUNT(*) AS cnt
+			FROM lineitem
+			JOIN part ON l_partkey = p_partkey
+			WHERE l_quantity < 5
+			GROUP BY p_brand`},
+		{ID: "h18", Desc: "large volume customers", HasLimit: true, SQL: `
+			SELECT o_custkey, SUM(l_quantity) AS total_qty
+			FROM lineitem
+			JOIN orders ON l_orderkey = o_orderkey
+			GROUP BY o_custkey
+			ORDER BY total_qty DESC
+			LIMIT 100`},
+		{ID: "h21", Desc: "supplier order mix by nation", SQL: `
+			SELECT n_name, COUNT(*) AS lines, SUM(l_extendedprice) AS value
+			FROM lineitem
+			JOIN supplier ON l_suppkey = s_suppkey
+			JOIN nation ON s_nationkey = n_nationkey
+			GROUP BY n_name`},
+	}
+}
+
+// OtherQueries returns the log-analytics suite standing in for the
+// paper's "BigBench ∪ BigData ∪ ..." workloads: dashboard-style
+// aggregations over a web request log.
+func OtherQueries() []Query {
+	return []Query{
+		{ID: "o01", Desc: "traffic by country", SQL: `
+			SELECT log_country, COUNT(*) AS hits, SUM(log_bytes) AS bytes
+			FROM weblogs
+			GROUP BY log_country`},
+		{ID: "o02", Desc: "error rate per status", SQL: `
+			SELECT log_status, COUNT(*) AS hits, AVG(log_latency_ms) AS avg_latency
+			FROM weblogs
+			GROUP BY log_status`},
+		{ID: "o03", Desc: "top pages by traffic", HasLimit: true, SQL: `
+			SELECT log_url, COUNT(*) AS hits
+			FROM weblogs
+			GROUP BY log_url
+			ORDER BY hits DESC
+			LIMIT 40`},
+		{ID: "o04", Desc: "distinct users per country", SQL: `
+			SELECT log_country, COUNT(DISTINCT log_uid) AS users
+			FROM weblogs
+			GROUP BY log_country`},
+		{ID: "o05", Desc: "latency SLO buckets", SQL: `
+			SELECT log_country,
+			       COUNTIF(log_latency_ms < 50) AS fast,
+			       COUNTIF(log_latency_ms >= 50 AND log_latency_ms < 200) AS ok,
+			       COUNTIF(log_latency_ms >= 200) AS slow
+			FROM weblogs
+			GROUP BY log_country`},
+		{ID: "o06", Desc: "bandwidth by url for errors", SQL: `
+			SELECT log_url, SUM(log_bytes) AS bytes
+			FROM weblogs
+			WHERE log_status >= 400
+			GROUP BY log_url`},
+		{ID: "o07", Desc: "per-user session intensity", SQL: `
+			SELECT log_uid, COUNT(*) AS hits
+			FROM weblogs
+			GROUP BY log_uid`},
+		{ID: "o08", Desc: "global summary", SQL: `
+			SELECT log_status, SUM(log_bytes) AS bytes, AVG(log_latency_ms) AS avg_ms, COUNT(*) AS n
+			FROM weblogs
+			GROUP BY log_status
+			HAVING COUNT(*) > 10`},
+	}
+}

@@ -1,0 +1,303 @@
+// Package workload defines the query suites the experiments run: a
+// TPC-DS-like suite mirroring the shapes the paper evaluates (fact–dim
+// star joins, fact–fact joins on shared keys, group-bys of varying
+// cardinality, *IF aggregates, COUNT DISTINCT, ORDER BY ... LIMIT 100),
+// plus TPC-H-like and log-analytics ("Other") suites for the Table 9
+// cross-benchmark comparison.
+package workload
+
+// Query is one benchmark query.
+type Query struct {
+	ID   string
+	SQL  string
+	Desc string
+	// HasLimit marks queries whose answer is truncated by LIMIT after
+	// ordering on an aggregate — the paper's Fig. 8b distinguishes
+	// "full" answers (before LIMIT) from truncated ones.
+	HasLimit bool
+}
+
+// TPCDSQueries returns the TPC-DS-like suite.
+func TPCDSQueries() []Query {
+	return []Query{
+		{ID: "q01", Desc: "profit by item color and year (Fig. 1 style, 3 fact tables)", SQL: `
+			SELECT i_color, d_year, SUM(ss_net_profit) AS profit, COUNT(DISTINCT ss_customer_sk) AS customers
+			FROM store_sales
+			JOIN store_returns ON ss_customer_sk = sr_customer_sk AND ss_item_sk = sr_item_sk
+			JOIN catalog_sales ON ss_customer_sk = cs_bill_customer_sk
+			JOIN item ON ss_item_sk = i_item_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY i_color, d_year`},
+		{ID: "q02", Desc: "sales by category and year", SQL: `
+			SELECT i_category, d_year, SUM(ss_ext_sales_price) AS total, COUNT(*) AS cnt
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY i_category, d_year`},
+		{ID: "q03", Desc: "brand revenue for one year, top 100", HasLimit: true, SQL: `
+			SELECT i_brand, SUM(ss_ext_sales_price) AS revenue
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE d_year = 2001
+			GROUP BY i_brand
+			ORDER BY revenue DESC
+			LIMIT 20`},
+		{ID: "q04", Desc: "average quantity and profit per store state", SQL: `
+			SELECT s_state, AVG(ss_quantity) AS avg_qty, AVG(ss_net_profit) AS avg_profit
+			FROM store_sales
+			JOIN store ON ss_store_sk = s_store_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE d_year BETWEEN 2000 AND 2002
+			GROUP BY s_state`},
+		{ID: "q05", Desc: "returned vs sold quantity per item class", SQL: `
+			SELECT i_class, SUM(sr_return_quantity) AS returned, COUNT(*) AS return_events
+			FROM store_returns
+			JOIN item ON sr_item_sk = i_item_sk
+			GROUP BY i_class`},
+		{ID: "q06", Desc: "customers per birth country with store purchases", SQL: `
+			SELECT c_birth_country, COUNT(DISTINCT ss_customer_sk) AS buyers, COUNT(*) AS purchases
+			FROM store_sales
+			JOIN customer ON ss_customer_sk = c_customer_sk
+			JOIN item ON ss_item_sk = i_item_sk
+			WHERE i_category IN ('Books', 'Music', 'Sports')
+			GROUP BY c_birth_country`},
+		{ID: "q07", Desc: "store and web cross-channel customers (fact-fact on customer)", SQL: `
+			SELECT d_year, COUNT(DISTINCT ss_customer_sk) AS cross_channel
+			FROM store_sales
+			JOIN web_sales ON ss_customer_sk = ws_bill_customer_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY d_year`},
+		{ID: "q08", Desc: "monthly sales seasonality", SQL: `
+			SELECT d_moy, SUM(ss_ext_sales_price) AS total, AVG(ss_sales_price) AS avg_price
+			FROM store_sales
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY d_moy`},
+		{ID: "q09", Desc: "quantity buckets via SUMIF/COUNTIF", SQL: `
+			SELECT s_state,
+			       SUMIF(ss_quantity <= 5, ss_ext_sales_price) AS small_orders,
+			       SUMIF(ss_quantity > 5, ss_ext_sales_price) AS big_orders,
+			       COUNTIF(ss_quantity > 15) AS bulk_count
+			FROM store_sales
+			JOIN store ON ss_store_sk = s_store_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE d_qoy IN (1, 2)
+			GROUP BY s_state`},
+		{ID: "q10", Desc: "returns rate per color (store facts joined on ticket+item)", SQL: `
+			SELECT i_color, COUNT(*) AS returns_cnt, SUM(sr_return_amt) AS amt
+			FROM store_sales
+			JOIN store_returns ON ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			JOIN item ON ss_item_sk = i_item_sk
+			GROUP BY i_color`},
+		{ID: "q11", Desc: "weekend vs weekday revenue", SQL: `
+			SELECT d_weekend, SUM(ss_ext_sales_price) AS revenue, COUNT(*) AS cnt
+			FROM store_sales
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY d_weekend`},
+		{ID: "q12", Desc: "web revenue by category, one quarter", SQL: `
+			SELECT i_category, SUM(ws_ext_sales_price) AS revenue
+			FROM web_sales
+			JOIN item ON ws_item_sk = i_item_sk
+			JOIN date_dim ON ws_sold_date_sk = d_date_sk
+			WHERE d_year = 2002 AND d_qoy = 1
+			GROUP BY i_category`},
+		{ID: "q13", Desc: "average catalog order value by priority bucket", SQL: `
+			SELECT cs_warehouse_sk, AVG(cs_ext_sales_price) AS avg_value, COUNT(*) AS orders
+			FROM catalog_sales
+			GROUP BY cs_warehouse_sk`},
+		{ID: "q14", Desc: "high-value customers, top 100 by spend", HasLimit: true, SQL: `
+			SELECT ss_customer_sk, SUM(ss_ext_sales_price) AS spend
+			FROM store_sales
+			GROUP BY ss_customer_sk
+			ORDER BY spend DESC
+			LIMIT 100`},
+		{ID: "q15", Desc: "web vs catalog per item (fact-fact on item)", SQL: `
+			SELECT i_category, SUM(ws_ext_sales_price) AS web_rev, SUM(cs_ext_sales_price) AS cat_rev
+			FROM web_sales
+			JOIN catalog_sales ON ws_item_sk = cs_item_sk
+			JOIN item ON ws_item_sk = i_item_sk
+			GROUP BY i_category`},
+		{ID: "q16", Desc: "gender split of preferred customers' purchases", SQL: `
+			SELECT c_gender, COUNT(*) AS purchases, SUM(ss_ext_sales_price) AS revenue
+			FROM store_sales
+			JOIN customer ON ss_customer_sk = c_customer_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE c_preferred_flag = TRUE AND d_year > 2000
+			GROUP BY c_gender`},
+		{ID: "q17", Desc: "unapproximable: per-ticket detail group", SQL: `
+			SELECT ss_ticket_number, SUM(ss_ext_sales_price) AS amt
+			FROM store_sales
+			GROUP BY ss_ticket_number`},
+		{ID: "q18", Desc: "unapproximable: MAX price per category", SQL: `
+			SELECT i_category, MAX(ss_sales_price) AS max_price, MIN(ss_sales_price) AS min_price
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			GROUP BY i_category`},
+		{ID: "q19", Desc: "manager revenue for a size subset, top 100", HasLimit: true, SQL: `
+			SELECT i_manager_id, SUM(ss_ext_sales_price) AS revenue
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			WHERE i_size IN ('small', 'medium')
+			GROUP BY i_manager_id
+			ORDER BY revenue DESC
+			LIMIT 25`},
+		{ID: "q20", Desc: "promo effectiveness via email channel", SQL: `
+			SELECT p_channel_email, SUM(ss_net_profit) AS profit, COUNT(*) AS cnt
+			FROM store_sales
+			JOIN promotion ON ss_promo_sk = p_promo_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE d_weekend = FALSE
+			GROUP BY p_channel_email`},
+		{ID: "q21", Desc: "yearly web profit trend with filter on price", SQL: `
+			SELECT d_year, SUM(ws_net_profit) AS profit
+			FROM web_sales
+			JOIN date_dim ON ws_sold_date_sk = d_date_sk
+			WHERE ws_sales_price > 50
+			GROUP BY d_year`},
+		{ID: "q22", Desc: "small-input query (critical-path limited)", SQL: `
+			SELECT w_state, SUM(w_sq_ft) AS space, COUNT(*) AS cnt
+			FROM warehouse
+			GROUP BY w_state`},
+		{ID: "q23", Desc: "catalog+web returns union per item color", SQL: `
+			SELECT i_color, SUM(ret_amt) AS total_returned
+			FROM (
+				SELECT cr_item_sk AS item_sk, cr_return_amount AS ret_amt FROM catalog_returns
+				UNION ALL
+				SELECT wr_item_sk AS item_sk, wr_return_amt AS ret_amt FROM web_returns
+			) AS r
+			JOIN item ON item_sk = i_item_sk
+			GROUP BY i_color`},
+		{ID: "q24", Desc: "store revenue per city and year", SQL: `
+			SELECT s_city, d_year, SUM(ss_ext_sales_price) AS revenue
+			FROM store_sales
+			JOIN store ON ss_store_sk = s_store_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY s_city, d_year`},
+		{ID: "q25", Desc: "distinct items sold per store", SQL: `
+			SELECT s_store_id, COUNT(DISTINCT ss_item_sk) AS items_sold
+			FROM store_sales
+			JOIN store ON ss_store_sk = s_store_sk
+			GROUP BY s_store_id`},
+		{ID: "q26", Desc: "orders returned on web (fact-fact on order+item)", SQL: `
+			SELECT d_year, COUNT(DISTINCT ws_order_number) AS returned_orders, SUM(wr_return_amt) AS amt
+			FROM web_sales
+			JOIN web_returns ON ws_order_number = wr_order_number AND ws_item_sk = wr_item_sk
+			JOIN date_dim ON ws_sold_date_sk = d_date_sk
+			GROUP BY d_year`},
+		{ID: "q27", Desc: "average discount effect by brand, filtered", HasLimit: true, SQL: `
+			SELECT i_brand, AVG(ss_list_price - ss_sales_price) AS avg_discount
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			WHERE ss_quantity BETWEEN 5 AND 15
+			GROUP BY i_brand
+			ORDER BY avg_discount DESC
+			LIMIT 20`},
+		{ID: "q28", Desc: "profit per category/class rollup level", SQL: `
+			SELECT i_category, i_class, SUM(ss_net_profit) AS profit
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			GROUP BY i_category, i_class`},
+		{ID: "q29", Desc: "quarterly catalog sales with HAVING", SQL: `
+			SELECT d_qoy, SUM(cs_ext_sales_price) AS revenue
+			FROM catalog_sales
+			JOIN date_dim ON cs_sold_date_sk = d_date_sk
+			GROUP BY d_qoy
+			HAVING SUM(cs_ext_sales_price) > 1000`},
+		{ID: "q30", Desc: "store sales left join returns: unreturned revenue", SQL: `
+			SELECT s_state, SUMIF(sr_ticket_number IS NULL, ss_ext_sales_price) AS kept_revenue,
+			       COUNTIF(sr_ticket_number IS NOT NULL) AS returned_cnt
+			FROM store_sales
+			LEFT JOIN store_returns ON ss_ticket_number = sr_ticket_number AND ss_item_sk = sr_item_sk
+			JOIN store ON ss_store_sk = s_store_sk
+			GROUP BY s_state`},
+		{ID: "q31", Desc: "birth-decade spending profile", SQL: `
+			SELECT CEILDIV(c_birth_year, 10) AS decade, SUM(ss_ext_sales_price) AS spend, COUNT(*) AS cnt
+			FROM store_sales
+			JOIN customer ON ss_customer_sk = c_customer_sk
+			GROUP BY CEILDIV(c_birth_year, 10)`},
+		{ID: "q32", Desc: "three-channel customer count by year (Fig. 1 variant)", SQL: `
+			SELECT d_year, COUNT(DISTINCT ss_customer_sk) AS customers, SUM(ss_net_profit) AS profit
+			FROM store_sales
+			JOIN store_returns ON ss_customer_sk = sr_customer_sk
+			JOIN web_sales ON ss_customer_sk = ws_bill_customer_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY d_year`},
+		{ID: "q33", Desc: "color revenue, red-ish only (selective filter)", SQL: `
+			SELECT i_color, SUM(ss_ext_sales_price) AS revenue
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			WHERE i_color IN ('red', 'pink', 'maroon')
+			GROUP BY i_color`},
+		{ID: "q34", Desc: "day-name traffic profile", SQL: `
+			SELECT d_day_name, COUNT(*) AS transactions, AVG(ss_quantity) AS avg_qty
+			FROM store_sales
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			GROUP BY d_day_name`},
+		{ID: "q35", Desc: "unapproximable: per item and day detail", SQL: `
+			SELECT ss_item_sk, ss_sold_date_sk, SUM(ss_ext_sales_price) AS amt
+			FROM store_sales
+			GROUP BY ss_item_sk, ss_sold_date_sk`},
+		{ID: "q36", Desc: "catalog profit by warehouse state", SQL: `
+			SELECT w_state, SUM(cs_net_profit) AS profit
+			FROM catalog_sales
+			JOIN warehouse ON cs_warehouse_sk = w_warehouse_sk
+			GROUP BY w_state`},
+		{ID: "q37", Desc: "derived table: average of per-customer totals", SQL: `
+			SELECT c_birth_country, AVG(spend) AS avg_spend
+			FROM (
+				SELECT ss_customer_sk AS cust, SUM(ss_ext_sales_price) AS spend
+				FROM store_sales
+				GROUP BY ss_customer_sk
+			) AS per_cust
+			JOIN customer ON cust = c_customer_sk
+			GROUP BY c_birth_country`},
+		{ID: "q38", Desc: "store vs catalog buyers per year (fact-fact on customer)", SQL: `
+			SELECT d_year, COUNT(DISTINCT cs_bill_customer_sk) AS buyers, SUM(cs_ext_sales_price) AS rev
+			FROM catalog_sales
+			JOIN store_sales ON cs_bill_customer_sk = ss_customer_sk
+			JOIN date_dim ON cs_sold_date_sk = d_date_sk
+			GROUP BY d_year`},
+		{ID: "q39", Desc: "price-tier revenue via CASE", SQL: `
+			SELECT i_category,
+			       SUMIF(ss_sales_price < 20, ss_ext_sales_price) AS budget_rev,
+			       SUMIF(ss_sales_price >= 20 AND ss_sales_price < 60, ss_ext_sales_price) AS mid_rev,
+			       SUMIF(ss_sales_price >= 60, ss_ext_sales_price) AS premium_rev
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			GROUP BY i_category`},
+		{ID: "q40", Desc: "web order size distribution, top 100", HasLimit: true, SQL: `
+			SELECT ws_quantity, COUNT(*) AS cnt, AVG(ws_ext_sales_price) AS avg_rev
+			FROM web_sales
+			GROUP BY ws_quantity
+			ORDER BY cnt DESC
+			LIMIT 5`},
+		{ID: "q41", Desc: "store traffic per market and gender", SQL: `
+			SELECT s_market_id, c_gender, COUNT(*) AS visits
+			FROM store_sales
+			JOIN store ON ss_store_sk = s_store_sk
+			JOIN customer ON ss_customer_sk = c_customer_sk
+			JOIN date_dim ON ss_sold_date_sk = d_date_sk
+			WHERE d_moy BETWEEN 3 AND 9
+			GROUP BY s_market_id, c_gender`},
+		{ID: "q43", Desc: "skewed-SUM: coupon spend per category (bucket stratification)", SQL: `
+			SELECT i_category, SUM(ss_coupon_amt) AS coupons, COUNT(*) AS cnt
+			FROM store_sales
+			JOIN item ON ss_item_sk = i_item_sk
+			GROUP BY i_category`},
+		{ID: "q44", Desc: "windowed: rank states by revenue within each year", SQL: `
+			SELECT st, yr, rev, RANK() OVER (PARTITION BY yr ORDER BY rev DESC) AS rk,
+			       SUM(rev) OVER (PARTITION BY yr) AS year_total
+			FROM (
+				SELECT s_state AS st, d_year AS yr, SUM(ss_ext_sales_price) AS rev
+				FROM store_sales
+				JOIN store ON ss_store_sk = s_store_sk
+				JOIN date_dim ON ss_sold_date_sk = d_date_sk
+				GROUP BY s_state, d_year
+			) AS per_state`},
+		{ID: "q42", Desc: "returns by day name and year", SQL: `
+			SELECT d_day_name, d_year, COUNT(*) AS returns_cnt, AVG(sr_return_amt) AS avg_amt
+			FROM store_returns
+			JOIN date_dim ON sr_returned_date_sk = d_date_sk
+			GROUP BY d_day_name, d_year`},
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"quickr/internal/sql"
+)
+
+func TestAllQueriesParse(t *testing.T) {
+	suites := map[string][]Query{
+		"tpcds": TPCDSQueries(),
+		"tpch":  TPCHQueries(),
+		"other": OtherQueries(),
+	}
+	seen := map[string]bool{}
+	for name, qs := range suites {
+		if len(qs) == 0 {
+			t.Fatalf("%s: empty suite", name)
+		}
+		for _, q := range qs {
+			if seen[q.ID] {
+				t.Errorf("duplicate query id %s", q.ID)
+			}
+			seen[q.ID] = true
+			if q.Desc == "" {
+				t.Errorf("%s: missing description", q.ID)
+			}
+			stmt, err := sql.Parse(q.SQL)
+			if err != nil {
+				t.Errorf("%s does not parse: %v", q.ID, err)
+				continue
+			}
+			if q.HasLimit && stmt.Limit < 0 {
+				t.Errorf("%s: HasLimit set but no LIMIT clause", q.ID)
+			}
+			if !q.HasLimit && stmt.Limit >= 0 && len(stmt.OrderBy) > 0 {
+				t.Errorf("%s: has ORDER BY ... LIMIT but HasLimit unset", q.ID)
+			}
+		}
+	}
+	if len(TPCDSQueries()) < 40 {
+		t.Errorf("TPC-DS suite has only %d queries", len(TPCDSQueries()))
+	}
+}
+
+func TestSuiteShapeDiversity(t *testing.T) {
+	// The suite must exercise the paper's Table-1 surface: fact-fact
+	// joins, COUNT DISTINCT, *IF aggregates, outer joins, unions,
+	// derived tables and LIMIT queries.
+	var joins, countDistinct, ifAggs, outer, unions, derived, limits int
+	for _, q := range TPCDSQueries() {
+		u := strings.ToUpper(q.SQL)
+		if strings.Count(u, "JOIN ") >= 2 {
+			joins++
+		}
+		if strings.Contains(u, "COUNT(DISTINCT") {
+			countDistinct++
+		}
+		if strings.Contains(u, "SUMIF") || strings.Contains(u, "COUNTIF") {
+			ifAggs++
+		}
+		if strings.Contains(u, "LEFT JOIN") {
+			outer++
+		}
+		if strings.Contains(u, "UNION ALL") {
+			unions++
+		}
+		if strings.Contains(u, "FROM (") {
+			derived++
+		}
+		if q.HasLimit {
+			limits++
+		}
+	}
+	checks := map[string]int{
+		"multi-join":     joins,
+		"count distinct": countDistinct,
+		"*IF aggregates": ifAggs,
+		"outer join":     outer,
+		"union all":      unions,
+		"derived table":  derived,
+		"limit":          limits,
+	}
+	for name, n := range checks {
+		if n == 0 {
+			t.Errorf("suite lacks %s queries", name)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package quickr is a Go implementation of Quickr (Kandula et al.,
+// SIGMOD 2016): a big-data query engine that lazily approximates
+// complex ad-hoc queries by injecting samplers into the query plan at
+// optimization time, with no pre-existing samples required.
+//
+// The engine parses a large SQL subset, optimizes it with a cost-based
+// optimizer in which samplers are first-class operators (the ASALQA
+// algorithm), and executes the plan on an in-memory partitioned runtime
+// that also simulates cluster costs, so every run reports machine-hours,
+// runtime, intermediate data, shuffled data and effective passes over
+// the data alongside the (real) answer.
+//
+// Basic usage:
+//
+//	eng := quickr.New()
+//	eng.CreateTable("sales", []quickr.Column{
+//	    {Name: "item", Type: quickr.Int},
+//	    {Name: "amount", Type: quickr.Float},
+//	}, 4)
+//	eng.Insert("sales", rows)
+//	exact, _ := eng.Exec("SELECT item, SUM(amount) FROM sales GROUP BY item")
+//	approx, _ := eng.ExecApprox("SELECT item, SUM(amount) FROM sales GROUP BY item")
+package quickr
+
+import (
+	"fmt"
+	"time"
+
+	"quickr/internal/accuracy"
+	"quickr/internal/catalog"
+	"quickr/internal/cluster"
+	"quickr/internal/core"
+	"quickr/internal/exec"
+	"quickr/internal/lplan"
+	"quickr/internal/opt"
+	"quickr/internal/sql"
+	"quickr/internal/table"
+)
+
+// ColType is a column type for CreateTable.
+type ColType int
+
+// Column types.
+const (
+	Int ColType = iota
+	Float
+	String
+	Bool
+)
+
+// Column defines one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Engine is a Quickr database instance.
+type Engine struct {
+	cat  *catalog.Catalog
+	cfg  cluster.Config
+	opts core.Options
+}
+
+// New creates an engine with default cluster-simulation and ASALQA
+// parameters.
+func New() *Engine {
+	return &Engine{
+		cat:  catalog.New(),
+		cfg:  cluster.DefaultConfig(),
+		opts: core.DefaultOptions(),
+	}
+}
+
+// SetClusterConfig overrides the cluster simulator configuration.
+func (e *Engine) SetClusterConfig(cfg cluster.Config) { e.cfg = cfg }
+
+// SetOptions overrides the ASALQA parameters.
+func (e *Engine) SetOptions(o core.Options) { e.opts = o }
+
+// Options returns the current ASALQA parameters.
+func (e *Engine) Options() core.Options { return e.opts }
+
+// CreateTable registers an empty table with the given columns, split
+// into parts partitions.
+func (e *Engine) CreateTable(name string, cols []Column, parts int) error {
+	sc := &table.Schema{}
+	for _, c := range cols {
+		var k table.Kind
+		switch c.Type {
+		case Int:
+			k = table.KindInt
+		case Float:
+			k = table.KindFloat
+		case String:
+			k = table.KindString
+		case Bool:
+			k = table.KindBool
+		default:
+			return fmt.Errorf("quickr: unknown column type %d", c.Type)
+		}
+		sc.Cols = append(sc.Cols, table.Column{Name: c.Name, Kind: k})
+	}
+	e.cat.Register(table.New(name, sc, parts))
+	return nil
+}
+
+// Insert appends rows (of Go values: int/int64, float64, string, bool,
+// nil) to a table, spreading them round-robin over partitions.
+func (e *Engine) Insert(name string, rows [][]any) error {
+	t, err := e.cat.Table(name)
+	if err != nil {
+		return err
+	}
+	for i, r := range rows {
+		row := make(table.Row, len(r))
+		for j, v := range r {
+			val, err := toValue(v)
+			if err != nil {
+				return fmt.Errorf("quickr: row %d col %d: %w", i, j, err)
+			}
+			row[j] = val
+		}
+		t.Append(i, row)
+	}
+	return nil
+}
+
+func toValue(v any) (table.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return table.Null, nil
+	case int:
+		return table.NewInt(int64(x)), nil
+	case int64:
+		return table.NewInt(x), nil
+	case float64:
+		return table.NewFloat(x), nil
+	case string:
+		return table.NewString(x), nil
+	case bool:
+		return table.NewBool(x), nil
+	case table.Value:
+		return x, nil
+	}
+	return table.Value{}, fmt.Errorf("unsupported value type %T", v)
+}
+
+// SetPrimaryKey declares a table's primary key (used to recognize
+// foreign-key joins with dimension tables).
+func (e *Engine) SetPrimaryKey(tableName string, cols ...string) {
+	e.cat.SetPrimaryKey(tableName, cols...)
+}
+
+// RegisterStored registers a pre-built internal table (used by the
+// bundled data generators and benchmarks).
+func (e *Engine) RegisterStored(t *table.Table, pk ...string) {
+	e.cat.Register(t)
+	if len(pk) > 0 {
+		e.cat.SetPrimaryKey(t.Name, pk...)
+	}
+}
+
+// Catalog exposes the underlying catalog (for the bundled experiment
+// harness).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Exec runs the query exactly (the Baseline plan: same optimizer, no
+// samplers).
+func (e *Engine) Exec(query string) (*Result, error) {
+	return e.run(query, false)
+}
+
+// ExecApprox runs the query through ASALQA: if an accuracy-feasible
+// sampled plan is cheaper, it executes with samplers and the result
+// carries per-group estimates and standard errors; otherwise the exact
+// plan runs and Result.Unapproximable is set.
+func (e *Engine) ExecApprox(query string) (*Result, error) {
+	return e.run(query, true)
+}
+
+func (e *Engine) run(query string, approx bool) (*Result, error) {
+	prep, err := e.prepare(query, approx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(prep.physical, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res, prep), nil
+}
+
+// prepared carries everything Plan/Exec produce before execution.
+type prepared struct {
+	logical        lplan.Node
+	physical       exec.PNode
+	sampled        bool
+	unapproximable bool
+	samplers       []SamplerInfo
+	notes          []string
+	analysis       *accuracy.Analysis
+	optTime        time.Duration
+}
+
+func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	binder := catalog.NewBinder(e.cat)
+	logical, err := binder.Bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	est := opt.NewEstimator(e.cat)
+	cm := opt.NewCostModel(est, e.cfg)
+	logical = opt.Normalize(logical, est)
+
+	p := &prepared{logical: logical}
+	var estCfg *exec.EstimatorConfig
+	if approx {
+		asalqa := core.New(est, cm, e.opts)
+		res, err := asalqa.Place(logical)
+		if err != nil {
+			return nil, err
+		}
+		p.logical = res.Plan
+		p.sampled = res.Sampled
+		p.unapproximable = res.Unapproximable
+		p.notes = res.Notes
+		for _, s := range res.Samplers {
+			p.samplers = append(p.samplers, SamplerInfo{
+				Type:  s.Def.Type.String(),
+				P:     s.Def.P,
+				Delta: s.Def.Delta,
+			})
+		}
+		if res.Sampled {
+			an := accuracy.Analyze(res.Plan)
+			p.analysis = an
+			estCfg = &exec.EstimatorConfig{Type: an.Type, P: an.P, UniverseCols: an.UniverseCols}
+		}
+	}
+	planner := &opt.Planner{CM: cm, EstCfg: estCfg}
+	physical, err := planner.Plan(p.logical)
+	if err != nil {
+		return nil, err
+	}
+	p.physical = physical
+	p.optTime = time.Since(start)
+	return p, nil
+}
+
+// Plan optimizes without executing and returns plan information.
+func (e *Engine) Plan(query string, approx bool) (*PlanInfo, error) {
+	p, err := e.prepare(query, approx)
+	if err != nil {
+		return nil, err
+	}
+	info := &PlanInfo{
+		Logical:        lplan.Format(p.logical),
+		Physical:       exec.FormatPlan(p.physical),
+		Sampled:        p.sampled,
+		Unapproximable: approx && p.unapproximable,
+		Samplers:       p.samplers,
+		Notes:          p.notes,
+		OptimizeTime:   p.optTime,
+	}
+	if p.analysis != nil {
+		info.AccuracyTrace = p.analysis.Trace
+		info.EffectiveP = p.analysis.P
+		info.RootSampler = p.analysis.Type.String()
+	}
+	return info, nil
+}
+
+// PlanInfo describes an optimized plan.
+type PlanInfo struct {
+	Logical        string
+	Physical       string
+	Sampled        bool
+	Unapproximable bool
+	Samplers       []SamplerInfo
+	Notes          []string
+	AccuracyTrace  []string
+	EffectiveP     float64
+	RootSampler    string
+	OptimizeTime   time.Duration
+}
+
+// SamplerInfo summarizes one materialized sampler.
+type SamplerInfo struct {
+	Type  string
+	P     float64
+	Delta int
+}

@@ -1,0 +1,136 @@
+package quickr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildSalesEngine creates a small star schema: a fact table with
+// skewed keys and a dimension table, enough to exercise exact and
+// approximate paths end to end.
+func buildSalesEngine(t testing.TB, rows int) *Engine {
+	t.Helper()
+	eng := New()
+	if err := eng.CreateTable("item", []Column{
+		{Name: "i_item_sk", Type: Int},
+		{Name: "i_color", Type: String},
+		{Name: "i_price", Type: Float},
+	}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreateTable("sales", []Column{
+		{Name: "s_item_sk", Type: Int},
+		{Name: "s_customer_sk", Type: Int},
+		{Name: "s_amount", Type: Float},
+		{Name: "s_quantity", Type: Int},
+	}, 8); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetPrimaryKey("item", "i_item_sk")
+
+	colors := []string{"red", "green", "blue", "black", "white"}
+	var items [][]any
+	const numItems = 50
+	for i := 0; i < numItems; i++ {
+		items = append(items, []any{i, colors[i%len(colors)], 1.0 + float64(i%20)})
+	}
+	if err := eng.Insert("item", items); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var sales [][]any
+	for i := 0; i < rows; i++ {
+		item := int(math.Floor(math.Pow(rng.Float64(), 2) * numItems)) // skewed
+		cust := rng.Intn(rows / 10)
+		sales = append(sales, []any{item, cust, 10 + 5*rng.Float64(), 1 + rng.Intn(5)})
+	}
+	if err := eng.Insert("sales", sales); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestExecExactGroupBy(t *testing.T) {
+	eng := buildSalesEngine(t, 5000)
+	res, err := eng.Exec(`
+		SELECT i_color, SUM(s_amount) AS total, COUNT(*) AS cnt
+		FROM sales JOIN item ON s_item_sk = i_item_sk
+		GROUP BY i_color`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 color groups, got %d: %v", len(res.Rows), res.Rows)
+	}
+	var total float64
+	var cnt int64
+	for _, row := range res.Rows {
+		total += row[1].(float64)
+		cnt += row[2].(int64)
+	}
+	if cnt != 5000 {
+		t.Errorf("COUNT(*) sums to %d, want 5000", cnt)
+	}
+	if total < 5000*10 || total > 5000*15 {
+		t.Errorf("SUM out of range: %v", total)
+	}
+	if res.Metrics.MachineHours <= 0 || res.Metrics.Passes <= 0 {
+		t.Errorf("metrics not populated: %+v", res.Metrics)
+	}
+}
+
+func TestExecApproxMatchesExactShape(t *testing.T) {
+	eng := buildSalesEngine(t, 20000)
+	q := `
+		SELECT i_color, SUM(s_amount) AS total
+		FROM sales JOIN item ON s_item_sk = i_item_sk
+		GROUP BY i_color`
+	exact, err := eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := eng.ExecApprox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.Sampled {
+		t.Fatalf("expected a sampled plan; plan:\n%s", approx.PlanText)
+	}
+	if len(approx.Rows) != len(exact.Rows) {
+		t.Fatalf("missed groups: exact %d vs approx %d", len(exact.Rows), len(approx.Rows))
+	}
+	exactByColor := map[string]float64{}
+	for _, r := range exact.Rows {
+		exactByColor[r[0].(string)] = r[1].(float64)
+	}
+	for _, r := range approx.Rows {
+		want := exactByColor[r[0].(string)]
+		got := r[1].(float64)
+		if relErr := math.Abs(got-want) / want; relErr > 0.25 {
+			t.Errorf("color %v: exact %.1f approx %.1f relerr %.3f", r[0], want, got, relErr)
+		}
+	}
+	if approx.Metrics.MachineHours >= exact.Metrics.MachineHours {
+		t.Errorf("approx not cheaper: %.0f vs %.0f machine-time",
+			approx.Metrics.MachineHours, exact.Metrics.MachineHours)
+	}
+}
+
+func TestPlanReportsSamplers(t *testing.T) {
+	eng := buildSalesEngine(t, 20000)
+	info, err := eng.Plan(`
+		SELECT i_color, COUNT(*) AS c
+		FROM sales JOIN item ON s_item_sk = i_item_sk
+		GROUP BY i_color`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Sampled || len(info.Samplers) == 0 {
+		t.Fatalf("expected samplers in plan:\n%s\nnotes: %v", info.Physical, info.Notes)
+	}
+	if info.OptimizeTime <= 0 {
+		t.Error("optimize time not recorded")
+	}
+}

@@ -1,0 +1,141 @@
+package quickr
+
+import (
+	"fmt"
+	"strings"
+
+	"quickr/internal/cluster"
+	"quickr/internal/exec"
+	"quickr/internal/table"
+)
+
+// Result is the outcome of executing a query.
+type Result struct {
+	// Columns are the output column names, in order.
+	Columns []string
+	// Rows are the output rows as native Go values (int64, float64,
+	// string, bool, or nil for SQL NULL).
+	Rows [][]any
+	// Metrics are the simulated cluster costs of the run.
+	Metrics cluster.Metrics
+	// Estimates carry per-group values, standard errors and sample
+	// support from the top aggregation (populated for sampled plans and
+	// exact plans alike; exact plans report zero standard error).
+	Estimates []GroupEstimate
+	// Sampled reports whether the executed plan contained samplers.
+	Sampled bool
+	// Unapproximable is set when ExecApprox fell back to the exact plan.
+	Unapproximable bool
+	// Samplers lists the samplers in the executed plan.
+	Samplers []SamplerInfo
+	// PlanText is the executed physical plan, for EXPLAIN-style output.
+	PlanText string
+	// StageReport is the per-stage accounting of the simulated run.
+	StageReport string
+	// OptimizeTime is the time spent in query optimization.
+	OptimizeTime float64 // seconds
+	// InternalRows exposes the raw rows for in-module tooling.
+	InternalRows []table.Row
+}
+
+// GroupEstimate is the public view of one aggregated group.
+type GroupEstimate struct {
+	// Key holds the group-by values.
+	Key []any
+	// Values holds the aggregate estimates.
+	Values []any
+	// StdErr holds the standard error of each aggregate's HT estimator
+	// (0 for exact runs and for MIN/MAX/COUNT DISTINCT).
+	StdErr []float64
+	// CI95 is the half-width of the 95% confidence interval per
+	// aggregate (1.96 × StdErr).
+	CI95 []float64
+	// SampleRows is the number of sample rows supporting the group.
+	SampleRows int64
+}
+
+func newResult(r *exec.Result, p *prepared) *Result {
+	out := &Result{
+		Metrics:        r.Metrics,
+		Sampled:        p.sampled,
+		Unapproximable: p.unapproximable,
+		Samplers:       p.samplers,
+		PlanText:       r.PlanText,
+		StageReport:    r.StageReport,
+		OptimizeTime:   p.optTime.Seconds(),
+		InternalRows:   r.Rows,
+	}
+	for _, c := range r.Cols {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, rowToAny(row))
+	}
+	for _, g := range r.Estimates {
+		ge := GroupEstimate{
+			Key:        valsToAny(g.Key),
+			Values:     valsToAny(g.Values),
+			StdErr:     g.StdErr,
+			SampleRows: g.SampleRows,
+		}
+		ge.CI95 = make([]float64, len(g.StdErr))
+		for i, se := range g.StdErr {
+			ge.CI95[i] = 1.96 * se
+		}
+		out.Estimates = append(out.Estimates, ge)
+	}
+	return out
+}
+
+func rowToAny(r table.Row) []any {
+	return valsToAny(r)
+}
+
+func valsToAny(vals []table.Value) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		switch v.Kind() {
+		case table.KindNull:
+			out[i] = nil
+		case table.KindInt:
+			out[i] = v.Int()
+		case table.KindFloat:
+			out[i] = v.Float()
+		case table.KindString:
+			out[i] = v.Str()
+		case table.KindBool:
+			out[i] = v.Bool()
+		}
+	}
+	return out
+}
+
+// Format renders the result as an aligned text table (up to max rows;
+// max<=0 means all).
+func (r *Result) Format(max int) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, "\t"))
+	b.WriteByte('\n')
+	n := len(r.Rows)
+	if max > 0 && n > max {
+		n = max
+	}
+	for _, row := range r.Rows[:n] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				parts[i] = "NULL"
+			} else if f, ok := v.(float64); ok {
+				parts[i] = fmt.Sprintf("%.4g", f)
+			} else {
+				parts[i] = fmt.Sprint(v)
+			}
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	if n < len(r.Rows) {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(r.Rows)-n)
+	}
+	return b.String()
+}
