@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test race bench smoke-bench lint fmt fmt-check vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job covers the packages with real concurrency: the parallel
+# executor and the samplers it drives.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/sampler/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Tiny-scale bench emitting a JSON run report, then a schema check that
+# the per-operator counters survived.
+smoke-bench:
+	$(GO) run ./cmd/quickr-bench -exp SMOKE -sf 0.1 -json .
+	$(GO) run ./cmd/benchcheck BENCH_SMOKE.json
+
+vet:
+	$(GO) vet ./...
+
+lint: vet fmt-check
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

@@ -1,0 +1,142 @@
+// Command benchcheck validates the schema of the BENCH_*.json run
+// reports quickr-bench writes. CI runs it after the smoke bench so a
+// refactor that silently drops per-operator counters (or renames a
+// field dashboards consume) fails the build instead of producing empty
+// reports.
+//
+// Usage:
+//
+//	benchcheck BENCH_SMOKE.json [more.json...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// operatorFields are required on every operator entry: the per-operator
+// counters the observability layer promises.
+var operatorFields = []string{
+	"id", "kind", "detail", "depth", "est_rows", "partitions",
+	"rows_in", "rows_out", "bytes_in", "bytes_out", "wall_ms",
+	"sampler_seen", "sampler_passed", "sampler_rate",
+	"sketch_entries", "build_rows", "probe_rows",
+}
+
+// metricsFields are required on every run's cluster-metrics block.
+var metricsFields = []string{
+	"machine_hours", "runtime", "intermediate_bytes", "shuffled_bytes",
+	"passes", "tasks", "stages", "optimize_seconds",
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		if errs := checkFile(path); len(errs) > 0 {
+			bad++
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, e)
+			}
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) []error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return []error{fmt.Errorf("not a JSON object: %w", err)}
+	}
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	for _, k := range []string{"experiment", "scale_factor", "queries"} {
+		if _, ok := top[k]; !ok {
+			fail("missing top-level field %q", k)
+		}
+	}
+	var queries []map[string]json.RawMessage
+	if q, ok := top["queries"]; ok {
+		if err := json.Unmarshal(q, &queries); err != nil {
+			fail("queries is not an array of objects: %v", err)
+		}
+	}
+	if len(queries) == 0 {
+		fail("report contains no queries")
+	}
+	for i, q := range queries {
+		qname := fmt.Sprintf("queries[%d]", i)
+		if id, ok := q["id"]; ok {
+			var s string
+			if json.Unmarshal(id, &s) == nil && s != "" {
+				qname = s
+			}
+		} else {
+			fail("%s: missing id", qname)
+		}
+		for _, k := range []string{"sampled", "rate_checks", "rate_failures", "approx"} {
+			if _, ok := q[k]; !ok {
+				fail("%s: missing field %q", qname, k)
+			}
+		}
+		var nFail int
+		if rf, ok := q["rate_failures"]; ok {
+			if json.Unmarshal(rf, &nFail) == nil && nFail > 0 {
+				fail("%s: %d sampler rate invariants failed", qname, nFail)
+			}
+		}
+		approx, ok := q["approx"]
+		if !ok {
+			continue
+		}
+		var run map[string]json.RawMessage
+		if err := json.Unmarshal(approx, &run); err != nil {
+			fail("%s: approx is not an object: %v", qname, err)
+			continue
+		}
+		var mblock map[string]json.RawMessage
+		if m, ok := run["metrics"]; !ok {
+			fail("%s: approx missing metrics", qname)
+		} else if err := json.Unmarshal(m, &mblock); err != nil {
+			fail("%s: approx.metrics is not an object: %v", qname, err)
+		} else {
+			for _, k := range metricsFields {
+				if _, ok := mblock[k]; !ok {
+					fail("%s: approx.metrics missing %q", qname, k)
+				}
+			}
+		}
+		var ops []map[string]json.RawMessage
+		if o, ok := run["operators"]; !ok {
+			fail("%s: approx missing operators", qname)
+			continue
+		} else if err := json.Unmarshal(o, &ops); err != nil {
+			fail("%s: approx.operators is not an array: %v", qname, err)
+			continue
+		}
+		if len(ops) == 0 {
+			fail("%s: approx.operators is empty", qname)
+		}
+		for j, op := range ops {
+			for _, k := range operatorFields {
+				if _, ok := op[k]; !ok {
+					fail("%s: operators[%d] missing %q", qname, j, k)
+				}
+			}
+		}
+	}
+	return errs
+}

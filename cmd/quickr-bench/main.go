@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9] [-sf 1.0]
+//	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9|SMOKE|BENCH] [-sf 1.0] [-json dir]
+//
+// SMOKE runs a tiny per-suite query subset; BENCH runs the full query
+// suites. With -json, both write a machine-readable BENCH_<exp>.json
+// run report (per-query gains, errors, sampler rate checks, and
+// per-operator execution counters) into the given directory; CI's
+// cmd/benchcheck validates that file's schema.
 package main
 
 import (
@@ -13,11 +19,13 @@ import (
 	"strings"
 
 	"quickr/internal/experiments"
+	"quickr/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1,F2a,F2b,T3..T9,F8a..F8c,F9) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1,F2a,F2b,T3..T9,F8a..F8c,F9,SMOKE,BENCH) or 'all'")
 	sf := flag.Float64("sf", 1.0, "scale factor for the synthetic datasets")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<exp>.json reports into (SMOKE/BENCH)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -40,6 +48,48 @@ func main() {
 		os.Exit(1)
 	}
 	section := func(s string) { fmt.Println("\n" + strings.Repeat("=", 80) + "\n" + s) }
+
+	// SMOKE/BENCH emit machine-readable run reports; they are opt-in
+	// (not part of 'all', which regenerates the paper's human-readable
+	// tables and figures).
+	runReport := func(id string, queries []workload.Query) {
+		rep, err := experiments.BuildBenchReport(getEnv(), queries, id, *sf)
+		if err != nil {
+			fail(id, err)
+		}
+		sampled, failures := 0, 0
+		for _, q := range rep.Queries {
+			if q.Sampled {
+				sampled++
+			}
+			failures += q.RateFailures
+		}
+		fmt.Printf("%s: %d queries (%d sampled), %d sampler rate failures\n",
+			id, len(rep.Queries), sampled, failures)
+		if *jsonDir != "" {
+			path, err := rep.Write(*jsonDir)
+			if err != nil {
+				fail(id, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if failures > 0 {
+			fail(id, fmt.Errorf("%d sampler rate invariants failed", failures))
+		}
+	}
+	if want["SMOKE"] {
+		runReport("SMOKE", experiments.SmokeQueries())
+	}
+	if want["BENCH"] {
+		var all []workload.Query
+		all = append(all, workload.TPCDSQueries()...)
+		all = append(all, workload.TPCHQueries()...)
+		all = append(all, workload.OtherQueries()...)
+		runReport("BENCH", all)
+	}
+	if (want["SMOKE"] || want["BENCH"]) && len(want) == 1 {
+		return
+	}
 
 	// The Fig. 1 universe plan (also unrolled by Fig. 9) needs enough
 	// customers per (color, year) group before ASALQA's accuracy checks

@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-approx] [-explain] [-metrics] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //
+// -explain prints plans without executing; -analyze executes and prints
+// the EXPLAIN ANALYZE view (actual row counts per operator alongside
+// optimizer estimates, sampler pass rates, join sizes); -stats writes a
+// machine-readable JSON run report ("-" for stdout).
+//
 // REPL commands: `exact <sql>`, `approx <sql>`, `explain <sql>`,
-// `tables`, `quit`.
+// `analyze <sql>`, `tables`, `quit`.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,14 +31,17 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 1, "TPC-DS-like scale factor")
+	seed := flag.Uint64("seed", 0, "sampler seed (0 = historical default sequence)")
 	approx := flag.Bool("approx", false, "run through ASALQA (approximate)")
 	explain := flag.Bool("explain", false, "print plans instead of executing")
+	analyze := flag.Bool("analyze", false, "execute and print EXPLAIN ANALYZE (actual vs estimated rows)")
 	metrics := flag.Bool("metrics", false, "print simulated cluster metrics")
+	stats := flag.String("stats", "", "write a JSON run report to this path (\"-\" = stdout)")
 	interactive := flag.Bool("i", false, "interactive mode")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
-	eng := buildEngine(*sf)
+	eng := buildEngine(*sf, *seed)
 
 	if *interactive {
 		repl(eng, *metrics)
@@ -40,28 +49,33 @@ func main() {
 	}
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) == "" {
-		fmt.Fprintln(os.Stderr, "usage: quickr [-approx] [-explain] 'SELECT ...'")
+		fmt.Fprintln(os.Stderr, "usage: quickr [-approx] [-explain] [-analyze] [-stats out.json] 'SELECT ...'")
 		os.Exit(2)
 	}
 	if *explain {
 		doExplain(eng, query)
 		return
 	}
-	runQuery(eng, query, *approx, *metrics)
+	if *analyze {
+		doAnalyze(eng, query, *approx, *stats)
+		return
+	}
+	runQuery(eng, query, *approx, *metrics, *stats)
 }
 
-func buildEngine(sf float64) *quickr.Engine {
+func buildEngine(sf float64, seed uint64) *quickr.Engine {
 	cfg := data.DefaultTPCDS()
 	cfg.ScaleFactor = sf
 	ds := data.GenerateTPCDS(cfg)
 	eng := quickr.New()
+	eng.SetSeed(seed)
 	for name, t := range ds.Tables {
 		eng.RegisterStored(t, ds.PKs[name]...)
 	}
 	return eng
 }
 
-func runQuery(eng *quickr.Engine, query string, approx, metrics bool) {
+func execOnce(eng *quickr.Engine, query string, approx bool) *quickr.Result {
 	var res *quickr.Result
 	var err error
 	if approx {
@@ -73,6 +87,33 @@ func runQuery(eng *quickr.Engine, query string, approx, metrics bool) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	return res
+}
+
+// writeStats emits the JSON run report to path ("-" = stdout).
+func writeStats(res *quickr.Result, query string, approx bool, path string) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(res.RunReport(query, approx), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote run report to %s\n", path)
+}
+
+func runQuery(eng *quickr.Engine, query string, approx, metrics bool, stats string) {
+	res := execOnce(eng, query, approx)
 	fmt.Print(res.Format(50))
 	if approx {
 		if res.Unapproximable {
@@ -86,6 +127,24 @@ func runQuery(eng *quickr.Engine, query string, approx, metrics bool) {
 		fmt.Printf("-- machine-time=%.0f runtime=%.0f passes=%.2f shuffled=%.0fB intermediate=%.0fB tasks=%d\n",
 			m.MachineHours, m.Runtime, m.Passes, m.ShuffledBytes, m.IntermediateBytes, m.Tasks)
 	}
+	writeStats(res, query, approx, stats)
+}
+
+// doAnalyze executes the query (baseline and, with -approx, the
+// sampled plan) and prints the EXPLAIN ANALYZE annotated plan.
+func doAnalyze(eng *quickr.Engine, query string, approx bool, stats string) {
+	res := execOnce(eng, query, approx)
+	mode := "BASELINE"
+	if approx {
+		mode = "QUICKR"
+	}
+	fmt.Printf("=== EXPLAIN ANALYZE (%s) ===\n", mode)
+	fmt.Print(res.AnalyzedPlan)
+	if approx && res.Unapproximable {
+		fmt.Println("-- ASALQA declared the query unapproximable; exact plan ran")
+	}
+	fmt.Print(res.StageReport)
+	writeStats(res, query, approx, stats)
 }
 
 func doExplain(eng *quickr.Engine, query string) {
@@ -120,7 +179,7 @@ func doExplain(eng *quickr.Engine, query string) {
 func repl(eng *quickr.Engine, metrics bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("quickr> commands: exact <sql> | approx <sql> | explain <sql> | tables | quit")
+	fmt.Println("quickr> commands: exact <sql> | approx <sql> | explain <sql> | analyze <sql> | tables | quit")
 	fmt.Print("quickr> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -135,14 +194,16 @@ func repl(eng *quickr.Engine, metrics bool) {
 				fmt.Printf("%-18s %8d rows  %s\n", n, t.NumRows(), t.Schema)
 			}
 		case strings.HasPrefix(line, "exact "):
-			runQuery(eng, line[len("exact "):], false, metrics)
+			runQuery(eng, line[len("exact "):], false, metrics, "")
 		case strings.HasPrefix(line, "approx "):
-			runQuery(eng, line[len("approx "):], true, metrics)
+			runQuery(eng, line[len("approx "):], true, metrics, "")
 		case strings.HasPrefix(line, "explain "):
 			doExplain(eng, line[len("explain "):])
+		case strings.HasPrefix(line, "analyze "):
+			doAnalyze(eng, line[len("analyze "):], true, "")
 		case line == "":
 		default:
-			runQuery(eng, line, true, metrics)
+			runQuery(eng, line, true, metrics, "")
 		}
 		fmt.Print("quickr> ")
 	}

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"quickr/internal/cluster"
 	"quickr/internal/lplan"
+	"quickr/internal/metrics"
 	"quickr/internal/sampler"
 	"quickr/internal/table"
 )
@@ -85,11 +87,26 @@ type Result struct {
 	StageReport string
 	// PlanText is the executed physical plan.
 	PlanText string
+	// Stats holds the per-operator execution counters.
+	Stats *metrics.Query
+	// AnalyzedPlan is the EXPLAIN ANALYZE rendering: the plan tree
+	// annotated with actual and optimizer-estimated cardinalities.
+	AnalyzedPlan string
 }
 
 // Run executes the physical plan under the given cluster configuration.
 func Run(p PNode, cfg cluster.Config) (*Result, error) {
-	ex := &executor{run: cluster.NewRun(cfg)}
+	return RunInstrumented(p, cfg, nil)
+}
+
+// RunInstrumented executes the plan with per-operator metrics
+// collection, annotating each operator with the optimizer's estimated
+// output cardinality from estRows (keyed by plan-node identity; nil is
+// allowed and leaves estimates unknown).
+func RunInstrumented(p PNode, cfg cluster.Config, estRows map[PNode]float64) (*Result, error) {
+	qm := metrics.NewQuery()
+	registerOps(qm, p, estRows)
+	ex := &executor{run: cluster.NewRun(cfg), qm: qm}
 	s, err := ex.exec(p)
 	if err != nil {
 		return nil, err
@@ -107,20 +124,83 @@ func Run(p PNode, cfg cluster.Config) (*Result, error) {
 		ex.run.JobOutputBytes += bytes
 	}
 	res := &Result{
-		Cols:        p.Cols(),
-		Rows:        rows,
-		Metrics:     ex.run.Finish(),
-		Estimates:   ex.topEstimates,
-		StageReport: ex.run.String(),
-		PlanText:    FormatPlan(p),
+		Cols:         p.Cols(),
+		Rows:         rows,
+		Metrics:      ex.run.Finish(),
+		Estimates:    ex.topEstimates,
+		StageReport:  ex.run.String(),
+		PlanText:     FormatPlan(p),
+		Stats:        qm,
+		AnalyzedPlan: FormatAnalyze(p, qm),
 	}
 	return res, nil
 }
 
+// registerOps creates one collector per plan node, in pre-order (the
+// same order FormatPlan prints), recording sampler configuration so
+// pass-rate invariants can be checked against the configured p.
+func registerOps(qm *metrics.Query, root PNode, estRows map[PNode]float64) {
+	var rec func(n PNode, depth int)
+	rec = func(n PNode, depth int) {
+		est := -1.0
+		if v, ok := estRows[n]; ok {
+			est = v
+		}
+		op := qm.Register(n, opKind(n), n.Describe(), depth, est)
+		if ps, ok := n.(*PSample); ok && ps.Def.Type != lplan.SamplerPassThrough {
+			op.SamplerType = ps.Def.Type.String()
+			op.SamplerP = ps.Def.P
+		}
+		for _, k := range n.Kids() {
+			rec(k, depth+1)
+		}
+	}
+	rec(root, 0)
+}
+
+func opKind(n PNode) string {
+	switch n.(type) {
+	case *PScan:
+		return "Scan"
+	case *PFilter:
+		return "Filter"
+	case *PProject:
+		return "Project"
+	case *PSample:
+		return "Sample"
+	case *PExchange:
+		return "Exchange"
+	case *PHashJoin:
+		return "HashJoin"
+	case *PHashAgg:
+		return "HashAgg"
+	case *PSort:
+		return "Sort"
+	case *PLimit:
+		return "Limit"
+	case *PUnion:
+		return "Union"
+	case *PWindow:
+		return "Window"
+	}
+	return fmt.Sprintf("%T", n)
+}
+
 type executor struct {
 	run          *cluster.Run
+	qm           *metrics.Query
 	topEstimates []GroupEstimate
 	samplerSeq   uint64
+}
+
+// opFor returns the collector for a plan node, registering one on the
+// fly for nodes the pre-order walk could not see (never the case for
+// planner-emitted plans, but cheap insurance for hand-built ones).
+func (ex *executor) opFor(n PNode) *metrics.Op {
+	if op := ex.qm.Op(n); op != nil {
+		return op
+	}
+	return ex.qm.Register(n, opKind(n), n.Describe(), 0, -1)
 }
 
 // ensureStage opens a stage for a materialized stream so subsequent
@@ -195,6 +275,9 @@ func (ex *executor) execScan(p *PScan) (*stream, error) {
 	prune := len(p.ColIdx) > 0
 	parts := make([][]wrow, len(p.Tbl.Partitions))
 	partBytes := make([]float64, len(p.Tbl.Partitions))
+	op := ex.opFor(p)
+	op.Grow(len(p.Tbl.Partitions))
+	t0 := time.Now()
 	_ = parallelParts(len(p.Tbl.Partitions), func(i int) error {
 		src := p.Tbl.Partitions[i]
 		part := make([]wrow, len(src))
@@ -221,8 +304,14 @@ func (ex *executor) execScan(p *PScan) (*stream, error) {
 		partBytes[i] = bytes
 		st.AddInput(i, int64(len(src)), bytes)
 		st.AddCPU(i, float64(len(src)))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(src))
+		sl.RowsOut += int64(len(part))
+		sl.BytesIn += bytes
+		sl.BytesOut += bytes
 		return nil
 	})
+	op.AddWall(time.Since(t0))
 	for _, b := range partBytes {
 		ex.run.JobInputBytes += b
 	}
@@ -239,6 +328,9 @@ func (ex *executor) execFilter(p *PFilter) (*stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	_ = parallelParts(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		out := part[:0]
@@ -249,8 +341,12 @@ func (ex *executor) execFilter(p *PFilter) (*stream, error) {
 		}
 		s.parts[i] = out
 		s.stage.AddCPU(i, float64(len(part)))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(out))
 		return nil
 	})
+	op.AddWall(time.Since(t0))
 	return s, nil
 }
 
@@ -270,6 +366,9 @@ func (ex *executor) execProject(p *PProject) (*stream, error) {
 		fns[i] = f
 	}
 	cost := 0.5 + 0.3*float64(len(fns))
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	if err := parallelParts(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		for j, r := range part {
@@ -280,10 +379,14 @@ func (ex *executor) execProject(p *PProject) (*stream, error) {
 			part[j] = wrow{row: out, w: r.w}
 		}
 		s.stage.AddCPU(i, cost*float64(len(part)))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(part))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	op.AddWall(time.Since(t0))
 	return s, nil
 }
 
@@ -293,6 +396,13 @@ func (ex *executor) execSample(p *PSample) (*stream, error) {
 		return nil, err
 	}
 	if p.Def.Type == lplan.SamplerPassThrough {
+		op := ex.opFor(p)
+		op.Grow(len(s.parts))
+		for i, part := range s.parts {
+			sl := op.Slot(i)
+			sl.RowsIn += int64(len(part))
+			sl.RowsOut += int64(len(part))
+		}
 		return s, nil
 	}
 	ex.ensureStage(s, "sample")
@@ -306,6 +416,9 @@ func (ex *executor) execSample(p *PSample) (*stream, error) {
 		colIdx = append(colIdx, i)
 	}
 	d := len(s.parts)
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	if err := parallelParts(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		var sm sampler.Sampler
@@ -358,10 +471,19 @@ func (ex *executor) execSample(p *PSample) (*stream, error) {
 		}
 		s.parts[i] = out
 		s.stage.AddCPU(i, sm.CostPerRow()*float64(len(part)))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(out))
+		sl.SamplerSeen += int64(len(part))
+		sl.SamplerPassed += int64(len(out))
+		if dist != nil {
+			sl.SketchEntries += int64(dist.MemoryFootprint())
+		}
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	op.AddWall(time.Since(t0))
 	return s, nil
 }
 
@@ -375,6 +497,13 @@ func (ex *executor) execExchange(p *PExchange) (*stream, error) {
 	parts := p.Parts
 	if parts < 1 {
 		parts = 1
+	}
+	op := ex.opFor(p)
+	op.Grow(parts)
+	t0 := time.Now()
+	var inRows int64
+	for _, part := range s.parts {
+		inRows += int64(len(part))
 	}
 	out := make([][]wrow, parts)
 	if len(p.Keys) == 0 {
@@ -398,6 +527,11 @@ func (ex *executor) execExchange(p *PExchange) (*stream, error) {
 			}
 		}
 	}
+	op.Slot(0).RowsIn += inRows
+	for i, part := range out {
+		op.Slot(i).RowsOut += int64(len(part))
+	}
+	op.AddWall(time.Since(t0))
 	return &stream{parts: out, deps: s.deps}, nil
 }
 
@@ -441,6 +575,7 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	}
 
 	nRightCols := len(rightCols)
+	op := ex.opFor(p)
 	joinRows := func(st *cluster.Stage, task int, lpart, rpart []wrow) []wrow {
 		ht := make(map[uint64][]wrow, len(rpart))
 		for _, r := range rpart {
@@ -481,6 +616,11 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 			}
 		}
 		st.AddCPU(task, 2*float64(len(rpart))+2*float64(len(lpart)))
+		sl := op.Slot(task)
+		sl.RowsIn += int64(len(lpart) + len(rpart))
+		sl.RowsOut += int64(len(out))
+		sl.BuildRows += int64(len(rpart))
+		sl.ProbeRows += int64(len(lpart))
 		return out
 	}
 
@@ -498,11 +638,14 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		for _, r := range buildRows {
 			bbytes += wrowBytes(r)
 		}
+		op.Grow(len(left.parts))
+		t0 := time.Now()
 		_ = parallelParts(len(left.parts), func(i int) error {
 			left.stage.AddInput(i, int64(len(buildRows)), bbytes)
 			left.parts[i] = joinRows(left.stage, i, left.parts[i], buildRows)
 			return nil
 		})
+		op.AddWall(time.Since(t0))
 		return left, nil
 	}
 
@@ -518,6 +661,8 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	deps := append(append([]int{}, left.deps...), right.deps...)
 	st := ex.run.NewStage("join", len(left.parts), deps...)
 	out := make([][]wrow, len(left.parts))
+	op.Grow(len(left.parts))
+	t0 := time.Now()
 	_ = parallelParts(len(left.parts), func(i int) error {
 		var inRows int64
 		var inBytes float64
@@ -533,6 +678,7 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		out[i] = joinRows(st, i, left.parts[i], right.parts[i])
 		return nil
 	})
+	op.AddWall(time.Since(t0))
 	return &stream{parts: out, stage: st}, nil
 }
 
@@ -569,6 +715,9 @@ func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
 	ex.ensureStage(s, "aggregate")
 	cm := buildColMap(p.In.Cols())
 	partEsts := make([][]GroupEstimate, len(s.parts))
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	if err := parallelParts(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		r, err := newAggRunner(p, cm)
@@ -586,6 +735,9 @@ func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
 		}
 		s.parts[i] = rows
 		s.stage.AddCPU(i, 2*float64(len(part)))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(rows))
 		if p.Top {
 			partEsts[i] = ests
 		}
@@ -593,6 +745,7 @@ func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
 	}); err != nil {
 		return nil, err
 	}
+	op.AddWall(time.Since(t0))
 	if p.Top {
 		var allEsts []GroupEstimate
 		for _, es := range partEsts {
@@ -618,7 +771,13 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 		}
 		idx[i] = pos
 	}
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	for pi, part := range s.parts {
+		sl := op.Slot(pi)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(part))
 		n := len(part)
 		sort.SliceStable(part, func(a, b int) bool {
 			ra, rb := part[a].row, part[b].row
@@ -638,6 +797,7 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 			s.stage.AddCPU(pi, float64(n)*logf(n))
 		}
 	}
+	op.AddWall(time.Since(t0))
 	return s, nil
 }
 
@@ -655,6 +815,8 @@ func (ex *executor) execLimit(p *PLimit) (*stream, error) {
 		return nil, err
 	}
 	ex.ensureStage(s, "limit")
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
 	remaining := p.N
 	for i, part := range s.parts {
 		if int64(len(part)) > remaining {
@@ -664,6 +826,9 @@ func (ex *executor) execLimit(p *PLimit) (*stream, error) {
 		if remaining < 0 {
 			remaining = 0
 		}
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(s.parts[i]))
 	}
 	return s, nil
 }
@@ -680,6 +845,13 @@ func (ex *executor) execUnion(p *PUnion) (*stream, error) {
 		ex.materialize(s, false)
 		parts = append(parts, s.parts...)
 		deps = appendDep(deps, s.deps)
+	}
+	op := ex.opFor(p)
+	op.Grow(len(parts))
+	for i, part := range parts {
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(part))
 	}
 	return &stream{parts: parts, deps: deps}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"quickr/internal/lplan"
 	"quickr/internal/table"
@@ -46,6 +47,9 @@ func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 	}
 	ex.ensureStage(s, "window")
 	cm := buildColMap(p.In.Cols())
+	op := ex.opFor(p)
+	op.Grow(len(s.parts))
+	t0 := time.Now()
 	if err := parallelParts(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		// One appended value per spec per row, in input order first; the
@@ -73,10 +77,14 @@ func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 		if cost > 1 {
 			s.stage.AddCPU(i, 2*cost*logf(len(part)))
 		}
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(out))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	op.AddWall(time.Since(t0))
 	return s, nil
 }
 

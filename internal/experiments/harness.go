@@ -79,6 +79,10 @@ type Outcome struct {
 	// Sampled and Unapproximable echo the plan decision.
 	Sampled        bool
 	Unapproximable bool
+
+	// RateChecks are the sampler pass-rate invariants measured on the
+	// approximate run (empty when the plan had no samplers).
+	RateChecks []RateCheck
 }
 
 var limitRe = regexp.MustCompile(`(?is)\s+ORDER\s+BY\s+[^()]*?\s+LIMIT\s+\d+\s*$|\s+LIMIT\s+\d+\s*$`)
@@ -105,6 +109,7 @@ func RunQuery(env *Env, q workload.Query) Outcome {
 	out.Exact, out.Approx = exact, approx
 	out.Sampled = approx.Sampled
 	out.Unapproximable = approx.Unapproximable
+	out.RateChecks = CheckSamplerRates(approx)
 
 	out.GainMachineHours = ratio(exact.Metrics.MachineHours, approx.Metrics.MachineHours)
 	out.GainRuntime = ratio(exact.Metrics.Runtime, approx.Metrics.Runtime)

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"quickr"
+)
+
+// RateCheck is the verdict of one sampler pass-rate invariant: the
+// observed pass fraction of a sampler operator compared against its
+// configured probability p.
+type RateCheck struct {
+	// Op identifies the checked operator (the plan node's Describe text).
+	Op string
+	// Type is the sampler type (UNIFORM, DISTINCT, UNIVERSE).
+	Type string
+	// P is the configured pass probability.
+	P float64
+	// Seen and Passed are the measured counts.
+	Seen, Passed int64
+	// Rate is Passed/Seen.
+	Rate float64
+	// Tolerance is the band the rate was held to (interpretation depends
+	// on the sampler type; see CheckSamplerRates).
+	Tolerance float64
+	// OK reports whether the invariant held.
+	OK bool
+	// Note explains a failure or a skipped check.
+	Note string
+}
+
+func (c RateCheck) String() string {
+	status := "ok"
+	if !c.OK {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s %s p=%.4g rate=%.4g (%d/%d) ±%.4g: %s %s",
+		c.Type, c.Op, c.P, c.Rate, c.Passed, c.Seen, c.Tolerance, status, c.Note)
+}
+
+// CheckSamplerRates validates every sampler in an executed plan against
+// its configured probability, using the per-operator execution counters:
+//
+//   - UNIFORM passes rows by independent coin flips, so the observed rate
+//     must sit within a few binomial standard deviations of p (widened to
+//     an absolute floor for small inputs).
+//   - DISTINCT guarantees δ rows per stratum on top of the coin flips, so
+//     its rate is lower-bounded by (slightly under) p but may legitimately
+//     reach 1.0 on small or high-cardinality inputs.
+//   - UNIVERSE picks a p-fraction of the value subspace, not of the rows;
+//     with skewed keys the row rate can differ from p substantially, so it
+//     is only sanity-checked within a loose multiplicative band, and only
+//     when enough rows were seen.
+//
+// Samplers that saw no rows are reported as OK with a note.
+func CheckSamplerRates(res *quickr.Result) []RateCheck {
+	if res == nil || res.Stats == nil {
+		return nil
+	}
+	var out []RateCheck
+	for _, op := range res.Stats.Ops() {
+		if op.SamplerType == "" || op.SamplerType == "PASSTHROUGH" {
+			continue
+		}
+		tot := op.Total()
+		c := RateCheck{
+			Op:     op.Detail,
+			Type:   op.SamplerType,
+			P:      op.SamplerP,
+			Seen:   tot.SamplerSeen,
+			Passed: tot.SamplerPassed,
+			OK:     true,
+		}
+		if c.Seen == 0 {
+			c.Note = "no rows seen; skipped"
+			out = append(out, c)
+			continue
+		}
+		c.Rate = float64(c.Passed) / float64(c.Seen)
+		switch c.Type {
+		case "UNIFORM":
+			// 5σ binomial band with a 2% absolute floor.
+			sd := math.Sqrt(c.P * (1 - c.P) / float64(c.Seen))
+			c.Tolerance = math.Max(0.02, 5*sd)
+			if math.Abs(c.Rate-c.P) > c.Tolerance {
+				c.OK = false
+				c.Note = "rate outside binomial band"
+			}
+		case "DISTINCT":
+			// Rate may exceed p (per-stratum guarantees add rows) but a
+			// rate materially below p means rows were dropped wrongly.
+			c.Tolerance = math.Max(0.02, 5*math.Sqrt(c.P*(1-c.P)/float64(c.Seen)))
+			if c.Rate < c.P-c.Tolerance {
+				c.OK = false
+				c.Note = "rate below configured p"
+			}
+		case "UNIVERSE":
+			// Advisory only: needs volume, and even then key skew makes
+			// the row rate a loose proxy for the subspace fraction.
+			if c.Seen < 5000 {
+				c.Note = "too few rows for a universe rate check; skipped"
+				break
+			}
+			c.Tolerance = 10 * c.P
+			if c.Rate > 10*c.P || (c.P > 0 && c.Rate < c.P/10) {
+				c.OK = false
+				c.Note = "rate implausibly far from subspace fraction"
+			}
+		default:
+			c.Note = "unknown sampler type; skipped"
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RateFailures filters checks down to the failed ones.
+func RateFailures(checks []RateCheck) []RateCheck {
+	var out []RateCheck
+	for _, c := range checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}

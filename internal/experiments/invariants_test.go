@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"quickr/internal/workload"
+)
+
+// A small sampled query must yield at least one sampler rate check and
+// every check must hold: the executed pass fraction tracks the
+// configured p within the type-specific tolerance.
+func TestSamplerRateInvariants(t *testing.T) {
+	env := NewTPCDSEnv(0.25)
+	res, err := env.Eng.ExecApprox(
+		"SELECT ss_store_sk, SUM(ss_sales_price) FROM store_sales GROUP BY ss_store_sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sampled {
+		t.Skip("query not sampled at this scale")
+	}
+	checks := CheckSamplerRates(res)
+	if len(checks) == 0 {
+		t.Fatal("sampled plan produced no rate checks")
+	}
+	for _, c := range checks {
+		t.Log(c)
+		if !c.OK {
+			t.Errorf("invariant failed: %s", c)
+		}
+		if c.Seen > 0 && c.Rate <= 0 {
+			t.Errorf("sampler %s saw %d rows but passed none", c.Op, c.Seen)
+		}
+	}
+}
+
+// Exact plans have no samplers and therefore no checks.
+func TestRateChecksEmptyForExact(t *testing.T) {
+	env := NewTPCDSEnv(0.1)
+	res, err := env.Eng.Exec("SELECT COUNT(*) FROM store_sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckSamplerRates(res); len(got) != 0 {
+		t.Fatalf("exact plan produced %d rate checks", len(got))
+	}
+	if got := CheckSamplerRates(nil); got != nil {
+		t.Fatal("nil result should produce no checks")
+	}
+}
+
+// The harness must attach rate checks to sampled outcomes.
+func TestOutcomeCarriesRateChecks(t *testing.T) {
+	env := NewTPCDSEnv(0.25)
+	qs := workload.TPCDSQueries()
+	for _, q := range qs {
+		out := RunQuery(env, q)
+		if out.Err != nil || !out.Sampled {
+			continue
+		}
+		if len(out.RateChecks) == 0 {
+			t.Fatalf("%s: sampled outcome has no rate checks", q.ID)
+		}
+		return
+	}
+	t.Skip("no sampled query at this scale")
+}

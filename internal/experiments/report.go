@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"quickr"
+	"quickr/internal/workload"
+)
+
+// QueryBenchReport is the per-query entry of a BenchReport: the error
+// and gain metrics of one query plus the full instrumented run report
+// (per-operator counters) of its approximate execution.
+type QueryBenchReport struct {
+	ID               string  `json:"id"`
+	Sampled          bool    `json:"sampled"`
+	Unapproximable   bool    `json:"unapproximable"`
+	GainMachineHours float64 `json:"gain_machine_hours"`
+	GainRuntime      float64 `json:"gain_runtime"`
+	GainIntermediate float64 `json:"gain_intermediate"`
+	GainShuffled     float64 `json:"gain_shuffled"`
+	MissedGroups     float64 `json:"missed_groups"`
+	AggError         float64 `json:"agg_error"`
+
+	RateChecks   []RateCheckReport `json:"rate_checks"`
+	RateFailures int               `json:"rate_failures"`
+
+	// Approx is the instrumented run report of the Quickr plan,
+	// including the per-operator execution counters.
+	Approx *quickr.RunReport `json:"approx"`
+}
+
+// RateCheckReport is the JSON view of one sampler pass-rate invariant.
+type RateCheckReport struct {
+	Op        string  `json:"op"`
+	Type      string  `json:"type"`
+	P         float64 `json:"p"`
+	Seen      int64   `json:"seen"`
+	Passed    int64   `json:"passed"`
+	Rate      float64 `json:"rate"`
+	Tolerance float64 `json:"tolerance"`
+	OK        bool    `json:"ok"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// BenchReport is the machine-readable result of one quickr-bench
+// experiment, written as BENCH_<experiment>.json and consumed by
+// cmd/benchcheck in CI.
+type BenchReport struct {
+	Experiment  string             `json:"experiment"`
+	ScaleFactor float64            `json:"scale_factor"`
+	Queries     []QueryBenchReport `json:"queries"`
+}
+
+// BuildBenchReport runs the given queries through the harness and
+// collects the per-operator breakdowns.
+func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf float64) (*BenchReport, error) {
+	rep := &BenchReport{Experiment: experiment, ScaleFactor: sf}
+	for _, out := range RunSuite(env, queries) {
+		if out.Err != nil {
+			return nil, out.Err
+		}
+		q := QueryBenchReport{
+			ID:               out.Query.ID,
+			Sampled:          out.Sampled,
+			Unapproximable:   out.Unapproximable,
+			GainMachineHours: out.GainMachineHours,
+			GainRuntime:      out.GainRuntime,
+			GainIntermediate: out.GainIntermediate,
+			GainShuffled:     out.GainShuffled,
+			MissedGroups:     out.MissedGroupsFull,
+			AggError:         out.AggErrorFull,
+			RateChecks:       []RateCheckReport{},
+			Approx:           out.Approx.RunReport(out.Query.SQL, true),
+		}
+		for _, c := range out.RateChecks {
+			q.RateChecks = append(q.RateChecks, RateCheckReport{
+				Op: c.Op, Type: c.Type, P: c.P,
+				Seen: c.Seen, Passed: c.Passed, Rate: c.Rate,
+				Tolerance: c.Tolerance, OK: c.OK, Note: c.Note,
+			})
+			if !c.OK {
+				q.RateFailures++
+			}
+		}
+		rep.Queries = append(rep.Queries, q)
+	}
+	return rep, nil
+}
+
+// Write serializes the report as BENCH_<experiment>.json under dir and
+// returns the written path.
+func (r *BenchReport) Write(dir string) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Experiment))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// SmokeQueries is the tiny query subset the CI smoke-bench runs: one
+// query per suite, covering a join, a plain aggregate and the log
+// workload.
+func SmokeQueries() []workload.Query {
+	pick := func(qs []workload.Query, n int) []workload.Query {
+		if len(qs) < n {
+			n = len(qs)
+		}
+		return qs[:n]
+	}
+	var out []workload.Query
+	out = append(out, pick(workload.TPCDSQueries(), 2)...)
+	out = append(out, pick(workload.TPCHQueries(), 1)...)
+	out = append(out, pick(workload.OtherQueries(), 1)...)
+	return out
+}

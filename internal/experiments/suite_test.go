@@ -38,6 +38,12 @@ func TestTPCDSSuiteRuns(t *testing.T) {
 					if out.AggErrorFull > 0.6 {
 						t.Errorf("%s: full agg error %.2f too high", q.ID, out.AggErrorFull)
 					}
+					if len(out.RateChecks) == 0 {
+						t.Errorf("%s: sampled plan reported no sampler rate checks", q.ID)
+					}
+					for _, c := range RateFailures(out.RateChecks) {
+						t.Errorf("%s: sampler rate invariant failed: %s", q.ID, c)
+					}
 				}
 			})
 		}

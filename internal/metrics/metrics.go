@@ -1,0 +1,150 @@
+// Package metrics collects cheap, race-safe per-operator execution
+// counters for one query run: rows and bytes in/out, wall time, sampler
+// pass/seen counts, heavy-hitter sketch occupancy, and join build/probe
+// sizes. The executor gives every physical operator an Op collector
+// with one Slot per partition; parallel partition workers write only
+// their own slot (index-disjoint, no locks or atomics), and slots are
+// merged with Total only after the parallel region ends. This is the
+// observability substrate behind EXPLAIN ANALYZE, the --stats JSON run
+// report, and the checked sampler-rate invariants in the experiment
+// harness.
+package metrics
+
+import "time"
+
+// Slot holds the counters one partition (task) accumulates for one
+// operator. Concurrent partitions must touch only their own slot;
+// padding keeps adjacent slots on separate cache lines so partition
+// workers do not false-share.
+type Slot struct {
+	RowsIn, RowsOut   int64
+	BytesIn, BytesOut float64
+	// SamplerSeen/SamplerPassed count rows offered to and emitted by a
+	// sampler operator (emitted includes reservoir flushes, so for the
+	// distinct sampler Passed/Seen can exceed the configured p).
+	SamplerSeen, SamplerPassed int64
+	// SketchEntries is the heavy-hitter sketch occupancy (tracked
+	// entries plus live reservoir rows) at end of partition.
+	SketchEntries int64
+	// BuildRows/ProbeRows size the two sides of a hash join as the task
+	// saw them (the build side is replicated under broadcast joins).
+	BuildRows, ProbeRows int64
+
+	_ [56]byte // pad to 128 bytes (two cache lines)
+}
+
+func (s *Slot) add(o *Slot) {
+	s.RowsIn += o.RowsIn
+	s.RowsOut += o.RowsOut
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.SamplerSeen += o.SamplerSeen
+	s.SamplerPassed += o.SamplerPassed
+	s.SketchEntries += o.SketchEntries
+	s.BuildRows += o.BuildRows
+	s.ProbeRows += o.ProbeRows
+}
+
+// Op is the collector for one physical operator.
+type Op struct {
+	// ID is the operator's position in plan pre-order.
+	ID int
+	// Kind is the operator class ("Scan", "Filter", "Sample", ...).
+	Kind string
+	// Detail is the operator's Describe() text.
+	Detail string
+	// Depth is the operator's depth in the plan tree.
+	Depth int
+	// EstRows is the optimizer's estimated output cardinality, or -1
+	// when no estimate was attached.
+	EstRows float64
+	// SamplerType and SamplerP describe a sampler operator's
+	// configuration ("" / 0 for everything else).
+	SamplerType string
+	SamplerP    float64
+
+	wallNanos int64
+	slots     []Slot
+}
+
+// Grow ensures the operator has at least n slots. It must be called
+// before the parallel region that writes them (it is not safe
+// concurrently with Slot).
+func (o *Op) Grow(n int) {
+	if n <= len(o.slots) {
+		return
+	}
+	ns := make([]Slot, n)
+	copy(ns, o.slots)
+	o.slots = ns
+}
+
+// Slot returns partition i's counter slot. Callers must Grow first;
+// like the cluster simulator's task accounting, out-of-range indexes
+// wrap so a misconfigured caller degrades accounting rather than
+// panicking.
+func (o *Op) Slot(i int) *Slot {
+	if len(o.slots) == 0 {
+		o.slots = make([]Slot, 1)
+	}
+	return &o.slots[i%len(o.slots)]
+}
+
+// Partitions returns the number of slots (the operator's degree of
+// parallelism as executed).
+func (o *Op) Partitions() int { return len(o.slots) }
+
+// AddWall adds wall-clock time spent in the operator's own work
+// (excluding its children). Call only from the coordinating goroutine.
+func (o *Op) AddWall(d time.Duration) { o.wallNanos += int64(d) }
+
+// WallNanos returns the accumulated operator wall time.
+func (o *Op) WallNanos() int64 { return o.wallNanos }
+
+// Total merges all partition slots. Call only after the operator's
+// parallel region has completed.
+func (o *Op) Total() Slot {
+	var t Slot
+	for i := range o.slots {
+		t.add(&o.slots[i])
+	}
+	return t
+}
+
+// Query collects the per-operator metrics of one plan execution, in
+// plan pre-order.
+type Query struct {
+	ops    []*Op
+	byNode map[any]*Op
+}
+
+// NewQuery creates an empty per-query collector.
+func NewQuery() *Query {
+	return &Query{byNode: map[any]*Op{}}
+}
+
+// Register creates the collector for one plan node. Nodes are keyed by
+// identity, so the same physical plan can later be walked to look its
+// operators up again.
+func (q *Query) Register(node any, kind, detail string, depth int, estRows float64) *Op {
+	op := &Op{ID: len(q.ops), Kind: kind, Detail: detail, Depth: depth, EstRows: estRows}
+	q.ops = append(q.ops, op)
+	q.byNode[node] = op
+	return op
+}
+
+// Op returns the collector registered for node, or nil.
+func (q *Query) Op(node any) *Op {
+	if q == nil {
+		return nil
+	}
+	return q.byNode[node]
+}
+
+// Ops returns all collectors in plan pre-order.
+func (q *Query) Ops() []*Op {
+	if q == nil {
+		return nil
+	}
+	return q.ops
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestSlotPadding(t *testing.T) {
+	// Index-disjoint slots only avoid false sharing if adjacent slots
+	// sit on distinct cache lines.
+	if sz := unsafe.Sizeof(Slot{}); sz%64 != 0 {
+		t.Errorf("Slot size %d is not a multiple of the 64-byte cache line", sz)
+	}
+}
+
+func TestOpTotalMergesSlots(t *testing.T) {
+	op := &Op{Kind: "Filter"}
+	op.Grow(4)
+	for i := 0; i < 4; i++ {
+		sl := op.Slot(i)
+		sl.RowsIn = int64(10 * (i + 1))
+		sl.RowsOut = int64(i + 1)
+		sl.BytesIn = float64(i)
+	}
+	tot := op.Total()
+	if tot.RowsIn != 100 || tot.RowsOut != 10 || tot.BytesIn != 6 {
+		t.Errorf("Total = %+v", tot)
+	}
+}
+
+func TestGrowPreservesCounts(t *testing.T) {
+	op := &Op{}
+	op.Grow(2)
+	op.Slot(0).RowsIn = 5
+	op.Grow(8)
+	if op.Slot(0).RowsIn != 5 {
+		t.Error("Grow lost slot contents")
+	}
+	if op.Partitions() != 8 {
+		t.Errorf("Partitions = %d, want 8", op.Partitions())
+	}
+	op.Grow(4) // shrinking is a no-op
+	if op.Partitions() != 8 {
+		t.Error("Grow shrank the slot array")
+	}
+}
+
+// TestConcurrentSlotWrites hammers index-disjoint slots from many
+// goroutines; run with -race to verify lock-free slot accounting.
+func TestConcurrentSlotWrites(t *testing.T) {
+	op := &Op{Kind: "Scan"}
+	const parts = 32
+	op.Grow(parts)
+	var wg sync.WaitGroup
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sl := op.Slot(i)
+			for j := 0; j < 10000; j++ {
+				sl.RowsIn++
+				sl.RowsOut++
+				sl.BytesIn += 8
+				sl.SamplerSeen++
+			}
+		}(i)
+	}
+	wg.Wait()
+	tot := op.Total()
+	if tot.RowsIn != parts*10000 || tot.SamplerSeen != parts*10000 {
+		t.Errorf("Total = %+v", tot)
+	}
+}
+
+func TestQueryRegisterAndReport(t *testing.T) {
+	q := NewQuery()
+	type node struct{ name string }
+	n1, n2 := &node{"a"}, &node{"b"}
+	op1 := q.Register(n1, "Scan", "Scan t", 0, 1000)
+	op2 := q.Register(n2, "Sample", "Sample UNIFORM", 1, -1)
+	op2.SamplerType = "UNIFORM"
+	op2.SamplerP = 0.1
+	op1.Grow(2)
+	op1.Slot(0).RowsOut = 7
+	op1.Slot(1).RowsOut = 3
+	op1.AddWall(2 * time.Millisecond)
+	op2.Grow(1)
+	op2.Slot(0).SamplerSeen = 100
+	op2.Slot(0).SamplerPassed = 9
+
+	if q.Op(n1) != op1 || q.Op(n2) != op2 {
+		t.Fatal("Op lookup by node identity failed")
+	}
+	if q.Op(&node{"a"}) != nil {
+		t.Fatal("Op lookup must be by identity, not value")
+	}
+
+	rep := q.Report()
+	if len(rep) != 2 {
+		t.Fatalf("report has %d ops", len(rep))
+	}
+	if rep[0].RowsOut != 10 || rep[0].EstRows != 1000 || rep[0].WallMillis < 2 {
+		t.Errorf("op1 report: %+v", rep[0])
+	}
+	if rep[1].SamplerRate != 0.09 || rep[1].SamplerType != "UNIFORM" {
+		t.Errorf("op2 report: %+v", rep[1])
+	}
+
+	// Core numeric fields must serialize even when zero (the CI bench
+	// schema check depends on them being present).
+	b, err := json.Marshal(rep[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"rows_in", "rows_out", "bytes_in", "bytes_out", "wall_ms",
+		"est_rows", "partitions", "sampler_seen", "sampler_passed", "sampler_rate",
+		"sketch_entries", "build_rows", "probe_rows"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("serialized OpReport missing %q", k)
+		}
+	}
+}
+
+func TestNilQuerySafe(t *testing.T) {
+	var q *Query
+	if q.Op("x") != nil || q.Ops() != nil || q.Report() != nil {
+		t.Error("nil Query methods must be safe no-ops")
+	}
+}

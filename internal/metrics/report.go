@@ -1,0 +1,68 @@
+package metrics
+
+// OpReport is the JSON-serializable view of one operator's executed
+// metrics, consumed by the --stats run report and BENCH_*.json. The
+// core numeric fields are always emitted (never omitempty) so report
+// consumers can schema-check them.
+type OpReport struct {
+	ID      int     `json:"id"`
+	Kind    string  `json:"kind"`
+	Detail  string  `json:"detail"`
+	Depth   int     `json:"depth"`
+	EstRows float64 `json:"est_rows"` // -1 when no optimizer estimate
+
+	Partitions int     `json:"partitions"`
+	RowsIn     int64   `json:"rows_in"`
+	RowsOut    int64   `json:"rows_out"`
+	BytesIn    float64 `json:"bytes_in"`
+	BytesOut   float64 `json:"bytes_out"`
+	WallMillis float64 `json:"wall_ms"`
+
+	SamplerType   string  `json:"sampler_type,omitempty"`
+	SamplerP      float64 `json:"sampler_p"`
+	SamplerSeen   int64   `json:"sampler_seen"`
+	SamplerPassed int64   `json:"sampler_passed"`
+	// SamplerRate is SamplerPassed/SamplerSeen (0 when nothing seen).
+	SamplerRate   float64 `json:"sampler_rate"`
+	SketchEntries int64   `json:"sketch_entries"`
+
+	BuildRows int64 `json:"build_rows"`
+	ProbeRows int64 `json:"probe_rows"`
+}
+
+// Report flattens the query's operators (plan pre-order, with depths,
+// so consumers can rebuild the tree).
+func (q *Query) Report() []OpReport {
+	if q == nil {
+		return nil
+	}
+	out := make([]OpReport, 0, len(q.ops))
+	for _, op := range q.ops {
+		t := op.Total()
+		r := OpReport{
+			ID:            op.ID,
+			Kind:          op.Kind,
+			Detail:        op.Detail,
+			Depth:         op.Depth,
+			EstRows:       op.EstRows,
+			Partitions:    op.Partitions(),
+			RowsIn:        t.RowsIn,
+			RowsOut:       t.RowsOut,
+			BytesIn:       t.BytesIn,
+			BytesOut:      t.BytesOut,
+			WallMillis:    float64(op.WallNanos()) / 1e6,
+			SamplerType:   op.SamplerType,
+			SamplerP:      op.SamplerP,
+			SamplerSeen:   t.SamplerSeen,
+			SamplerPassed: t.SamplerPassed,
+			SketchEntries: t.SketchEntries,
+			BuildRows:     t.BuildRows,
+			ProbeRows:     t.ProbeRows,
+		}
+		if t.SamplerSeen > 0 {
+			r.SamplerRate = float64(t.SamplerPassed) / float64(t.SamplerSeen)
+		}
+		out = append(out, r)
+	}
+	return out
+}

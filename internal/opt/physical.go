@@ -19,6 +19,14 @@ type Planner struct {
 	// EstCfg configures the top aggregate's estimators (from the
 	// accuracy analysis); nil for unsampled plans.
 	EstCfg *exec.EstimatorConfig
+	// Seed perturbs the per-plan sampler instance seeds so whole runs
+	// can be re-randomized from one config knob; 0 (the default)
+	// reproduces the historical seed sequence 1,2,3,...
+	Seed uint64
+	// Ests records the optimizer's estimated output cardinality for
+	// every emitted physical node (EXPLAIN ANALYZE compares these
+	// against executed counts). Plan initializes it if nil.
+	Ests map[exec.PNode]float64
 
 	topAgg     *lplan.Aggregate
 	samplerSeq uint64
@@ -27,7 +35,32 @@ type Planner struct {
 // Plan compiles the logical plan.
 func (pl *Planner) Plan(n lplan.Node) (exec.PNode, error) {
 	pl.topAgg = findTopAggregate(n)
+	if pl.Ests == nil {
+		pl.Ests = map[exec.PNode]float64{}
+	}
 	return pl.compile(n)
+}
+
+// compile wraps compileNode, tagging the emitted operator with the
+// logical node's estimated cardinality.
+func (pl *Planner) compile(n lplan.Node) (exec.PNode, error) {
+	p, err := pl.compileNode(n)
+	if err != nil || p == nil {
+		return p, err
+	}
+	pl.setEst(p, pl.CM.Est.Props(n).Rows)
+	return p, nil
+}
+
+// setEst records an estimate for a physical node, without overwriting
+// one already attached (compileNode tags synthesized exchanges itself).
+func (pl *Planner) setEst(p exec.PNode, rows float64) {
+	if pl.Ests == nil {
+		return
+	}
+	if _, ok := pl.Ests[p]; !ok {
+		pl.Ests[p] = rows
+	}
 }
 
 // findTopAggregate locates the outermost Aggregate (whose estimates the
@@ -46,7 +79,7 @@ func findTopAggregate(n lplan.Node) *lplan.Aggregate {
 	return nil
 }
 
-func (pl *Planner) compile(n lplan.Node) (exec.PNode, error) {
+func (pl *Planner) compileNode(n lplan.Node) (exec.PNode, error) {
 	switch x := n.(type) {
 	case *lplan.Scan:
 		tbl, err := pl.CM.Est.Cat.Table(x.Table)
@@ -88,7 +121,13 @@ func (pl *Planner) compile(n lplan.Node) (exec.PNode, error) {
 			def = *x.Def
 		}
 		pl.samplerSeq++
-		return &exec.PSample{In: in, Def: def, Seed: pl.samplerSeq}, nil
+		seed := pl.samplerSeq
+		if pl.Seed != 0 {
+			// Mix the config seed in so a different Engine seed draws a
+			// different (still deterministic) sampler stream.
+			seed = pl.Seed*0x9E3779B97F4A7C15 + pl.samplerSeq
+		}
+		return &exec.PSample{In: in, Def: def, Seed: seed}, nil
 	case *lplan.Join:
 		return pl.compileJoin(x)
 	case *lplan.Aggregate:
@@ -101,6 +140,7 @@ func (pl *Planner) compile(n lplan.Node) (exec.PNode, error) {
 			return nil, err
 		}
 		gathered := &exec.PExchange{In: in, Parts: 1}
+		pl.setEst(gathered, pl.CM.Est.Props(x.Input).Rows)
 		return &exec.PSort{In: gathered, Keys: x.Keys}, nil
 	case *lplan.Limit:
 		in, err := pl.compile(x.Input)
@@ -109,6 +149,7 @@ func (pl *Planner) compile(n lplan.Node) (exec.PNode, error) {
 		}
 		if _, isSort := x.Input.(*lplan.Sort); !isSort {
 			in = &exec.PExchange{In: in, Parts: 1}
+			pl.setEst(in, pl.CM.Est.Props(x.Input).Rows)
 		}
 		return &exec.PLimit{In: in, N: x.N}, nil
 	}
@@ -161,10 +202,14 @@ func (pl *Planner) compileJoin(j *lplan.Join) (exec.PNode, error) {
 	if err != nil {
 		return nil, err
 	}
+	lx := &exec.PExchange{In: left, Keys: j.LeftKeys, Parts: parts}
+	rx := &exec.PExchange{In: right, Keys: j.RightKeys, Parts: parts}
+	pl.setEst(lx, pl.CM.Est.Props(j.Left).Rows)
+	pl.setEst(rx, pl.CM.Est.Props(j.Right).Rows)
 	return &exec.PHashJoin{
 		Kind:     j.Kind,
-		Left:     &exec.PExchange{In: left, Keys: j.LeftKeys, Parts: parts},
-		Right:    &exec.PExchange{In: right, Keys: j.RightKeys, Parts: parts},
+		Left:     lx,
+		Right:    rx,
 		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
 		Residual: j.Residual, SharedUniverseP: shared,
 	}, nil
@@ -207,6 +252,7 @@ func (pl *Planner) compileWindow(w *lplan.Window) (exec.PNode, error) {
 	} else {
 		exch = &exec.PExchange{In: in, Parts: 1}
 	}
+	pl.setEst(exch, pl.CM.Est.Props(w.Input).Rows)
 	return &exec.PWindow{In: exch, Specs: w.Specs}, nil
 }
 
@@ -245,6 +291,7 @@ func (pl *Planner) compileAgg(a *lplan.Aggregate) (exec.PNode, error) {
 	} else {
 		exch = &exec.PExchange{In: in, Parts: 1}
 	}
+	pl.setEst(exch, inProps.Rows)
 	agg := &exec.PHashAgg{
 		In:        exch,
 		GroupCols: a.GroupCols,

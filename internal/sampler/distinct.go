@@ -72,9 +72,17 @@ func DeltaForParallelism(delta, d int) int {
 	return per + eps
 }
 
-// NewDistinct creates a distinct sampler. cols are row positions of the
-// stratification columns; delta is the per-instance guarantee.
+// NewDistinct creates a distinct sampler with its own private rng
+// seeded from seed. cols are row positions of the stratification
+// columns; delta is the per-instance guarantee.
 func NewDistinct(p float64, cols []int, delta int, seed uint64) *Distinct {
+	return NewDistinctRand(p, cols, delta, rand.New(rand.NewSource(int64(seed))))
+}
+
+// NewDistinctRand creates a distinct sampler drawing from an injected
+// rng. The sampler owns rng afterwards: callers must not share one rng
+// between samplers running on different goroutines.
+func NewDistinctRand(p float64, cols []int, delta int, rng *rand.Rand) *Distinct {
 	if delta < 1 {
 		delta = 1
 	}
@@ -87,7 +95,7 @@ func NewDistinct(p float64, cols []int, delta int, seed uint64) *Distinct {
 		exact:         map[string]int64{},
 		exactLimit:    1 << 16,
 		reservoirs:    map[string]*reservoir{},
-		rng:           rand.New(rand.NewSource(int64(seed))),
+		rng:           rng,
 	}
 }
 

@@ -44,9 +44,17 @@ type Uniform struct {
 	rng *rand.Rand
 }
 
-// NewUniform creates a uniform sampler with pass probability p.
+// NewUniform creates a uniform sampler with pass probability p, with
+// its own private rng seeded from seed.
 func NewUniform(p float64, seed uint64) *Uniform {
-	return &Uniform{P: p, rng: rand.New(rand.NewSource(int64(seed)))}
+	return NewUniformRand(p, rand.New(rand.NewSource(int64(seed))))
+}
+
+// NewUniformRand creates a uniform sampler drawing from an injected
+// rng. The sampler owns rng afterwards: callers must not share one rng
+// between samplers running on different goroutines.
+func NewUniformRand(p float64, rng *rand.Rand) *Uniform {
+	return &Uniform{P: p, rng: rng}
 }
 
 // Admit implements Sampler.

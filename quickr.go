@@ -59,6 +59,7 @@ type Engine struct {
 	cat  *catalog.Catalog
 	cfg  cluster.Config
 	opts core.Options
+	seed uint64
 }
 
 // New creates an engine with default cluster-simulation and ASALQA
@@ -73,6 +74,11 @@ func New() *Engine {
 
 // SetClusterConfig overrides the cluster simulator configuration.
 func (e *Engine) SetClusterConfig(cfg cluster.Config) { e.cfg = cfg }
+
+// SetSeed re-seeds the engine's sampler randomness. Every run is
+// deterministic for a given seed; the default seed 0 reproduces the
+// historical per-plan sampler seed sequence.
+func (e *Engine) SetSeed(seed uint64) { e.seed = seed }
 
 // SetOptions overrides the ASALQA parameters.
 func (e *Engine) SetOptions(o core.Options) { e.opts = o }
@@ -183,7 +189,7 @@ func (e *Engine) run(query string, approx bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(prep.physical, e.cfg)
+	res, err := exec.RunInstrumented(prep.physical, e.cfg, prep.ests)
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +200,7 @@ func (e *Engine) run(query string, approx bool) (*Result, error) {
 type prepared struct {
 	logical        lplan.Node
 	physical       exec.PNode
+	ests           map[exec.PNode]float64
 	sampled        bool
 	unapproximable bool
 	samplers       []SamplerInfo
@@ -242,12 +249,13 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 			estCfg = &exec.EstimatorConfig{Type: an.Type, P: an.P, UniverseCols: an.UniverseCols}
 		}
 	}
-	planner := &opt.Planner{CM: cm, EstCfg: estCfg}
+	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: e.seed}
 	physical, err := planner.Plan(p.logical)
 	if err != nil {
 		return nil, err
 	}
 	p.physical = physical
+	p.ests = planner.Ests
 	p.optTime = time.Since(start)
 	return p, nil
 }

@@ -1,0 +1,50 @@
+package quickr
+
+import "quickr/internal/metrics"
+
+// RunMetrics is the JSON view of the simulated cluster costs.
+type RunMetrics struct {
+	MachineHours      float64 `json:"machine_hours"`
+	Runtime           float64 `json:"runtime"`
+	IntermediateBytes float64 `json:"intermediate_bytes"`
+	ShuffledBytes     float64 `json:"shuffled_bytes"`
+	Passes            float64 `json:"passes"`
+	Tasks             int     `json:"tasks"`
+	Stages            int     `json:"stages"`
+	OptimizeSeconds   float64 `json:"optimize_seconds"`
+}
+
+// RunReport is the machine-readable report of one executed query,
+// emitted by `quickr --stats` and embedded per query in the BENCH_*.json
+// files quickr-bench writes.
+type RunReport struct {
+	Query          string             `json:"query,omitempty"`
+	Approx         bool               `json:"approx"`
+	Sampled        bool               `json:"sampled"`
+	Unapproximable bool               `json:"unapproximable"`
+	Samplers       []SamplerInfo      `json:"samplers,omitempty"`
+	Metrics        RunMetrics         `json:"metrics"`
+	Operators      []metrics.OpReport `json:"operators"`
+}
+
+// RunReport builds the JSON run report for this result.
+func (r *Result) RunReport(query string, approx bool) *RunReport {
+	return &RunReport{
+		Query:          query,
+		Approx:         approx,
+		Sampled:        r.Sampled,
+		Unapproximable: r.Unapproximable,
+		Samplers:       r.Samplers,
+		Metrics: RunMetrics{
+			MachineHours:      r.Metrics.MachineHours,
+			Runtime:           r.Metrics.Runtime,
+			IntermediateBytes: r.Metrics.IntermediateBytes,
+			ShuffledBytes:     r.Metrics.ShuffledBytes,
+			Passes:            r.Metrics.Passes,
+			Tasks:             r.Metrics.Tasks,
+			Stages:            r.Metrics.Stages,
+			OptimizeSeconds:   r.OptimizeTime,
+		},
+		Operators: r.Stats.Report(),
+	}
+}

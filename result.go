@@ -6,6 +6,7 @@ import (
 
 	"quickr/internal/cluster"
 	"quickr/internal/exec"
+	"quickr/internal/metrics"
 	"quickr/internal/table"
 )
 
@@ -30,6 +31,13 @@ type Result struct {
 	Samplers []SamplerInfo
 	// PlanText is the executed physical plan, for EXPLAIN-style output.
 	PlanText string
+	// AnalyzedPlan is the EXPLAIN ANALYZE view: the executed plan
+	// annotated with actual row counts per operator alongside the
+	// optimizer's estimates, sampler pass rates and join sizes.
+	AnalyzedPlan string
+	// Stats carries the per-operator execution counters backing
+	// AnalyzedPlan and the --stats JSON run report.
+	Stats *metrics.Query
 	// StageReport is the per-stage accounting of the simulated run.
 	StageReport string
 	// OptimizeTime is the time spent in query optimization.
@@ -61,6 +69,8 @@ func newResult(r *exec.Result, p *prepared) *Result {
 		Unapproximable: p.unapproximable,
 		Samplers:       p.samplers,
 		PlanText:       r.PlanText,
+		AnalyzedPlan:   r.AnalyzedPlan,
+		Stats:          r.Stats,
 		StageReport:    r.StageReport,
 		OptimizeTime:   p.optTime.Seconds(),
 		InternalRows:   r.Rows,
