@@ -197,6 +197,47 @@ func BenchmarkFig9DominanceUnroll(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorPipeline compares the batch-streaming executor
+// against the materializing baseline (batch size < 0: every operator
+// sees whole partitions) over the CI smoke queries, reporting
+// throughput and the peak in-flight intermediate footprint of each
+// mode. The "streaming" sub-benchmark's peakB must come in below the
+// "materializing" one — the same invariant cmd/benchcheck gates on the
+// bench JSON.
+func BenchmarkExecutorPipeline(b *testing.B) {
+	e := benchEnv(b)
+	queries := experiments.SmokeQueries()
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"streaming", 0}, {"materializing", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e.Eng.SetBatchSize(mode.batch)
+			defer e.Eng.SetBatchSize(0)
+			var rows, secs, peak float64
+			for i := 0; i < b.N; i++ {
+				rows, secs, peak = 0, 0, 0
+				for _, q := range queries {
+					res, err := e.Eng.ExecApprox(q.SQL)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows += float64(res.RowsProcessed)
+					secs += res.ExecSeconds
+					// Summed across queries, like the benchcheck gate: ties
+					// on breaker-dominated queries are fine as long as the
+					// scan-dominated ones shrink.
+					peak += res.PeakInFlightBytes
+				}
+			}
+			if secs > 0 {
+				b.ReportMetric(rows/secs, "rows/sec")
+			}
+			b.ReportMetric(peak, "peakB")
+		})
+	}
+}
+
 // ---------------------------------------------------------------------
 // Ablation benchmarks (DESIGN.md §6)
 

@@ -20,6 +20,7 @@ import (
 var operatorFields = []string{
 	"id", "kind", "detail", "depth", "est_rows", "partitions",
 	"rows_in", "rows_out", "bytes_in", "bytes_out", "wall_ms",
+	"batches", "peak_bytes",
 	"sampler_seen", "sampler_passed", "sampler_rate",
 	"sketch_entries", "build_rows", "probe_rows",
 }
@@ -28,6 +29,7 @@ var operatorFields = []string{
 var metricsFields = []string{
 	"machine_hours", "runtime", "intermediate_bytes", "shuffled_bytes",
 	"passes", "tasks", "stages", "optimize_seconds",
+	"peak_inflight_bytes", "rows_per_sec", "exec_seconds",
 }
 
 func main() {
@@ -77,6 +79,10 @@ func checkFile(path string) []error {
 	if len(queries) == 0 {
 		fail("report contains no queries")
 	}
+	// Streaming-vs-materializing footprint gate: summed over the
+	// report's queries, the batched executor's peak in-flight bytes must
+	// stay strictly below what materializing every intermediate held.
+	var peakStreaming, peakMaterialized float64
 	for i, q := range queries {
 		qname := fmt.Sprintf("queries[%d]", i)
 		if id, ok := q["id"]; ok {
@@ -90,6 +96,23 @@ func checkFile(path string) []error {
 		for _, k := range []string{"sampled", "rate_checks", "rate_failures", "approx"} {
 			if _, ok := q[k]; !ok {
 				fail("%s: missing field %q", qname, k)
+			}
+		}
+		for _, k := range []string{"peak_inflight_bytes", "peak_materialized_bytes"} {
+			raw, ok := q[k]
+			if !ok {
+				fail("%s: missing field %q", qname, k)
+				continue
+			}
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				fail("%s: %s is not a number: %v", qname, k, err)
+				continue
+			}
+			if k == "peak_inflight_bytes" {
+				peakStreaming += v
+			} else {
+				peakMaterialized += v
 			}
 		}
 		var nFail int
@@ -137,6 +160,10 @@ func checkFile(path string) []error {
 				}
 			}
 		}
+	}
+	if peakMaterialized > 0 && peakStreaming >= peakMaterialized {
+		fail("streaming peak in-flight bytes (%.0f) not below materializing baseline (%.0f)",
+			peakStreaming, peakMaterialized)
 	}
 	return errs
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-seed 0] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-batch 1024] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //
 // -explain prints plans without executing; -analyze executes and prints
@@ -37,11 +37,13 @@ func main() {
 	analyze := flag.Bool("analyze", false, "execute and print EXPLAIN ANALYZE (actual vs estimated rows)")
 	metrics := flag.Bool("metrics", false, "print simulated cluster metrics")
 	stats := flag.String("stats", "", "write a JSON run report to this path (\"-\" = stdout)")
+	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
 	interactive := flag.Bool("i", false, "interactive mode")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
 	eng := buildEngine(*sf, *seed)
+	eng.SetBatchSize(*batch)
 
 	if *interactive {
 		repl(eng, *metrics)

@@ -283,7 +283,7 @@ func (r *aggRunner) emit() ([]wrow, []GroupEstimate) {
 		row := make(table.Row, 0, len(g.key)+len(vals))
 		row = append(row, g.key...)
 		row = append(row, vals...)
-		rows = append(rows, wrow{row: row, w: 1})
+		rows = append(rows, newWRow(row, 1))
 		ests = append(ests, GroupEstimate{Key: g.key, Values: vals, StdErr: errs, SampleRows: g.n})
 	}
 	// Global aggregate over an empty input still yields one row.
@@ -297,7 +297,7 @@ func (r *aggRunner) emit() ([]wrow, []GroupEstimate) {
 				row[j] = table.Null
 			}
 		}
-		rows = append(rows, wrow{row: row, w: 1})
+		rows = append(rows, newWRow(row, 1))
 		ests = append(ests, GroupEstimate{Values: row, StdErr: make([]float64, len(r.p.Aggs))})
 	}
 	return rows, ests

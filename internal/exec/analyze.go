@@ -35,6 +35,9 @@ func FormatAnalyze(n PNode, qm *metrics.Query) string {
 			if w := op.WallNanos(); w > 0 {
 				fmt.Fprintf(&b, ", wall=%.2fms", float64(w)/1e6)
 			}
+			if t.Batches > 0 {
+				fmt.Fprintf(&b, ", batches=%d, peak=%.0fB", t.Batches, t.PeakBytes)
+			}
 			b.WriteString(")")
 			if op.SamplerType != "" {
 				rate := 0.0

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"math"
+
+	"quickr/internal/table"
+)
+
+// DefaultBatchSize is the number of rows per pipeline batch when the
+// caller does not override it. Big enough to amortize per-batch
+// accounting, small enough that a fused scan→filter→sample pipeline
+// keeps only a few KB in flight per partition instead of the whole
+// intermediate result (and small enough to still batch the modest
+// per-partition row counts of the CI smoke scale).
+const DefaultBatchSize = 256
+
+// Options tunes plan execution.
+type Options struct {
+	// BatchSize is the number of rows per streamed pipeline batch.
+	// 0 selects DefaultBatchSize. Negative disables streaming: every
+	// pipeline materializes whole partitions (the pre-batching executor,
+	// kept as the comparison baseline for BenchmarkExecutorPipeline).
+	BatchSize int
+}
+
+// resolveBatch maps the Options knob onto an effective batch size.
+func resolveBatch(n int) int {
+	switch {
+	case n == 0:
+		return DefaultBatchSize
+	case n < 0:
+		return math.MaxInt // one batch spans the whole partition
+	}
+	return n
+}
+
+// wrow is an in-flight row with its sampling weight and a byte size
+// cached at creation, so stage accounting never re-walks row values.
+type wrow struct {
+	row table.Row
+	w   float64
+	sz  float64
+}
+
+// newWRow wraps a row, computing its accounted size once.
+func newWRow(r table.Row, w float64) wrow {
+	return wrow{row: r, w: w, sz: float64(r.ByteSize() + 8)}
+}
+
+// wrowBytes returns the accounted size of an in-flight row, falling
+// back to a fresh computation for rows built without newWRow.
+func wrowBytes(r wrow) float64 {
+	if r.sz > 0 {
+		return r.sz
+	}
+	return float64(r.row.ByteSize() + 8)
+}
+
+// rowsBytes sums the accounted sizes of a row slice.
+func rowsBytes(rows []wrow) float64 {
+	var b float64
+	for i := range rows {
+		b += wrowBytes(rows[i])
+	}
+	return b
+}
+
+// batch is one unit of rows flowing through a fused pipeline. Its byte
+// size is accumulated once when the batch is produced and reused by
+// every downstream consumer (stage accounting, peak tracking).
+type batch struct {
+	rows  []wrow
+	bytes float64
+}
+
+// operator is a pull-based batch iterator: Next returns the next batch
+// of rows, or an empty batch once the stream is exhausted (operators
+// with empty intermediate output keep pulling internally, so an empty
+// batch always means done). Batches may alias operator-owned buffers
+// that are reused by the following Next call; consumers must copy rows
+// they keep.
+type operator interface {
+	Next() (batch, error)
+}

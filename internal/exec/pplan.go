@@ -15,6 +15,14 @@ type PNode interface {
 	Cols() []lplan.ColumnInfo
 	Kids() []PNode
 	Describe() string
+	// Breaker reports whether the operator is a pipeline breaker: it
+	// must see (or hand off) whole partitions and therefore materializes
+	// its input, ending the fused streaming pipeline below it. Scans,
+	// filters, projections and samplers stream batch-at-a-time and
+	// return false; exchanges, joins, aggregations, sorts, limits,
+	// unions and windows return true. The planner and executor both key
+	// off this marker, so stages map one-to-one onto fused pipelines.
+	Breaker() bool
 }
 
 // PScan reads a base table, one task per stored partition. ColIdx
@@ -38,6 +46,9 @@ func (p *PScan) Kids() []PNode { return nil }
 // Describe implements PNode.
 func (p *PScan) Describe() string { return "Scan " + p.Tbl.Name }
 
+// Breaker implements PNode.
+func (p *PScan) Breaker() bool { return false }
+
 // PFilter applies a predicate.
 type PFilter struct {
 	In   PNode
@@ -52,6 +63,9 @@ func (p *PFilter) Kids() []PNode { return []PNode{p.In} }
 
 // Describe implements PNode.
 func (p *PFilter) Describe() string { return "Filter " + p.Pred.String() }
+
+// Breaker implements PNode.
+func (p *PFilter) Breaker() bool { return false }
 
 // PProject computes expressions.
 type PProject struct {
@@ -75,6 +89,9 @@ func (p *PProject) Describe() string {
 	return "Project " + strings.Join(parts, ", ")
 }
 
+// Breaker implements PNode.
+func (p *PProject) Breaker() bool { return false }
+
 // PSample runs a physical sampler over its input, in place in the
 // current stage (samplers are streaming and partitionable, §4.1).
 type PSample struct {
@@ -94,6 +111,9 @@ func (p *PSample) Kids() []PNode { return []PNode{p.In} }
 
 // Describe implements PNode.
 func (p *PSample) Describe() string { return "Sample " + p.Def.String() }
+
+// Breaker implements PNode.
+func (p *PSample) Breaker() bool { return false }
 
 // PExchange repartitions its input. With Keys it hash-partitions into
 // Parts partitions; without Keys it gathers (Parts=1) or round-robins.
@@ -120,6 +140,9 @@ func (p *PExchange) Describe() string {
 	return fmt.Sprintf("Exchange hash%v parts=%d", p.Keys, p.Parts)
 }
 
+// Breaker implements PNode.
+func (p *PExchange) Breaker() bool { return true }
+
 // PHashJoin joins Left and Right. The Right side is always the build
 // side. Broadcast=true gathers and replicates the build side to every
 // probe task (for small/dimension inputs); otherwise the planner has
@@ -137,6 +160,10 @@ type PHashJoin struct {
 	// corrected from 1/p² to 1/p, because the join of two p-probability
 	// universe samples is a p-probability sample of the join (§4.1.3).
 	SharedUniverseP float64
+	// EstOutRows is the optimizer's estimated join output cardinality
+	// (0 when unknown); the executor preallocates probe-output buffers
+	// from it instead of growing per-row appends.
+	EstOutRows float64
 }
 
 // Cols implements PNode.
@@ -156,6 +183,9 @@ func (p *PHashJoin) Describe() string {
 	}
 	return fmt.Sprintf("HashJoin(%s,%s) %v=%v", p.Kind, mode, p.LeftKeys, p.RightKeys)
 }
+
+// Breaker implements PNode.
+func (p *PHashJoin) Breaker() bool { return true }
 
 // EstimatorConfig tells the final aggregation how to compute confidence
 // intervals: the dominance analysis (§4.3) reduces the sampled plan to a
@@ -208,6 +238,9 @@ func (p *PHashAgg) Describe() string {
 	return d
 }
 
+// Breaker implements PNode.
+func (p *PHashAgg) Breaker() bool { return true }
+
 // PSort sorts (the planner gathers to one partition first).
 type PSort struct {
 	In   PNode
@@ -222,6 +255,9 @@ func (p *PSort) Kids() []PNode { return []PNode{p.In} }
 
 // Describe implements PNode.
 func (p *PSort) Describe() string { return fmt.Sprintf("Sort %v", p.Keys) }
+
+// Breaker implements PNode.
+func (p *PSort) Breaker() bool { return true }
 
 // PLimit truncates to N rows (applied on a single partition).
 type PLimit struct {
@@ -238,6 +274,9 @@ func (p *PLimit) Kids() []PNode { return []PNode{p.In} }
 // Describe implements PNode.
 func (p *PLimit) Describe() string { return fmt.Sprintf("Limit %d", p.N) }
 
+// Breaker implements PNode.
+func (p *PLimit) Breaker() bool { return true }
+
 // PUnion concatenates inputs positionally.
 type PUnion struct {
 	Ins     []PNode
@@ -252,6 +291,9 @@ func (p *PUnion) Kids() []PNode { return p.Ins }
 
 // Describe implements PNode.
 func (p *PUnion) Describe() string { return fmt.Sprintf("UnionAll(%d)", len(p.Ins)) }
+
+// Breaker implements PNode.
+func (p *PUnion) Breaker() bool { return true }
 
 // FormatPlan renders the physical plan as an indented tree.
 func FormatPlan(n PNode) string {

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,7 +10,6 @@ import (
 	"quickr/internal/cluster"
 	"quickr/internal/lplan"
 	"quickr/internal/metrics"
-	"quickr/internal/sampler"
 	"quickr/internal/table"
 )
 
@@ -57,18 +55,10 @@ func parallelParts(n int, fn func(i int) error) error {
 	return firstErr
 }
 
-// wrow is an in-flight row with its sampling weight.
-type wrow struct {
-	row table.Row
-	w   float64
-}
-
-func wrowBytes(r wrow) float64 { return float64(r.row.ByteSize() + 8) }
-
-// stream is the in-flight state between operators: the data partitions
-// plus the stage currently accumulating their cost. A nil stage means
-// the data was materialized at a boundary (exchange/union); the next
-// compute operator opens a new stage depending on deps.
+// stream is the in-flight state between pipeline breakers: the data
+// partitions plus the stage currently accumulating their cost. A nil
+// stage means the data was materialized at a boundary (exchange/union);
+// the next compute operator opens a new stage depending on deps.
 type stream struct {
 	parts [][]wrow
 	stage *cluster.Stage
@@ -92,11 +82,22 @@ type Result struct {
 	// AnalyzedPlan is the EXPLAIN ANALYZE rendering: the plan tree
 	// annotated with actual and optimizer-estimated cardinalities.
 	AnalyzedPlan string
+	// PeakInFlightBytes is the run's worst per-operator in-flight
+	// footprint: for each operator, the sum over partitions of the
+	// biggest batch (pipelined operators) or materialized partition
+	// (breakers) it held at once, maxed over operators. Streaming
+	// pipelines keep this near parts×batch-bytes where the materializing
+	// executor held entire intermediates.
+	PeakInFlightBytes float64
+	// RowsProcessed counts base-table rows driven through the plan.
+	RowsProcessed int64
+	// ExecSeconds is real wall-clock execution time (not simulated).
+	ExecSeconds float64
 }
 
 // Run executes the physical plan under the given cluster configuration.
 func Run(p PNode, cfg cluster.Config) (*Result, error) {
-	return RunInstrumented(p, cfg, nil)
+	return RunWithOptions(p, cfg, nil, Options{})
 }
 
 // RunInstrumented executes the plan with per-operator metrics
@@ -104,9 +105,16 @@ func Run(p PNode, cfg cluster.Config) (*Result, error) {
 // output cardinality from estRows (keyed by plan-node identity; nil is
 // allowed and leaves estimates unknown).
 func RunInstrumented(p PNode, cfg cluster.Config, estRows map[PNode]float64) (*Result, error) {
+	return RunWithOptions(p, cfg, estRows, Options{})
+}
+
+// RunWithOptions is RunInstrumented with execution tuning (currently
+// the streamed pipeline batch size).
+func RunWithOptions(p PNode, cfg cluster.Config, estRows map[PNode]float64, opts Options) (*Result, error) {
 	qm := metrics.NewQuery()
 	registerOps(qm, p, estRows)
-	ex := &executor{run: cluster.NewRun(cfg), qm: qm}
+	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize)}
+	t0 := time.Now()
 	s, err := ex.exec(p)
 	if err != nil {
 		return nil, err
@@ -123,15 +131,31 @@ func RunInstrumented(p PNode, cfg cluster.Config, estRows map[PNode]float64) (*R
 		s.stage.AddOutput(i, int64(len(part)), bytes)
 		ex.run.JobOutputBytes += bytes
 	}
+	execSeconds := time.Since(t0).Seconds()
+
+	var peak float64
+	var scanned int64
+	for _, op := range qm.Ops() {
+		t := op.Total()
+		if t.PeakBytes > peak {
+			peak = t.PeakBytes
+		}
+		if op.Kind == "Scan" {
+			scanned += t.RowsOut
+		}
+	}
 	res := &Result{
-		Cols:         p.Cols(),
-		Rows:         rows,
-		Metrics:      ex.run.Finish(),
-		Estimates:    ex.topEstimates,
-		StageReport:  ex.run.String(),
-		PlanText:     FormatPlan(p),
-		Stats:        qm,
-		AnalyzedPlan: FormatAnalyze(p, qm),
+		Cols:              p.Cols(),
+		Rows:              rows,
+		Metrics:           ex.run.Finish(),
+		Estimates:         ex.topEstimates,
+		StageReport:       ex.run.String(),
+		PlanText:          FormatPlan(p),
+		Stats:             qm,
+		AnalyzedPlan:      FormatAnalyze(p, qm),
+		PeakInFlightBytes: peak,
+		RowsProcessed:     scanned,
+		ExecSeconds:       execSeconds,
 	}
 	return res, nil
 }
@@ -190,7 +214,9 @@ type executor struct {
 	run          *cluster.Run
 	qm           *metrics.Query
 	topEstimates []GroupEstimate
-	samplerSeq   uint64
+	// batch is the streamed pipeline batch size (math.MaxInt in
+	// materializing-baseline mode, where one batch spans the partition).
+	batch int
 }
 
 // opFor returns the collector for a plan node, registering one on the
@@ -211,11 +237,7 @@ func (ex *executor) ensureStage(s *stream, name string) {
 	}
 	st := ex.run.NewStage(name, len(s.parts), s.deps...)
 	for i, part := range s.parts {
-		var bytes float64
-		for _, r := range part {
-			bytes += wrowBytes(r)
-		}
-		st.AddInput(i, int64(len(part)), bytes)
+		st.AddInput(i, int64(len(part)), rowsBytes(part))
 	}
 	s.stage = st
 	s.deps = nil
@@ -228,11 +250,7 @@ func (ex *executor) materialize(s *stream, shuffle bool) {
 		return
 	}
 	for i, part := range s.parts {
-		var bytes float64
-		for _, r := range part {
-			bytes += wrowBytes(r)
-		}
-		s.stage.AddOutput(i, int64(len(part)), bytes)
+		s.stage.AddOutput(i, int64(len(part)), rowsBytes(part))
 	}
 	if shuffle {
 		s.stage.ShuffleOut = true
@@ -241,16 +259,13 @@ func (ex *executor) materialize(s *stream, shuffle bool) {
 	s.stage = nil
 }
 
+// exec runs a plan node. Non-breakers (scan, filter, project, sample)
+// fuse into streaming per-partition pipelines; breakers materialize.
 func (ex *executor) exec(n PNode) (*stream, error) {
+	if !n.Breaker() {
+		return ex.execPipeline(n)
+	}
 	switch p := n.(type) {
-	case *PScan:
-		return ex.execScan(p)
-	case *PFilter:
-		return ex.execFilter(p)
-	case *PProject:
-		return ex.execProject(p)
-	case *PSample:
-		return ex.execSample(p)
 	case *PExchange:
 		return ex.execExchange(p)
 	case *PHashJoin:
@@ -267,224 +282,6 @@ func (ex *executor) exec(n PNode) (*stream, error) {
 		return ex.execWindow(p)
 	}
 	return nil, fmt.Errorf("exec: unknown physical node %T", n)
-}
-
-func (ex *executor) execScan(p *PScan) (*stream, error) {
-	st := ex.run.NewStage("scan:"+p.Tbl.Name, len(p.Tbl.Partitions))
-	st.Extract = true
-	prune := len(p.ColIdx) > 0
-	parts := make([][]wrow, len(p.Tbl.Partitions))
-	partBytes := make([]float64, len(p.Tbl.Partitions))
-	op := ex.opFor(p)
-	op.Grow(len(p.Tbl.Partitions))
-	t0 := time.Now()
-	_ = parallelParts(len(p.Tbl.Partitions), func(i int) error {
-		src := p.Tbl.Partitions[i]
-		part := make([]wrow, len(src))
-		var bytes float64
-		for j, r := range src {
-			bytes += float64(r.ByteSize())
-			w := 1.0
-			if p.WeightIdx >= 0 && p.WeightIdx < len(r) {
-				w = r[p.WeightIdx].Float()
-				if w <= 0 {
-					w = 1
-				}
-			}
-			if prune {
-				pr := make(table.Row, len(p.ColIdx))
-				for k, ci := range p.ColIdx {
-					pr[k] = r[ci]
-				}
-				r = pr
-			}
-			part[j] = wrow{row: r, w: w}
-		}
-		parts[i] = part
-		partBytes[i] = bytes
-		st.AddInput(i, int64(len(src)), bytes)
-		st.AddCPU(i, float64(len(src)))
-		sl := op.Slot(i)
-		sl.RowsIn += int64(len(src))
-		sl.RowsOut += int64(len(part))
-		sl.BytesIn += bytes
-		sl.BytesOut += bytes
-		return nil
-	})
-	op.AddWall(time.Since(t0))
-	for _, b := range partBytes {
-		ex.run.JobInputBytes += b
-	}
-	return &stream{parts: parts, stage: st}, nil
-}
-
-func (ex *executor) execFilter(p *PFilter) (*stream, error) {
-	s, err := ex.exec(p.In)
-	if err != nil {
-		return nil, err
-	}
-	ex.ensureStage(s, "filter")
-	pred, err := compileExpr(p.Pred, buildColMap(p.In.Cols()))
-	if err != nil {
-		return nil, err
-	}
-	op := ex.opFor(p)
-	op.Grow(len(s.parts))
-	t0 := time.Now()
-	_ = parallelParts(len(s.parts), func(i int) error {
-		part := s.parts[i]
-		out := part[:0]
-		for _, r := range part {
-			if truthy(pred(r.row)) {
-				out = append(out, r)
-			}
-		}
-		s.parts[i] = out
-		s.stage.AddCPU(i, float64(len(part)))
-		sl := op.Slot(i)
-		sl.RowsIn += int64(len(part))
-		sl.RowsOut += int64(len(out))
-		return nil
-	})
-	op.AddWall(time.Since(t0))
-	return s, nil
-}
-
-func (ex *executor) execProject(p *PProject) (*stream, error) {
-	s, err := ex.exec(p.In)
-	if err != nil {
-		return nil, err
-	}
-	ex.ensureStage(s, "project")
-	cm := buildColMap(p.In.Cols())
-	fns := make([]evalFunc, len(p.Exprs))
-	for i, e := range p.Exprs {
-		f, err := compileExpr(e, cm)
-		if err != nil {
-			return nil, err
-		}
-		fns[i] = f
-	}
-	cost := 0.5 + 0.3*float64(len(fns))
-	op := ex.opFor(p)
-	op.Grow(len(s.parts))
-	t0 := time.Now()
-	if err := parallelParts(len(s.parts), func(i int) error {
-		part := s.parts[i]
-		for j, r := range part {
-			out := make(table.Row, len(fns))
-			for k, f := range fns {
-				out[k] = f(r.row)
-			}
-			part[j] = wrow{row: out, w: r.w}
-		}
-		s.stage.AddCPU(i, cost*float64(len(part)))
-		sl := op.Slot(i)
-		sl.RowsIn += int64(len(part))
-		sl.RowsOut += int64(len(part))
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	op.AddWall(time.Since(t0))
-	return s, nil
-}
-
-func (ex *executor) execSample(p *PSample) (*stream, error) {
-	s, err := ex.exec(p.In)
-	if err != nil {
-		return nil, err
-	}
-	if p.Def.Type == lplan.SamplerPassThrough {
-		op := ex.opFor(p)
-		op.Grow(len(s.parts))
-		for i, part := range s.parts {
-			sl := op.Slot(i)
-			sl.RowsIn += int64(len(part))
-			sl.RowsOut += int64(len(part))
-		}
-		return s, nil
-	}
-	ex.ensureStage(s, "sample")
-	cm := buildColMap(p.In.Cols())
-	colIdx := make([]int, 0, len(p.Def.Cols))
-	for _, id := range p.Def.Cols {
-		i, ok := cm[id]
-		if !ok {
-			return nil, fmt.Errorf("exec: sampler column #%d not available", id)
-		}
-		colIdx = append(colIdx, i)
-	}
-	d := len(s.parts)
-	op := ex.opFor(p)
-	op.Grow(len(s.parts))
-	t0 := time.Now()
-	if err := parallelParts(len(s.parts), func(i int) error {
-		part := s.parts[i]
-		var sm sampler.Sampler
-		switch p.Def.Type {
-		case lplan.SamplerUniform:
-			sm = sampler.NewUniform(p.Def.P, p.Seed*2654435761+uint64(i)+1)
-		case lplan.SamplerUniverse:
-			// Universe instances share (cols, seed, p) so every instance —
-			// and every related sampler on the other join input — picks the
-			// same subspace.
-			sm = sampler.NewUniverse(p.Def.P, colIdx, p.Def.Seed)
-		case lplan.SamplerDistinct:
-			delta := sampler.DeltaForParallelism(p.Def.Delta, d)
-			ds := sampler.NewDistinct(p.Def.P, colIdx, delta, p.Seed*0x9E3779B9+uint64(i)+1)
-			// Bucketized stratification: ⌈col/width⌉ joins the stratum key
-			// (the paper's function-of-columns stratification, §4.1.2).
-			for bi, id := range p.Def.BucketCols {
-				pos, ok := cm[id]
-				if !ok {
-					return fmt.Errorf("exec: bucket column #%d not available", id)
-				}
-				width := p.Def.BucketWidths[bi]
-				if width <= 0 {
-					width = 1
-				}
-				ds.KeyFuncs = append(ds.KeyFuncs, func(r table.Row) table.Value {
-					v := r[pos]
-					if !v.IsNumeric() {
-						return v
-					}
-					return table.NewInt(int64(math.Ceil(v.Float() / width)))
-				})
-			}
-			sm = ds
-		}
-		out := part[:0]
-		dist, _ := sm.(*sampler.Distinct)
-		for _, r := range part {
-			if pass, w := sm.Admit(r.row, r.w); pass {
-				out = append(out, wrow{row: r.row, w: w})
-			}
-			if dist != nil {
-				for _, fl := range dist.TakePending() {
-					out = append(out, wrow{row: fl.Row, w: fl.W})
-				}
-			}
-		}
-		for _, fl := range sm.Flush() {
-			out = append(out, wrow{row: fl.Row, w: fl.W})
-		}
-		s.parts[i] = out
-		s.stage.AddCPU(i, sm.CostPerRow()*float64(len(part)))
-		sl := op.Slot(i)
-		sl.RowsIn += int64(len(part))
-		sl.RowsOut += int64(len(out))
-		sl.SamplerSeen += int64(len(part))
-		sl.SamplerPassed += int64(len(out))
-		if dist != nil {
-			sl.SketchEntries += int64(dist.MemoryFootprint())
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	op.AddWall(time.Since(t0))
-	return s, nil
 }
 
 func (ex *executor) execExchange(p *PExchange) (*stream, error) {
@@ -529,10 +326,27 @@ func (ex *executor) execExchange(p *PExchange) (*stream, error) {
 	}
 	op.Slot(0).RowsIn += inRows
 	for i, part := range out {
-		op.Slot(i).RowsOut += int64(len(part))
+		sl := op.Slot(i)
+		sl.RowsOut += int64(len(part))
+		if len(part) > 0 {
+			sl.NoteBatch(rowsBytes(part))
+		}
 	}
 	op.AddWall(time.Since(t0))
 	return &stream{parts: out, deps: s.deps}, nil
+}
+
+// estHint splits an optimizer cardinality estimate across parts tasks
+// for buffer preallocation; 0 means "no estimate, caller falls back".
+func estHint(est float64, parts int) int {
+	if est <= 0 || parts <= 0 {
+		return 0
+	}
+	h := int(est)/parts + 1
+	if h > 1<<20 {
+		h = 1 << 20
+	}
+	return h
 }
 
 func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
@@ -576,13 +390,21 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 
 	nRightCols := len(rightCols)
 	op := ex.opFor(p)
+	// Probe-output preallocation from the optimizer's join cardinality
+	// estimate (set before the parallel regions; read-only inside).
+	estPerTask := estHint(p.EstOutRows, len(left.parts))
 	joinRows := func(st *cluster.Stage, task int, lpart, rpart []wrow) []wrow {
 		ht := make(map[uint64][]wrow, len(rpart))
 		for _, r := range rpart {
 			h := table.HashRow(r.row, rIdx, 3)
 			ht[h] = append(ht[h], r)
 		}
-		out := make([]wrow, 0, len(lpart))
+		hint := estPerTask
+		if hint <= 0 {
+			hint = len(lpart)
+		}
+		out := make([]wrow, 0, hint)
+		var outBytes float64
 		for _, l := range lpart {
 			h := table.HashRow(l.row, lIdx, 3)
 			matched := false
@@ -603,7 +425,9 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 				if residual != nil && !truthy(residual(combined)) {
 					continue
 				}
-				out = append(out, wrow{row: combined, w: w})
+				wr := newWRow(combined, w)
+				outBytes += wr.sz
+				out = append(out, wr)
 				matched = true
 			}
 			if !matched && p.Kind == lplan.LeftOuterJoin {
@@ -612,7 +436,9 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 				for k := 0; k < nRightCols; k++ {
 					combined = append(combined, table.Null)
 				}
-				out = append(out, wrow{row: combined, w: l.w})
+				wr := newWRow(combined, l.w)
+				outBytes += wr.sz
+				out = append(out, wr)
 			}
 		}
 		st.AddCPU(task, 2*float64(len(rpart))+2*float64(len(lpart)))
@@ -621,6 +447,9 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		sl.RowsOut += int64(len(out))
 		sl.BuildRows += int64(len(rpart))
 		sl.ProbeRows += int64(len(lpart))
+		if len(out) > 0 {
+			sl.NoteBatch(outBytes)
+		}
 		return out
 	}
 
@@ -634,10 +463,7 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		}
 		ex.ensureStage(left, "probe")
 		left.stage.Deps = appendDep(left.stage.Deps, right.deps)
-		var bbytes float64
-		for _, r := range buildRows {
-			bbytes += wrowBytes(r)
-		}
+		bbytes := rowsBytes(buildRows)
 		op.Grow(len(left.parts))
 		t0 := time.Now()
 		_ = parallelParts(len(left.parts), func(i int) error {
@@ -664,16 +490,8 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	op.Grow(len(left.parts))
 	t0 := time.Now()
 	_ = parallelParts(len(left.parts), func(i int) error {
-		var inRows int64
-		var inBytes float64
-		for _, r := range left.parts[i] {
-			inBytes += wrowBytes(r)
-			inRows++
-		}
-		for _, r := range right.parts[i] {
-			inBytes += wrowBytes(r)
-			inRows++
-		}
+		inRows := int64(len(left.parts[i]) + len(right.parts[i]))
+		inBytes := rowsBytes(left.parts[i]) + rowsBytes(right.parts[i])
 		st.AddInput(i, inRows, inBytes)
 		out[i] = joinRows(st, i, left.parts[i], right.parts[i])
 		return nil
@@ -738,6 +556,9 @@ func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
 		sl := op.Slot(i)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(rows))
+		if len(rows) > 0 {
+			sl.NoteBatch(rowsBytes(rows))
+		}
 		if p.Top {
 			partEsts[i] = ests
 		}
@@ -778,6 +599,9 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 		sl := op.Slot(pi)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(part))
+		if len(part) > 0 {
+			sl.NoteBatch(rowsBytes(part))
+		}
 		n := len(part)
 		sort.SliceStable(part, func(a, b int) bool {
 			ra, rb := part[a].row, part[b].row
@@ -829,6 +653,9 @@ func (ex *executor) execLimit(p *PLimit) (*stream, error) {
 		sl := op.Slot(i)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(s.parts[i]))
+		if len(s.parts[i]) > 0 {
+			sl.NoteBatch(rowsBytes(s.parts[i]))
+		}
 	}
 	return s, nil
 }
@@ -852,6 +679,9 @@ func (ex *executor) execUnion(p *PUnion) (*stream, error) {
 		sl := op.Slot(i)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(part))
+		if len(part) > 0 {
+			sl.NoteBatch(rowsBytes(part))
+		}
 	}
 	return &stream{parts: parts, deps: deps}, nil
 }

@@ -40,6 +40,9 @@ func (p *PWindow) Describe() string {
 	return "Window [" + strings.Join(parts, ",") + "]"
 }
 
+// Breaker implements PNode: window functions sort whole partitions.
+func (p *PWindow) Breaker() bool { return true }
+
 func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 	s, err := ex.exec(p.In)
 	if err != nil {
@@ -64,13 +67,15 @@ func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 			extra[si] = vals
 		}
 		out := make([]wrow, len(part))
+		var outBytes float64
 		for j, r := range part {
 			row := make(table.Row, 0, len(r.row)+len(p.Specs))
 			row = append(row, r.row...)
 			for si := range p.Specs {
 				row = append(row, extra[si][j])
 			}
-			out[j] = wrow{row: row, w: r.w}
+			out[j] = newWRow(row, r.w)
+			outBytes += out[j].sz
 		}
 		s.parts[i] = out
 		cost := float64(len(part))
@@ -80,6 +85,9 @@ func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 		sl := op.Slot(i)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(out))
+		if len(out) > 0 {
+			sl.NoteBatch(outBytes)
+		}
 		return nil
 	}); err != nil {
 		return nil, err

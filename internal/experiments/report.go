@@ -27,6 +27,14 @@ type QueryBenchReport struct {
 	RateChecks   []RateCheckReport `json:"rate_checks"`
 	RateFailures int               `json:"rate_failures"`
 
+	// PeakInflightBytes is the streaming executor's worst per-operator
+	// in-flight footprint for the approximate run; PeakMaterializedBytes
+	// is the same query re-executed with batching disabled (whole
+	// partitions materialized between operators). CI asserts the
+	// streaming total stays strictly below the materialized total.
+	PeakInflightBytes     float64 `json:"peak_inflight_bytes"`
+	PeakMaterializedBytes float64 `json:"peak_materialized_bytes"`
+
 	// Approx is the instrumented run report of the Quickr plan,
 	// including the per-operator execution counters.
 	Approx *quickr.RunReport `json:"approx"`
@@ -75,6 +83,16 @@ func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf 
 			RateChecks:       []RateCheckReport{},
 			Approx:           out.Approx.RunReport(out.Query.SQL, true),
 		}
+		q.PeakInflightBytes = out.Approx.PeakInFlightBytes
+		// Re-run with batching disabled to record the materializing
+		// baseline's footprint next to the streaming one.
+		env.Eng.SetBatchSize(-1)
+		mat, err := env.Eng.ExecApprox(out.Query.SQL)
+		env.Eng.SetBatchSize(0)
+		if err != nil {
+			return nil, err
+		}
+		q.PeakMaterializedBytes = mat.PeakInFlightBytes
 		for _, c := range out.RateChecks {
 			q.RateChecks = append(q.RateChecks, RateCheckReport{
 				Op: c.Op, Type: c.Type, P: c.P,

@@ -29,8 +29,20 @@ type Slot struct {
 	// BuildRows/ProbeRows size the two sides of a hash join as the task
 	// saw them (the build side is replicated under broadcast joins).
 	BuildRows, ProbeRows int64
+	// Batches counts the row batches the operator emitted in this
+	// partition (one per materialized partition for pipeline breakers).
+	Batches int64
+	// PeakBytes is the largest in-flight output this partition held at
+	// once: the biggest batch for pipelined operators, the whole
+	// materialized partition for breakers. Total sums partition peaks,
+	// approximating the operator's worst-case concurrent footprint.
+	PeakBytes float64
+	// WallNanos accumulates wall time the partition spent inside the
+	// operator's own per-batch work (machine time, not elapsed; the
+	// operator's elapsed time takes the max across partitions).
+	WallNanos int64
 
-	_ [56]byte // pad to 128 bytes (two cache lines)
+	_ [32]byte // pad to 128 bytes (two cache lines)
 }
 
 func (s *Slot) add(o *Slot) {
@@ -43,6 +55,18 @@ func (s *Slot) add(o *Slot) {
 	s.SketchEntries += o.SketchEntries
 	s.BuildRows += o.BuildRows
 	s.ProbeRows += o.ProbeRows
+	s.Batches += o.Batches
+	s.PeakBytes += o.PeakBytes
+	s.WallNanos += o.WallNanos
+}
+
+// NoteBatch records one emitted batch of the given byte size, tracking
+// the partition's peak in-flight footprint.
+func (s *Slot) NoteBatch(bytes float64) {
+	s.Batches++
+	if bytes > s.PeakBytes {
+		s.PeakBytes = bytes
+	}
 }
 
 // Op is the collector for one physical operator.
@@ -98,8 +122,19 @@ func (o *Op) Partitions() int { return len(o.slots) }
 // (excluding its children). Call only from the coordinating goroutine.
 func (o *Op) AddWall(d time.Duration) { o.wallNanos += int64(d) }
 
-// WallNanos returns the accumulated operator wall time.
-func (o *Op) WallNanos() int64 { return o.wallNanos }
+// WallNanos returns the operator's elapsed wall time: coordinator-side
+// time plus the slowest partition's in-pipeline time (partitions run
+// concurrently, so the max approximates the elapsed contribution).
+func (o *Op) WallNanos() int64 {
+	w := o.wallNanos
+	var slowest int64
+	for i := range o.slots {
+		if o.slots[i].WallNanos > slowest {
+			slowest = o.slots[i].WallNanos
+		}
+	}
+	return w + slowest
+}
 
 // Total merges all partition slots. Call only after the operator's
 // parallel region has completed.

@@ -75,6 +75,29 @@ func TestConcurrentSlotWrites(t *testing.T) {
 	}
 }
 
+func TestNoteBatchTracksPeakAndWall(t *testing.T) {
+	op := &Op{Kind: "Filter"}
+	op.Grow(2)
+	op.Slot(0).NoteBatch(100)
+	op.Slot(0).NoteBatch(40) // smaller batch must not lower the peak
+	op.Slot(1).NoteBatch(70)
+	tot := op.Total()
+	if tot.Batches != 3 {
+		t.Errorf("Batches = %d, want 3", tot.Batches)
+	}
+	// Total sums per-partition peaks (worst-case concurrent footprint).
+	if tot.PeakBytes != 170 {
+		t.Errorf("PeakBytes = %v, want 170", tot.PeakBytes)
+	}
+	// Elapsed wall is coordinator time plus the slowest partition.
+	op.Slot(0).WallNanos = 50
+	op.Slot(1).WallNanos = 80
+	op.AddWall(20 * time.Nanosecond)
+	if got := op.WallNanos(); got != 100 {
+		t.Errorf("WallNanos = %d, want 100", got)
+	}
+}
+
 func TestQueryRegisterAndReport(t *testing.T) {
 	q := NewQuery()
 	type node struct{ name string }
@@ -121,7 +144,7 @@ func TestQueryRegisterAndReport(t *testing.T) {
 	}
 	for _, k := range []string{"rows_in", "rows_out", "bytes_in", "bytes_out", "wall_ms",
 		"est_rows", "partitions", "sampler_seen", "sampler_passed", "sampler_rate",
-		"sketch_entries", "build_rows", "probe_rows"} {
+		"sketch_entries", "build_rows", "probe_rows", "batches", "peak_bytes"} {
 		if _, ok := m[k]; !ok {
 			t.Errorf("serialized OpReport missing %q", k)
 		}

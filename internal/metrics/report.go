@@ -17,6 +17,10 @@ type OpReport struct {
 	BytesIn    float64 `json:"bytes_in"`
 	BytesOut   float64 `json:"bytes_out"`
 	WallMillis float64 `json:"wall_ms"`
+	// Batches counts emitted row batches; PeakBytes sums the partitions'
+	// peak in-flight bytes (worst-case concurrent footprint).
+	Batches   int64   `json:"batches"`
+	PeakBytes float64 `json:"peak_bytes"`
 
 	SamplerType   string  `json:"sampler_type,omitempty"`
 	SamplerP      float64 `json:"sampler_p"`
@@ -51,6 +55,8 @@ func (q *Query) Report() []OpReport {
 			BytesIn:       t.BytesIn,
 			BytesOut:      t.BytesOut,
 			WallMillis:    float64(op.WallNanos()) / 1e6,
+			Batches:       t.Batches,
+			PeakBytes:     t.PeakBytes,
 			SamplerType:   op.SamplerType,
 			SamplerP:      op.SamplerP,
 			SamplerSeen:   t.SamplerSeen,

@@ -56,10 +56,11 @@ type Column struct {
 
 // Engine is a Quickr database instance.
 type Engine struct {
-	cat  *catalog.Catalog
-	cfg  cluster.Config
-	opts core.Options
-	seed uint64
+	cat       *catalog.Catalog
+	cfg       cluster.Config
+	opts      core.Options
+	seed      uint64
+	batchSize int
 }
 
 // New creates an engine with default cluster-simulation and ASALQA
@@ -82,6 +83,14 @@ func (e *Engine) SetSeed(seed uint64) { e.seed = seed }
 
 // SetOptions overrides the ASALQA parameters.
 func (e *Engine) SetOptions(o core.Options) { e.opts = o }
+
+// SetBatchSize sets the executor's streaming batch size: the number of
+// rows each fused scan→filter→project→sample pipeline hands downstream
+// at a time. 0 selects the default (exec.DefaultBatchSize); a negative
+// value disables streaming and materializes whole partitions between
+// operators (the pre-pipeline behavior, kept as a benchmark baseline).
+// Results are bit-identical across batch sizes.
+func (e *Engine) SetBatchSize(n int) { e.batchSize = n }
 
 // Options returns the current ASALQA parameters.
 func (e *Engine) Options() core.Options { return e.opts }
@@ -189,7 +198,7 @@ func (e *Engine) run(query string, approx bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.RunInstrumented(prep.physical, e.cfg, prep.ests)
+	res, err := exec.RunWithOptions(prep.physical, e.cfg, prep.ests, exec.Options{BatchSize: e.batchSize})
 	if err != nil {
 		return nil, err
 	}

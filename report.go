@@ -12,6 +12,13 @@ type RunMetrics struct {
 	Tasks             int     `json:"tasks"`
 	Stages            int     `json:"stages"`
 	OptimizeSeconds   float64 `json:"optimize_seconds"`
+	// PeakInflightBytes is the worst per-operator in-flight footprint
+	// (max over operators of the bytes it held at once across tasks).
+	PeakInflightBytes float64 `json:"peak_inflight_bytes"`
+	// RowsPerSec is base-table rows processed per wall-clock second.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// ExecSeconds is the real (not simulated) execution wall time.
+	ExecSeconds float64 `json:"exec_seconds"`
 }
 
 // RunReport is the machine-readable report of one executed query,
@@ -29,6 +36,10 @@ type RunReport struct {
 
 // RunReport builds the JSON run report for this result.
 func (r *Result) RunReport(query string, approx bool) *RunReport {
+	rps := 0.0
+	if r.ExecSeconds > 0 {
+		rps = float64(r.RowsProcessed) / r.ExecSeconds
+	}
 	return &RunReport{
 		Query:          query,
 		Approx:         approx,
@@ -44,6 +55,9 @@ func (r *Result) RunReport(query string, approx bool) *RunReport {
 			Tasks:             r.Metrics.Tasks,
 			Stages:            r.Metrics.Stages,
 			OptimizeSeconds:   r.OptimizeTime,
+			PeakInflightBytes: r.PeakInFlightBytes,
+			RowsPerSec:        rps,
+			ExecSeconds:       r.ExecSeconds,
 		},
 		Operators: r.Stats.Report(),
 	}

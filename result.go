@@ -42,6 +42,15 @@ type Result struct {
 	StageReport string
 	// OptimizeTime is the time spent in query optimization.
 	OptimizeTime float64 // seconds
+	// PeakInFlightBytes is the worst per-operator in-flight footprint of
+	// the run (see exec.Result.PeakInFlightBytes): with streaming
+	// pipelines this stays near partitions×batch-bytes where the
+	// materializing executor held entire intermediates.
+	PeakInFlightBytes float64
+	// RowsProcessed counts base-table rows driven through the plan.
+	RowsProcessed int64
+	// ExecSeconds is real wall-clock execution time (not simulated).
+	ExecSeconds float64
 	// InternalRows exposes the raw rows for in-module tooling.
 	InternalRows []table.Row
 }
@@ -74,6 +83,10 @@ func newResult(r *exec.Result, p *prepared) *Result {
 		StageReport:    r.StageReport,
 		OptimizeTime:   p.optTime.Seconds(),
 		InternalRows:   r.Rows,
+
+		PeakInFlightBytes: r.PeakInFlightBytes,
+		RowsProcessed:     r.RowsProcessed,
+		ExecSeconds:       r.ExecSeconds,
 	}
 	for _, c := range r.Cols {
 		out.Columns = append(out.Columns, c.Name)
