@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build test race bench smoke-bench lint fmt fmt-check vet
+.PHONY: build test race bench smoke-bench lint quickrlint fuzz fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,33 @@ smoke-bench:
 vet:
 	$(GO) vet ./...
 
-lint: vet fmt-check
+# Project-specific analyzers (see internal/lint and DESIGN.md §8):
+# norawrand, slotdiscipline, weightprop, noprintf. Zero findings
+# required.
+quickrlint:
+	$(GO) run ./cmd/quickrlint ./...
+
+# lint = vet + gofmt + quickrlint, plus staticcheck/govulncheck when
+# they are installed (the hermetic dev container has no network, so
+# they are optional here; CI installs and runs them unconditionally).
+lint: vet fmt-check quickrlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Short coverage-guided fuzz of the SQL lexer and parser; fuzz-found
+# regressions live in internal/sql/testdata/fuzz and run under plain
+# `go test` too.
+fuzz:
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzLex -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 
 fmt:
 	gofmt -w .

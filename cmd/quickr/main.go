@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-seed 0] [-batch 1024] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-batch 1024] [-check] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //
 // -explain prints plans without executing; -analyze executes and prints
@@ -38,12 +38,14 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print simulated cluster metrics")
 	stats := flag.String("stats", "", "write a JSON run report to this path (\"-\" = stdout)")
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
+	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	interactive := flag.Bool("i", false, "interactive mode")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
 	eng := buildEngine(*sf, *seed)
 	eng.SetBatchSize(*batch)
+	eng.SetPlanChecks(*check)
 
 	if *interactive {
 		repl(eng, *metrics)

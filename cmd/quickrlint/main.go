@@ -1,0 +1,49 @@
+// Command quickrlint runs the project-specific static analyzers over
+// the repository and fails (exit 1) on any finding. It is the lint
+// counterpart to internal/plancheck: plancheck verifies the plans the
+// optimizer emits at run time; quickrlint verifies the code that
+// builds them, before it runs.
+//
+// Usage:
+//
+//	quickrlint [packages]       # default ./...
+//	quickrlint -list            # describe the analyzers
+//
+// Analyzers: norawrand, slotdiscipline, weightprop, noprintf (see
+// internal/lint). Suppress a single finding with a
+// `//lint:ignore <analyzer> <reason>` comment on or above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quickr/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := lint.Run(".", flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickrlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "quickrlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

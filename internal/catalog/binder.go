@@ -315,7 +315,9 @@ func (b *Binder) bindTableExpr(te sql.TableExpr, sc *scope) (lplan.Node, error) 
 			alias = t.Name
 		}
 		sc.rels = append(sc.rels, scopeRel{alias: alias, cols: cols})
-		return &lplan.Scan{Table: tbl.Name, Cols: cols}, nil
+		// Base-table scans are unweighted; apriori-sample substitution
+		// (analysis.substituteScan) is what sets a weight column later.
+		return &lplan.Scan{Table: tbl.Name, Cols: cols, WeightColumn: ""}, nil
 	case *sql.JoinExpr:
 		left, err := b.bindTableExpr(t.Left, sc)
 		if err != nil {

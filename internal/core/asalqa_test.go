@@ -8,6 +8,7 @@ import (
 	"quickr/internal/cluster"
 	"quickr/internal/lplan"
 	"quickr/internal/opt"
+	"quickr/internal/plancheck"
 	"quickr/internal/sql"
 	"quickr/internal/table"
 )
@@ -70,6 +71,12 @@ func place(t *testing.T, cat *catalog.Catalog, a *Asalqa, src string) *Result {
 	res, err := a.Place(plan)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Every sampler placement these tests exercise must satisfy the
+	// paper's plan invariants (dominance, C1/C2 support at the site,
+	// universe pairing, no nesting) — fixup rewrites included.
+	if err := plancheck.Logical(res.Plan); err != nil {
+		t.Fatalf("ASALQA output violates plan invariants: %v\n%s", err, lplan.Format(res.Plan))
 	}
 	return res
 }

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"quickr/internal/workload"
+)
+
+// TestWorkloadPlansSatisfyInvariants runs every workload query through
+// the optimizer with the plan-invariant verifier enabled, under both
+// the Baseline plan (no samplers) and the Quickr plan (ASALQA): a
+// violation of any sampler, universe-pairing, weight-propagation or
+// exchange/breaker invariant fails the optimize step. This is the
+// workload-wide gate behind internal/plancheck — every optimized
+// logical plan and every compiled physical plan for the TPC-DS, TPC-H
+// and Other suites must verify clean.
+func TestWorkloadPlansSatisfyInvariants(t *testing.T) {
+	env := NewFullEnv(0.2)
+	env.Eng.SetPlanChecks(true)
+	suites := map[string][]workload.Query{
+		"tpcds": workload.TPCDSQueries(),
+		"tpch":  workload.TPCHQueries(),
+		"other": workload.OtherQueries(),
+	}
+	for name, suite := range suites {
+		for _, q := range suite {
+			q := q
+			t.Run(name+"/"+q.ID, func(t *testing.T) {
+				if _, err := env.Eng.Plan(q.SQL, false); err != nil {
+					t.Errorf("baseline plan: %v", err)
+				}
+				if _, err := env.Eng.Plan(q.SQL, true); err != nil {
+					t.Errorf("quickr plan: %v", err)
+				}
+			})
+		}
+	}
+}

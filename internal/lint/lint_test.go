@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The analyzers are self-tested the analysistest way: each has a
+// fixture tree under testdata/<name>/ whose directory layout IS the
+// package import path (so path-scoped rules see the path they gate
+// on), with expected findings declared as `// want "regexp"` trailing
+// comments. Every want must be matched by a diagnostic on its line and
+// every diagnostic must be claimed by a want — seeded violations that
+// stop firing fail the test just like false positives do.
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) { runFixture(t, a) })
+	}
+}
+
+func runFixture(t *testing.T, a *Analyzer) {
+	root := filepath.Join("testdata", a.Name)
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	wants := map[string][]*want{} // "file:line" -> pending expectations
+	found := false
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		pkg := &Package{Files: nil}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(path, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if len(pkg.Files) == 0 {
+			return nil
+		}
+		found = true
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg.Path = filepath.ToSlash(rel)
+		collectWants(t, fset, pkg, wants)
+		ignores := map[string]map[int][]string{}
+		for _, f := range pkg.Files {
+			collectIgnores(fset, f, ignores)
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Path: pkg.Path, diags: &diags, ignores: ignores}
+		return a.Run(pass)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q did not fire", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+)
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package, into map[string][]*want) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					text := q[1]
+					if q[2] != "" {
+						text = q[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, text, err)
+					}
+					into[key] = append(into[key], &want{re: re})
+				}
+			}
+		}
+	}
+}
+
+// TestRunOnRepo is the self-hosting gate: the whole module must lint
+// clean (the Makefile and CI run the same check via cmd/quickrlint).
+func TestRunOnRepo(t *testing.T) {
+	diags, err := Run("../..", []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestIgnoreDirective checks the suppression comment end to end at the
+// Run level (fixtures also exercise it per-analyzer).
+func TestIgnoreDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "fmt"
+
+func f() {
+	//lint:ignore noprintf demo output is intentional
+	fmt.Println("kept")
+	fmt.Println("flagged")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(dir, []string{"."}, []*Analyzer{NoPrintf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Pos.Line != 8 {
+		t.Fatalf("want exactly the unsuppressed line-8 finding, got %v", diags)
+	}
+}

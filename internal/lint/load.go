@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory's worth of parsed non-test Go files.
+type Package struct {
+	// Path is the module-qualified import path.
+	Path string
+	// Dir is the directory relative to the load root.
+	Dir   string
+	Files []*ast.File
+}
+
+// load expands patterns ("./...", "dir/...", plain directories) into
+// packages under root and parses them. Test files, testdata trees,
+// hidden directories and underscore-prefixed directories are skipped,
+// matching the go tool's package-walking rules.
+func load(root string, patterns []string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "..." || pat == "./...":
+			if err := walkDirs(root, ".", dirs); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Clean(strings.TrimSuffix(pat, "/..."))
+			if err := walkDirs(root, base, dirs); err != nil {
+				return nil, nil, err
+			}
+		default:
+			dirs[filepath.Clean(pat)] = true
+		}
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for dir := range dirs {
+		pkg, err := parseDir(fset, root, module, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, fset, nil
+}
+
+func walkDirs(root, base string, into map[string]bool) error {
+	start := filepath.Join(root, base)
+	return filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		into[rel] = true
+		return nil
+	})
+}
+
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
+	entries, err := os.ReadDir(filepath.Join(root, dir))
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(root, dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path := module
+	if dir != "." {
+		path = module + "/" + filepath.ToSlash(dir)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, nil
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}

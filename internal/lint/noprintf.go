@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPrintf forbids writing to stdout from library packages. The
+// engine's outputs flow through typed results (quickr.Result, run
+// reports, EXPLAIN ANALYZE strings) so the CLI and the experiment
+// harness decide what reaches the terminal; a stray fmt.Println in an
+// operator corrupts -stats JSON piped to stdout and spams every test
+// run. Commands under cmd/ own their stdout and are exempt, as are
+// explicit fmt.Fprint* calls (the writer is then spelled out and
+// reviewable). "Library" means any non-main package: commands and the
+// runnable examples own their stdout.
+var NoPrintf = &Analyzer{
+	Name: "noprintf",
+	Doc: "no fmt.Print/Printf/Println or builtin print/println in library " +
+		"packages; return strings or write to an explicit io.Writer",
+	Run: runNoPrintf,
+}
+
+var printFns = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoPrintf(pass *Pass) error {
+	if strings.Contains(pass.Path, "/cmd/") {
+		return nil
+	}
+	if len(pass.Files) > 0 && pass.Files[0].Name.Name == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		fmtName := importName(f, "fmt")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, fn := selectorCall(call); recv == fmtName && fmtName != "" && printFns[fn] {
+				pass.Reportf(call.Pos(),
+					"fmt.%s writes to stdout from a library package; return the string "+
+						"or take an io.Writer", fn)
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+				pass.Reportf(call.Pos(),
+					"builtin %s writes to stderr and survives into release builds; "+
+						"use a logger or remove the debug print", id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// globalRandFns are the math/rand top-level functions that draw from
+// the shared global source. Sampling decisions made through them are
+// irreproducible across runs and racy across goroutines, which breaks
+// the paired-universe-sampler guarantee (both sides of a join must hash
+// the same subspace from the same seed) and makes error bars
+// unrepeatable. rand.New / rand.NewSource / rand.NewZipf construct
+// explicitly seeded generators and stay legal.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+	"N": true,
+}
+
+// deterministicPkgs are packages whose output must be a pure function
+// of their seeds: samplers (every kept-row decision feeds an unbiased
+// Horvitz–Thompson estimate), the synthetic data generators, the BlinkDB
+// baseline's offline sample builder, and the workload trace generator.
+// Wall-clock reads there smuggle nondeterminism into results; the
+// executor and CLI keep time.Now for wall-time metrics, which is fine.
+var deterministicPkgs = []string{
+	"/internal/sampler",
+	"/internal/data",
+	"/internal/blinkdb",
+	"/internal/trace",
+}
+
+// NoRawRand forbids the global math/rand source everywhere in library
+// code, and wall-clock reads inside the deterministic packages.
+var NoRawRand = &Analyzer{
+	Name: "norawrand",
+	Doc: "forbid global math/rand functions (sampling must flow through seeded " +
+		"*rand.Rand constructors) and time.Now/time.Since in deterministic " +
+		"packages (samplers, data generators, baselines, traces)",
+	Run: runNoRawRand,
+}
+
+func runNoRawRand(pass *Pass) error {
+	deterministic := false
+	for _, suffix := range deterministicPkgs {
+		if strings.HasSuffix(pass.Path, suffix) || strings.Contains(pass.Path, suffix+"/") {
+			deterministic = true
+		}
+	}
+	for _, f := range pass.Files {
+		randName := importName(f, "math/rand")
+		randV2 := importName(f, "math/rand/v2")
+		timeName := importName(f, "time")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, fn := selectorCall(call)
+			if recv == "" {
+				return true
+			}
+			if (recv == randName || recv == randV2) && recv != "" && globalRandFns[fn] {
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the global math/rand source; use a seeded *rand.Rand "+
+						"(rand.New(rand.NewSource(seed))) so sampling is reproducible", recv, fn)
+			}
+			if deterministic && recv == timeName && timeName != "" && (fn == "Now" || fn == "Since") {
+				pass.Reportf(call.Pos(),
+					"time.%s in %s makes a deterministic package depend on the wall clock; "+
+						"thread a seed or an explicit timestamp instead", fn, pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

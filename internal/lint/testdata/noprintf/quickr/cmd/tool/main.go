@@ -1,0 +1,8 @@
+// Fixture for the noprintf analyzer: main packages own their stdout.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("commands may print")
+}

@@ -1,0 +1,21 @@
+// Fixture for the noprintf analyzer: stdout writes from a library
+// package.
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+func bad(x int) {
+	fmt.Println("debug", x) // want "stdout"
+	fmt.Printf("%d\n", x)   // want "stdout"
+	fmt.Print(x)            // want "stdout"
+	println("here")         // want "builtin println"
+	print("here")           // want "builtin print"
+}
+
+func good(w io.Writer, x int) string {
+	fmt.Fprintln(w, x) // explicit writer: legal
+	return fmt.Sprintf("%d", x)
+}

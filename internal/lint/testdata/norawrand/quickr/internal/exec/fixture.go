@@ -1,0 +1,15 @@
+// Fixture for the norawrand analyzer outside the deterministic
+// packages: the executor may read the wall clock for operator metrics,
+// but the global math/rand source is still banned.
+package exec
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mixed() time.Duration {
+	t0 := time.Now() // wall-time metrics are legitimate here
+	_ = rand.Int63() // want "global math/rand source"
+	return time.Since(t0)
+}

@@ -1,0 +1,28 @@
+// Fixture for the norawrand analyzer: quickr/internal/sampler is a
+// deterministic package, so both the global math/rand source and the
+// wall clock are banned here.
+package sampler
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad(seed int64) {
+	_ = rand.Intn(10)     // want "global math/rand source"
+	_ = rand.Float64()    // want "global math/rand source"
+	rand.Shuffle(3, swap) // want "global math/rand source"
+	rand.Seed(seed)       // want "global math/rand source"
+	now := time.Now()     // want "wall clock"
+	_ = time.Since(now)   // want "wall clock"
+}
+
+func good(seed int64) {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructors stay legal
+	_ = rng.Intn(10)                      // methods on an explicit generator are fine
+	_ = rand.NewZipf(rng, 1.2, 1, 100)
+	//lint:ignore norawrand exercising the suppression directive
+	_ = rand.Intn(3)
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,46 @@
+// Fixture for the slotdiscipline analyzer: metric-slot access inside
+// parallelParts worker closures.
+package exec
+
+type op struct{}
+
+func (op) Grow(n int)      {}
+func (op) Slot(i int) *int { return nil }
+func (op) Total() int      { return 0 }
+func (op) AddWall(d int)   {}
+
+func parallelParts(n int, fn func(i int) error) error { return nil }
+
+func region(o op, parts int) {
+	o.Grow(parts) // coordinator side: legal
+	_ = parallelParts(parts, func(i int) error {
+		o.Grow(parts) // want "coordinator"
+		_ = o.Slot(i) // own partition index: legal
+		_ = o.Slot(0) // want "partition index"
+		j := i + 1
+		_ = o.Slot(j) // want "partition index"
+		_ = o.Total() // want "coordinator"
+		o.AddWall(1)  // want "coordinator"
+		return nil
+	})
+	_ = o.Total() // coordinator side after the join: legal
+}
+
+func nested(o op, parts int) {
+	_ = parallelParts(parts, func(pi int) error {
+		// An inner fork/join region is governed by its own index.
+		return parallelParts(2, func(k int) error {
+			_ = o.Slot(k)  // inner closure's own index: legal
+			_ = o.Slot(pi) // want "partition index"
+			return nil
+		})
+	})
+}
+
+func suppressed(o op, parts int) {
+	_ = parallelParts(parts, func(i int) error {
+		//lint:ignore slotdiscipline single-partition fallback owns slot 0
+		_ = o.Slot(0)
+		return nil
+	})
+}

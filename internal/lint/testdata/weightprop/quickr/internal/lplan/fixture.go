@@ -1,0 +1,21 @@
+// Fixture for the weightprop analyzer inside the defining package,
+// where the literal is unqualified.
+package lplan
+
+type Scan struct {
+	Table        string
+	WeightColumn string
+}
+
+func clone(s *Scan) *Scan {
+	return &Scan{Table: s.Table} // want "WeightColumn"
+}
+
+func cloneOK(s *Scan) *Scan {
+	return &Scan{Table: s.Table, WeightColumn: s.WeightColumn}
+}
+
+func positional(s *Scan) Scan {
+	// Positional literals necessarily include every field.
+	return Scan{s.Table, s.WeightColumn}
+}

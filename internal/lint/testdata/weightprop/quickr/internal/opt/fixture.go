@@ -1,0 +1,19 @@
+// Fixture for the weightprop analyzer: plan-node literals constructed
+// from another package must spell out their weight field.
+package opt
+
+import (
+	"quickr/internal/exec"
+	"quickr/internal/lplan"
+)
+
+func rebuild(cols []lplan.ColumnInfo, tbl *exec.Table) {
+	_ = &lplan.Scan{Table: "t", Cols: cols}                   // want "WeightColumn"
+	_ = &lplan.Scan{Table: "t", Cols: cols, WeightColumn: ""} // explicit: legal
+	_ = lplan.Scan{Table: "t"}                                // want "WeightColumn"
+	_ = &exec.PScan{Tbl: tbl}                                 // want "WeightIdx"
+	_ = &exec.PScan{Tbl: tbl, WeightIdx: -1}                  // explicit: legal
+	_ = &lplan.Select{}                                       // other node types carry no weight field
+	//lint:ignore weightprop constructed for a shape-only unit test
+	_ = &lplan.Scan{Table: "t"}
+}

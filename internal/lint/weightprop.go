@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WeightProp enforces weight-column threading at plan-construction
+// sites. Quickr's answers are unbiased only because every row carries
+// its inverse sampling probability from the sampler (or apriori
+// sample) all the way to the aggregates (§4.1: Horvitz–Thompson
+// weighting). The plan nodes thread that weight through two fields:
+// lplan.Scan.WeightColumn (logical, set by apriori-sample
+// substitution) and exec.PScan.WeightIdx (physical, -1 when
+// unweighted). A composite literal that rebuilds either node and
+// forgets the field silently resets every weight to 1 and biases the
+// estimate by a factor of 1/p — the exact bug pruneColumns shipped
+// with. Requiring the field to be spelled out makes the choice
+// explicit and reviewable.
+var WeightProp = &Analyzer{
+	Name: "weightprop",
+	Doc: "lplan.Scan literals must set WeightColumn and exec.PScan literals " +
+		"must set WeightIdx explicitly, so sample weights are never dropped " +
+		"by a node rebuild",
+	Run: runWeightProp,
+}
+
+// weightFields maps (import path, type name) to the field a literal
+// must spell out.
+var weightFields = []struct {
+	pkg   string // import path; "" matches only inside that package itself
+	typ   string
+	field string
+	hint  string
+}{
+	{"quickr/internal/lplan", "Scan", "WeightColumn", `"" for an unweighted base-table scan`},
+	{"quickr/internal/exec", "PScan", "WeightIdx", "-1 for an unweighted scan"},
+}
+
+func runWeightProp(pass *Pass) error {
+	for _, f := range pass.Files {
+		names := map[string]string{} // local import name -> path
+		for _, w := range weightFields {
+			if n := importName(f, w.pkg); n != "" {
+				names[n] = w.pkg
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			var pkgPath, typName string
+			switch t := lit.Type.(type) {
+			case *ast.SelectorExpr:
+				id, ok := t.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgPath, typName = names[id.Name], t.Sel.Name
+			case *ast.Ident:
+				// Unqualified literal: only relevant inside the defining
+				// package itself.
+				pkgPath, typName = pass.Path, t.Name
+			default:
+				return true
+			}
+			for _, w := range weightFields {
+				if pkgPath != w.pkg || typName != w.typ {
+					continue
+				}
+				if len(lit.Elts) > 0 {
+					if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+						// Positional literal: every field, weight included,
+						// is necessarily present.
+						continue
+					}
+				}
+				if !hasKey(lit, w.field) {
+					pass.Reportf(lit.Pos(),
+						"%s.%s literal without %s: an omitted weight silently resets "+
+							"row weights and biases estimates by 1/p; set it explicitly (%s)",
+						pkgPath[strings.LastIndex(pkgPath, "/")+1:], w.typ, w.field, w.hint)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasKey(lit *ast.CompositeLit, field string) bool {
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return true
+		}
+	}
+	return false
+}

@@ -167,7 +167,10 @@ func pruneNode(n lplan.Node, required lplan.ColSet) lplan.Node {
 		if len(kept) == len(x.Cols) {
 			return x
 		}
-		return &lplan.Scan{Table: x.Table, Cols: kept}
+		// The rebuilt scan must carry the apriori-sample weight column:
+		// dropping it here would silently reset every row weight to 1 and
+		// bias the BlinkDB-baseline estimates by 1/p.
+		return &lplan.Scan{Table: x.Table, Cols: kept, WeightColumn: x.WeightColumn}
 	case *lplan.Select:
 		need := required.Union(exprColSet(x.Pred))
 		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})

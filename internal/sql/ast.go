@@ -313,6 +313,12 @@ func (j *JoinExpr) String() string {
 	}
 	kind := ""
 	switch j.Kind {
+	case JoinInner:
+		// An inner join with no condition is a cross join; without the
+		// CROSS keyword the grammar would demand an ON clause on re-parse.
+		if j.On == nil {
+			kind = "CROSS "
+		}
 	case JoinLeftOuter:
 		kind = "LEFT "
 	case JoinRightOuter:

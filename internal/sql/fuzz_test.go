@@ -1,0 +1,110 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// seedQueries is the shared fuzz corpus: every syntactic construct the
+// grammar supports (the workload's TPC-DS/TPC-H shapes included), plus
+// inputs chosen to sit on lexer edges — comments, escaped quotes,
+// exponent forms, multi-byte runes, every operator spelling.
+var seedQueries = []string{
+	"SELECT 1",
+	"SELECT * FROM t",
+	"SELECT a, b AS c FROM t WHERE a > 1 AND b < 2 OR NOT c = 3",
+	"SELECT DISTINCT a FROM t",
+	"SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t",
+	"SELECT COUNT(DISTINCT a) FROM t GROUP BY b HAVING COUNT(*) > 10",
+	"SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 10",
+	"SELECT * FROM a JOIN b ON a.x = b.y",
+	"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y JOIN c ON b.z = c.z",
+	"SELECT * FROM a CROSS JOIN b",
+	"SELECT * FROM (SELECT a FROM t) AS sub WHERE a IN (1, 2, 3)",
+	"SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END FROM t",
+	"SELECT a FROM t WHERE s LIKE 'x%' AND b BETWEEN 1 AND 2 AND c IS NOT NULL",
+	"SELECT a FROM t UNION ALL SELECT b FROM u",
+	"SELECT SUM(x) OVER (PARTITION BY g) FROM t",
+	"SELECT 'it''s', 1.5e-3, .5, -2, x % 3, y / 2.0 FROM t -- trailing comment",
+	"SELECT a <> b, a != b, a <= b, a >= b FROM t;",
+	"select \"lower\" from t",
+	"SELECT 'unterminated",
+	"SELECT héllo FROM wörld",
+	"SELECT\n-- comment only\n1",
+	"",
+	"(",
+	"SELECT",
+	"\x00\xff",
+}
+
+// FuzzParse checks that the parser never panics, and that accepted
+// statements round-trip: String() re-parses, and re-parsing reaches a
+// fixed point (second String equals the first). The round-trip matters
+// beyond hygiene — EXPLAIN output and the experiment reports print
+// plans via String(), and a non-reparseable rendering would make those
+// artifacts lie about the query that actually ran.
+func FuzzParse(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement without error", src)
+		}
+		first := stmt.String()
+		again, err := Parse(first)
+		if err != nil {
+			t.Fatalf("String() output does not re-parse: %v\ninput: %q\nprinted: %q", err, src, first)
+		}
+		if second := again.String(); second != first {
+			t.Fatalf("String() not a fixed point:\nfirst:  %q\nsecond: %q", first, second)
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer's structural invariants on arbitrary
+// bytes: no panics, termination, a single trailing EOF token,
+// monotonically non-decreasing in-range positions, and non-empty token
+// text (an empty token would stall the parser's cursor).
+func FuzzLex(f *testing.F) {
+	for _, q := range seedQueries {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "sql: ") {
+				t.Fatalf("lex error without package prefix: %v", err)
+			}
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream must end in EOF: %v", toks)
+		}
+		prev := 0
+		for i, tok := range toks {
+			if tok.pos < prev || tok.pos > len(src) {
+				t.Fatalf("token %d position %d out of order (prev %d, len %d)", i, tok.pos, prev, len(src))
+			}
+			prev = tok.pos
+			if tok.kind != tokEOF && tok.kind != tokString && tok.text == "" {
+				t.Fatalf("token %d has empty text: %+v", i, tok)
+			}
+			if tok.kind == tokKeyword && tok.text != strings.ToUpper(tok.text) {
+				t.Fatalf("keyword token not upper-cased: %+v", tok)
+			}
+		}
+		if utf8.ValidString(src) {
+			// Lexing is a pure function of the input.
+			again, err2 := lex(src)
+			if err2 != nil || len(again) != len(toks) {
+				t.Fatalf("lex not deterministic: %v vs %v", toks, again)
+			}
+		}
+	})
+}

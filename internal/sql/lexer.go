@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind classifies lexer tokens.
@@ -64,10 +65,26 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokEOF, pos: start}, nil
 	}
 	c := l.src[l.pos]
+	// Decode a full rune: identifiers may be multi-byte UTF-8, and an
+	// invalid encoding must be rejected here rather than smuggled into
+	// an identifier (ToUpper would re-encode it as U+FFFD and the
+	// printed statement would no longer re-parse).
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	if r == utf8.RuneError && size == 1 && c >= 0x80 {
+		return token{}, fmt.Errorf("sql: invalid UTF-8 byte %#x at offset %d", c, l.pos)
+	}
 	switch {
-	case isIdentStart(rune(c)):
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+	case isIdentStart(r):
+		l.pos += size
+		for l.pos < len(l.src) {
+			pr, psize := utf8.DecodeRuneInString(l.src[l.pos:])
+			if pr == utf8.RuneError && psize == 1 {
+				break
+			}
+			if !isIdentPart(pr) {
+				break
+			}
+			l.pos += psize
 		}
 		word := l.src[start:l.pos]
 		up := strings.ToUpper(word)

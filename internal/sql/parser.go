@@ -494,7 +494,13 @@ func (p *parser) parseUnary() (Expr, error) {
 			if lit.Val.Kind() == table.KindInt {
 				return &Literal{Val: table.NewInt(-lit.Val.Int())}, nil
 			}
-			return &Literal{Val: table.NewFloat(-lit.Val.Float())}, nil
+			f := -lit.Val.Float()
+			if f == 0 {
+				// Avoid IEEE negative zero: it renders as "-0", which
+				// re-parses as integer zero instead of this literal.
+				f = 0
+			}
+			return &Literal{Val: table.NewFloat(f)}, nil
 		}
 		return &UnaryExpr{Op: "-", X: x}, nil
 	}

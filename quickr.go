@@ -33,6 +33,7 @@ import (
 	"quickr/internal/exec"
 	"quickr/internal/lplan"
 	"quickr/internal/opt"
+	"quickr/internal/plancheck"
 	"quickr/internal/sql"
 	"quickr/internal/table"
 )
@@ -56,11 +57,12 @@ type Column struct {
 
 // Engine is a Quickr database instance.
 type Engine struct {
-	cat       *catalog.Catalog
-	cfg       cluster.Config
-	opts      core.Options
-	seed      uint64
-	batchSize int
+	cat        *catalog.Catalog
+	cfg        cluster.Config
+	opts       core.Options
+	seed       uint64
+	batchSize  int
+	planChecks bool
 }
 
 // New creates an engine with default cluster-simulation and ASALQA
@@ -94,6 +96,16 @@ func (e *Engine) SetBatchSize(n int) { e.batchSize = n }
 
 // Options returns the current ASALQA parameters.
 func (e *Engine) Options() core.Options { return e.opts }
+
+// SetPlanChecks toggles the plan-invariant verifier
+// (internal/plancheck): when enabled, every optimized logical plan and
+// every compiled physical plan is checked against the paper's sampler
+// invariants (dominance, C1/C2 support, universe pairing, weight
+// propagation) and the executor's exchange/breaker discipline before
+// execution; a violation fails the query instead of silently returning
+// a biased answer. The CLI flag `quickr -check` enables the same
+// verifier.
+func (e *Engine) SetPlanChecks(on bool) { e.planChecks = on }
 
 // CreateTable registers an empty table with the given columns, split
 // into parts partitions.
@@ -258,10 +270,20 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 			estCfg = &exec.EstimatorConfig{Type: an.Type, P: an.P, UniverseCols: an.UniverseCols}
 		}
 	}
+	if e.planChecks {
+		if err := plancheck.Logical(p.logical); err != nil {
+			return nil, fmt.Errorf("quickr: optimized logical plan is invalid: %w", err)
+		}
+	}
 	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: e.seed}
 	physical, err := planner.Plan(p.logical)
 	if err != nil {
 		return nil, err
+	}
+	if e.planChecks {
+		if err := plancheck.Physical(physical); err != nil {
+			return nil, fmt.Errorf("quickr: compiled physical plan is invalid: %w", err)
+		}
 	}
 	p.physical = physical
 	p.ests = planner.Ests
