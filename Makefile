@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race bench smoke-bench lint quickrlint fuzz fmt fmt-check vet
+.PHONY: build test race hammer seed-sweep bench smoke-bench lint quickrlint fuzz fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,21 @@ test:
 	$(GO) test ./...
 
 # The race job covers the packages with real concurrency: the parallel
-# executor and the samplers it drives.
+# executor, the shared worker pool and admission gate, the query
+# service, and the samplers the executor drives.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/sampler/...
+	$(GO) test -race ./internal/exec/... ./internal/sampler/... ./internal/pool/... ./internal/service/...
+
+# Concurrency hammer: 32+ mixed exact/approx queries on one engine under
+# the race detector, plus cancellation and chaos interleavings.
+hammer:
+	$(GO) test -race -count=1 -timeout 10m -run 'TestConcurrent|TestCancel|TestDeadline' .
+
+# Statistical acceptance sweep: ≥200 sampler seeds per query, CI95
+# coverage against the reference evaluator and Proposition 4 missed-
+# group bounds. Slow — skipped under -short, run nightly in CI.
+seed-sweep:
+	$(GO) test -count=1 -timeout 30m -run TestSeedSweepCoverage -v ./internal/experiments/
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'

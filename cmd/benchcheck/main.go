@@ -30,6 +30,14 @@ var metricsFields = []string{
 	"machine_hours", "runtime", "intermediate_bytes", "shuffled_bytes",
 	"passes", "tasks", "stages", "optimize_seconds",
 	"peak_inflight_bytes", "rows_per_sec", "exec_seconds",
+	"queued_seconds", "admitted_bytes", "pool_wait_seconds",
+	"pool_tasks", "pool_stolen",
+}
+
+// concurrencyFields are required on the report's serial-vs-concurrent
+// throughput block.
+var concurrencyFields = []string{
+	"workers", "cores", "jobs", "serial_qps", "concurrent_qps", "speedup",
 }
 
 func main() {
@@ -164,6 +172,35 @@ func checkFile(path string) []error {
 	if peakMaterialized > 0 && peakStreaming >= peakMaterialized {
 		fail("streaming peak in-flight bytes (%.0f) not below materializing baseline (%.0f)",
 			peakStreaming, peakMaterialized)
+	}
+
+	// Concurrency throughput gate: the shared-engine concurrent pass must
+	// beat serial submission — but only where the machine can actually
+	// run queries in parallel (single-core CI runners are exempt).
+	if craw, ok := top["concurrency"]; !ok {
+		fail("missing top-level field %q", "concurrency")
+	} else {
+		var conc map[string]json.RawMessage
+		if err := json.Unmarshal(craw, &conc); err != nil {
+			fail("concurrency is not an object: %v", err)
+		} else {
+			for _, k := range concurrencyFields {
+				if _, ok := conc[k]; !ok {
+					fail("concurrency missing %q", k)
+				}
+			}
+			var cores int
+			var serial, concurrent float64
+			json.Unmarshal(conc["cores"], &cores)
+			json.Unmarshal(conc["serial_qps"], &serial)
+			json.Unmarshal(conc["concurrent_qps"], &concurrent)
+			if serial <= 0 || concurrent <= 0 {
+				fail("concurrency throughput not measured: serial=%.3f concurrent=%.3f", serial, concurrent)
+			} else if cores >= 2 && concurrent <= serial {
+				fail("concurrent QPS %.2f not above serial %.2f on a %d-core machine",
+					concurrent, serial, cores)
+			}
+		}
 	}
 	return errs
 }

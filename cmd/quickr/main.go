@@ -6,6 +6,7 @@
 //
 //	quickr [-sf 1] [-seed 0] [-batch 1024] [-check] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
+//	quickr [-sf 1] -serve :8080  # HTTP/JSON query service (see internal/service)
 //
 // -explain prints plans without executing; -analyze executes and prints
 // the EXPLAIN ANALYZE view (actual row counts per operator alongside
@@ -21,12 +22,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 
 	"quickr"
 	"quickr/internal/data"
+	"quickr/internal/service"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
 	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	interactive := flag.Bool("i", false, "interactive mode")
+	serve := flag.String("serve", "", "serve the HTTP/JSON query API on this address (e.g. :8080) instead of running a query")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
@@ -47,6 +51,15 @@ func main() {
 	eng.SetBatchSize(*batch)
 	eng.SetPlanChecks(*check)
 
+	if *serve != "" {
+		srv := service.New(eng)
+		fmt.Fprintf(os.Stderr, "serving query API on %s (POST /query, GET /query/{id}, POST /query/{id}/cancel, GET /metrics)\n", *serve)
+		if err := http.ListenAndServe(*serve, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *interactive {
 		repl(eng, *metrics)
 		return

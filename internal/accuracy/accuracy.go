@@ -113,6 +113,26 @@ func unroll(n lplan.Node, a *Analysis) []effSampler {
 	case *lplan.Join:
 		l := unroll(x.Left, a)
 		r := unroll(x.Right, a)
+		// A uniform sampler on the dimension side of a foreign-key join
+		// does NOT stay row-independent across the join: every fact row
+		// keyed to the same dimension row survives or dies together, so
+		// the join output is cluster-sampled by the join key. That is
+		// exactly a universe sample on the key subspace, and the
+		// Horvitz–Thompson variance must be computed per subspace or it
+		// understates the error by the mean cluster size. Rewrite the
+		// root-equivalent sampler accordingly (the physical sampler is
+		// untouched; only the estimator configuration changes).
+		if x.FKJoin {
+			for i, rs := range r {
+				if rs.def.Type == lplan.SamplerUniform {
+					def := rs.def
+					def.Type = lplan.SamplerUniverse
+					def.Cols = append([]lplan.ColumnID{}, x.RightKeys...)
+					a.trace("⋈", rs.def, "Rule-U3′ (uniform on FK dimension side ⇒ universe on join key)")
+					r[i] = effSampler{def: def}
+				}
+			}
+		}
 		// Merge paired universe samplers: Γ^V_p(L) ⋈ Γ^V_p(R) with the
 		// same subspace unrolls to Γ^V_p(L ⋈ R) — Rule V3a.
 		var out []effSampler

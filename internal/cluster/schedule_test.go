@@ -1,0 +1,127 @@
+package cluster
+
+// Straggler and wave-scheduling edge cases for the simulated scheduler:
+// the Finish() arithmetic must degrade to the serial sum when only one
+// slot exists, to the per-stage max when slots cover every task, and
+// must charge a straggler's full duration to exactly one wave.
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %.4f, want %.4f", name, got, want)
+	}
+}
+
+// Slot cap 1: waves degenerate to serial execution, so runtime equals
+// machine-hours equals the plain sum of task times.
+func TestSlotCapOneSerializes(t *testing.T) {
+	cfg := Config{SlotCap: 1, TaskStartup: 5, CPURate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("s", 4)
+	times := []float64{40, 30, 20, 10}
+	for i, c := range times {
+		s.AddCPU(i, c)
+	}
+	m := r.Finish()
+	want := 0.0
+	for _, c := range times {
+		want += c + cfg.TaskStartup
+	}
+	almost(t, "runtime", m.Runtime, want)
+	almost(t, "machine-hours", m.MachineHours, want)
+}
+
+// Slot cap ≥ task count: a single wave, runtime is the slowest task
+// (the straggler), while machine-hours still sums everything.
+func TestSlotCapCoversAllTasks(t *testing.T) {
+	cfg := Config{SlotCap: 16, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("s", 5)
+	for i, c := range []float64{7, 3, 99, 1, 2} {
+		s.AddCPU(i, c)
+	}
+	m := r.Finish()
+	almost(t, "runtime", m.Runtime, 99)
+	almost(t, "machine-hours", m.MachineHours, 112)
+}
+
+// A straggler dominates its wave but is charged only once: with cap 2
+// and times {100, 1, 1, 1}, the descending-sorted waves are {100, 1}
+// and {1, 1}, so runtime is 100 + 1 — not 100 + anything larger, and
+// not 2×100.
+func TestStragglerChargedToOneWave(t *testing.T) {
+	cfg := Config{SlotCap: 2, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("s", 4)
+	for i, c := range []float64{100, 1, 1, 1} {
+		s.AddCPU(i, c)
+	}
+	m := r.Finish()
+	almost(t, "runtime", m.Runtime, 101)
+}
+
+// Uneven task times across a partial last wave: 5 tasks, cap 2 →
+// ⌈5/2⌉ = 3 waves over the descending times {50,40}, {30,20}, {10}.
+func TestUnevenTasksPartialLastWave(t *testing.T) {
+	cfg := Config{SlotCap: 2, TaskStartup: 0, CPURate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("s", 5)
+	for i, c := range []float64{10, 30, 50, 20, 40} {
+		s.AddCPU(i, c)
+	}
+	m := r.Finish()
+	almost(t, "runtime", m.Runtime, 50+30+10)
+}
+
+// Dependent stages schedule after their slowest dependency, and the
+// wave arithmetic applies per stage: runtime is the critical path of
+// per-stage wave sums, with machine-hours invariant to SlotCap.
+func TestWaveArithmeticAcrossDependentStages(t *testing.T) {
+	build := func(cap int) Metrics {
+		cfg := Config{SlotCap: cap, TaskStartup: 1, CPURate: 1}
+		r := NewRun(cfg)
+		a := r.NewStage("scan-a", 4)
+		for i, c := range []float64{9, 9, 9, 9} {
+			a.AddCPU(i, c)
+		}
+		b := r.NewStage("scan-b", 1)
+		b.AddCPU(0, 3)
+		j := r.NewStage("join", 2, a.ID, b.ID)
+		j.AddCPU(0, 5)
+		j.AddCPU(1, 7)
+		return r.Finish()
+	}
+	wide := build(8) // everything in one wave per stage
+	// scan-a: max 10; scan-b: 4; join starts at 10, runs max(6,8)=8.
+	almost(t, "wide runtime", wide.Runtime, 18)
+
+	narrow := build(1) // fully serial waves
+	// scan-a: 40; scan-b: 4; join starts at 40, runs 6+8=14.
+	almost(t, "narrow runtime", narrow.Runtime, 54)
+
+	almost(t, "machine-hours invariant", wide.MachineHours, narrow.MachineHours)
+	almost(t, "machine-hours", wide.MachineHours, 40+4+14)
+}
+
+// IO and shuffle costs enter task time (and therefore waves) with the
+// configured rates; intermediate/shuffled byte accounting follows the
+// stage flags regardless of scheduling.
+func TestStragglerFromIOSkew(t *testing.T) {
+	cfg := Config{SlotCap: 2, TaskStartup: 0, CPURate: 1, IORate: 0.5, NetRate: 1}
+	r := NewRun(cfg)
+	s := r.NewStage("shuffle", 3)
+	s.ShuffleOut = true
+	s.AddOutput(0, 10, 100) // task time 100*0.5 + 100*1 = 150
+	s.AddOutput(1, 1, 8)    // 12
+	s.AddOutput(2, 1, 8)    // 12
+	m := r.Finish()
+	// Waves (desc): {150, 12} + {12}.
+	almost(t, "runtime", m.Runtime, 162)
+	almost(t, "shuffled", m.ShuffledBytes, 116)
+	almost(t, "intermediate", m.IntermediateBytes, 116)
+}

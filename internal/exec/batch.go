@@ -3,6 +3,7 @@ package exec
 import (
 	"math"
 
+	"quickr/internal/pool"
 	"quickr/internal/table"
 )
 
@@ -21,6 +22,14 @@ type Options struct {
 	// pipeline materializes whole partitions (the pre-batching executor,
 	// kept as the comparison baseline for BenchmarkExecutorPipeline).
 	BatchSize int
+	// Pool overrides the worker pool partition fan-out runs on (nil
+	// selects the process-wide shared pool).
+	Pool *pool.Pool
+	// QueuedNanos and AdmittedBytes echo the admission-gate outcome so
+	// EXPLAIN ANALYZE and the JSON run report can annotate it alongside
+	// the run's own pool telemetry.
+	QueuedNanos   int64
+	AdmittedBytes int64
 }
 
 // resolveBatch maps the Options knob onto an effective batch size.

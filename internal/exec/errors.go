@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"context"
+	"errors"
+)
+
+// Typed execution errors: a query interrupted by its context reports
+// which limit stopped it. Cancellation is checked between partition
+// tasks in the shared worker pool and at every batch boundary inside
+// fused pipelines, so a canceled query unwinds within one batch.
+var (
+	// ErrCanceled is returned when the query's context was canceled.
+	ErrCanceled = errors.New("exec: query canceled")
+	// ErrDeadline is returned when the query's context deadline passed.
+	ErrDeadline = errors.New("exec: query deadline exceeded")
+)
+
+// mapCtxErr converts context errors into the typed query errors,
+// passing every other error through unchanged.
+func mapCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	}
+	return err
+}
+
+// ctxErr reports the typed error for a done context, or nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return mapCtxErr(ctx.Err())
+}

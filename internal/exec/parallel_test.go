@@ -1,0 +1,96 @@
+package exec
+
+// parallelParts error-propagation contract: when one partition fails,
+// every partition that already started still runs its teardown to
+// completion before parallelParts returns, unstarted partitions are
+// skipped, and no goroutine survives the call. These were the gaps the
+// old spawn-per-partition implementation left open (a failed partition
+// abandoned its siblings mid-teardown and leaked their goroutines).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quickr/internal/testutil"
+)
+
+func TestParallelPartsErrorStillCompletesTeardown(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	sentinel := errors.New("partition blew up")
+	var started, tornDown atomic.Int64
+	err := parallelParts(context.Background(), 64, func(i int) error {
+		started.Add(1)
+		defer func() {
+			// Teardown is deliberately slow so a premature return would
+			// be caught with started > tornDown.
+			time.Sleep(time.Millisecond)
+			tornDown.Add(1)
+		}()
+		if i == 3 {
+			return fmt.Errorf("part %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error lost: got %v", err)
+	}
+	if s, d := started.Load(), tornDown.Load(); s != d {
+		t.Fatalf("parallelParts returned with %d partitions started but only %d torn down", s, d)
+	}
+}
+
+func TestParallelPartsFirstErrorWins(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// Every partition fails; exactly one error (some partition's) must
+	// surface, not a garbled merge and not nil.
+	err := parallelParts(context.Background(), 16, func(i int) error {
+		return fmt.Errorf("part %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("all partitions failed but parallelParts returned nil")
+	}
+}
+
+func TestParallelPartsCancelMapsToTypedError(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := parallelParts(ctx, 1024, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if ran.Load() == 1024 {
+		t.Fatal("cancellation skipped no partitions")
+	}
+}
+
+func TestParallelPartsDeadlineMapsToTypedError(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := parallelParts(ctx, 8, func(i int) error { return nil })
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestParallelPartsNilContextRuns(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var ran atomic.Int64
+	if err := parallelParts(nil, 32, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 partitions", ran.Load())
+	}
+}

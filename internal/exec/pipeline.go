@@ -499,7 +499,7 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	}
 
 	outParts := make([][]wrow, parts)
-	if err := parallelParts(parts, func(i int) error {
+	if err := ex.parallel(parts, func(i int) error {
 		var cur operator
 		if scan != nil {
 			cur = &scanSource{
@@ -514,6 +514,11 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 		}
 		out := make([]wrow, 0, hint)
 		for {
+			// The batch boundary is the cancellation point: a canceled
+			// query stops pulling within one batch of the signal.
+			if err := ctxErr(ex.ctx); err != nil {
+				return err
+			}
 			b, err := cur.Next()
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -14,7 +15,7 @@ import (
 // runBatched executes a plan at the given batch size.
 func runBatched(t *testing.T, p PNode, batch int) *Result {
 	t.Helper()
-	res, err := RunWithOptions(p, cluster.DefaultConfig(), nil, Options{BatchSize: batch})
+	res, err := RunWithOptions(context.Background(), p, cluster.DefaultConfig(), nil, Options{BatchSize: batch})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,58 +1,32 @@
 package exec
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"quickr/internal/cluster"
 	"quickr/internal/lplan"
 	"quickr/internal/metrics"
+	"quickr/internal/pool"
 	"quickr/internal/table"
 )
 
-// parallelParts runs fn(i) for each partition index concurrently, with
-// at most GOMAXPROCS workers, and returns the first error. Per-stage
-// task accounting is index-disjoint (each partition touches only its own
-// task counters), so operators parallelize without locks.
-func parallelParts(n int, fn func(i int) error) error {
-	if n <= 1 {
-		if n == 1 {
-			return fn(0)
-		}
-		return nil
+// parallelParts runs fn(i) for each partition index on the process-wide
+// shared worker pool (plus the calling goroutine), returning the first
+// error. Per-stage task accounting is index-disjoint (each partition
+// touches only its own task counters), so operators parallelize without
+// locks. Cancellation is honored between tasks: after ctx is done, no
+// new partition starts, every started partition's teardown completes
+// before the call returns, and the typed ErrCanceled/ErrDeadline is
+// reported.
+func parallelParts(ctx context.Context, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	_, err := pool.Default().Run(ctx, n, fn)
+	return mapCtxErr(err)
 }
 
 // stream is the in-flight state between pipeline breakers: the data
@@ -93,11 +67,21 @@ type Result struct {
 	RowsProcessed int64
 	// ExecSeconds is real wall-clock execution time (not simulated).
 	ExecSeconds float64
+	// PoolWaitNanos is the run's aggregate scheduling wait on the shared
+	// worker pool (see pool.Stats.WaitNanos).
+	PoolWaitNanos int64
+	// PoolTasks and PoolStolen count partition tasks run for this query
+	// and how many of them were executed by shared pool workers.
+	PoolTasks, PoolStolen int
+	// QueuedNanos and AdmittedBytes echo the admission-gate outcome the
+	// caller passed in via Options (zero when no admission control ran).
+	QueuedNanos   int64
+	AdmittedBytes int64
 }
 
 // Run executes the physical plan under the given cluster configuration.
 func Run(p PNode, cfg cluster.Config) (*Result, error) {
-	return RunWithOptions(p, cfg, nil, Options{})
+	return RunWithOptions(context.Background(), p, cfg, nil, Options{})
 }
 
 // RunInstrumented executes the plan with per-operator metrics
@@ -105,15 +89,25 @@ func Run(p PNode, cfg cluster.Config) (*Result, error) {
 // output cardinality from estRows (keyed by plan-node identity; nil is
 // allowed and leaves estimates unknown).
 func RunInstrumented(p PNode, cfg cluster.Config, estRows map[PNode]float64) (*Result, error) {
-	return RunWithOptions(p, cfg, estRows, Options{})
+	return RunWithOptions(context.Background(), p, cfg, estRows, Options{})
 }
 
-// RunWithOptions is RunInstrumented with execution tuning (currently
-// the streamed pipeline batch size).
-func RunWithOptions(p PNode, cfg cluster.Config, estRows map[PNode]float64, opts Options) (*Result, error) {
+// RunWithOptions is RunInstrumented with a cancellation context and
+// execution tuning (batch size, worker pool, admission echo). The
+// context is checked between partition tasks and at every pipeline
+// batch boundary; a canceled run returns ErrCanceled (ErrDeadline when
+// the deadline passed) after all started partition work has unwound.
+func RunWithOptions(ctx context.Context, p PNode, cfg cluster.Config, estRows map[PNode]float64, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	qm := metrics.NewQuery()
 	registerOps(qm, p, estRows)
-	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize)}
+	pl := opts.Pool
+	if pl == nil {
+		pl = pool.Default()
+	}
+	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize), ctx: ctx, pl: pl}
 	t0 := time.Now()
 	s, err := ex.exec(p)
 	if err != nil {
@@ -152,11 +146,19 @@ func RunWithOptions(p PNode, cfg cluster.Config, estRows map[PNode]float64, opts
 		StageReport:       ex.run.String(),
 		PlanText:          FormatPlan(p),
 		Stats:             qm,
-		AnalyzedPlan:      FormatAnalyze(p, qm),
 		PeakInFlightBytes: peak,
 		RowsProcessed:     scanned,
 		ExecSeconds:       execSeconds,
+		PoolWaitNanos:     ex.poolWaitNanos,
+		PoolTasks:         ex.poolTasks,
+		PoolStolen:        ex.poolStolen,
+		QueuedNanos:       opts.QueuedNanos,
+		AdmittedBytes:     opts.AdmittedBytes,
 	}
+	res.AnalyzedPlan = FormatAnalyze(p, qm) + fmt.Sprintf(
+		"service: queued=%.2fms admitted_bytes=%d pool_wait=%.2fms pool_tasks=%d stolen=%d\n",
+		float64(res.QueuedNanos)/1e6, res.AdmittedBytes,
+		float64(res.PoolWaitNanos)/1e6, res.PoolTasks, res.PoolStolen)
 	return res, nil
 }
 
@@ -217,6 +219,26 @@ type executor struct {
 	// batch is the streamed pipeline batch size (math.MaxInt in
 	// materializing-baseline mode, where one batch spans the partition).
 	batch int
+	// ctx carries the query's cancellation/deadline signal; it is
+	// checked between partition tasks and at batch boundaries.
+	ctx context.Context
+	// pl is the shared worker pool partition fan-out runs on.
+	pl *pool.Pool
+	// Pool telemetry accumulated across this run's parallel regions
+	// (written only by the coordinating goroutine).
+	poolWaitNanos         int64
+	poolTasks, poolStolen int
+}
+
+// parallel fans fn out over n partitions on the shared pool,
+// accumulating scheduling telemetry and mapping cancellation to the
+// typed query errors.
+func (ex *executor) parallel(n int, fn func(i int) error) error {
+	st, err := ex.pl.Run(ex.ctx, n, fn)
+	ex.poolWaitNanos += st.WaitNanos
+	ex.poolTasks += st.Tasks
+	ex.poolStolen += st.Stolen
+	return mapCtxErr(err)
 }
 
 // opFor returns the collector for a plan node, registering one on the
@@ -262,6 +284,9 @@ func (ex *executor) materialize(s *stream, shuffle bool) {
 // exec runs a plan node. Non-breakers (scan, filter, project, sample)
 // fuse into streaming per-partition pipelines; breakers materialize.
 func (ex *executor) exec(n PNode) (*stream, error) {
+	if err := ctxErr(ex.ctx); err != nil {
+		return nil, err
+	}
 	if !n.Breaker() {
 		return ex.execPipeline(n)
 	}
@@ -466,11 +491,13 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		bbytes := rowsBytes(buildRows)
 		op.Grow(len(left.parts))
 		t0 := time.Now()
-		_ = parallelParts(len(left.parts), func(i int) error {
+		if err := ex.parallel(len(left.parts), func(i int) error {
 			left.stage.AddInput(i, int64(len(buildRows)), bbytes)
 			left.parts[i] = joinRows(left.stage, i, left.parts[i], buildRows)
 			return nil
-		})
+		}); err != nil {
+			return nil, err
+		}
 		op.AddWall(time.Since(t0))
 		return left, nil
 	}
@@ -489,13 +516,15 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	out := make([][]wrow, len(left.parts))
 	op.Grow(len(left.parts))
 	t0 := time.Now()
-	_ = parallelParts(len(left.parts), func(i int) error {
+	if err := ex.parallel(len(left.parts), func(i int) error {
 		inRows := int64(len(left.parts[i]) + len(right.parts[i]))
 		inBytes := rowsBytes(left.parts[i]) + rowsBytes(right.parts[i])
 		st.AddInput(i, inRows, inBytes)
 		out[i] = joinRows(st, i, left.parts[i], right.parts[i])
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	op.AddWall(time.Since(t0))
 	return &stream{parts: out, stage: st}, nil
 }
@@ -536,7 +565,7 @@ func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
 	op := ex.opFor(p)
 	op.Grow(len(s.parts))
 	t0 := time.Now()
-	if err := parallelParts(len(s.parts), func(i int) error {
+	if err := ex.parallel(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		r, err := newAggRunner(p, cm)
 		if err != nil {

@@ -53,7 +53,7 @@ func (ex *executor) execWindow(p *PWindow) (*stream, error) {
 	op := ex.opFor(p)
 	op.Grow(len(s.parts))
 	t0 := time.Now()
-	if err := parallelParts(len(s.parts), func(i int) error {
+	if err := ex.parallel(len(s.parts), func(i int) error {
 		part := s.parts[i]
 		// One appended value per spec per row, in input order first; the
 		// final row order within the task follows the last spec's

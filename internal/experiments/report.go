@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
 
 	"quickr"
 	"quickr/internal/workload"
@@ -60,6 +63,93 @@ type BenchReport struct {
 	Experiment  string             `json:"experiment"`
 	ScaleFactor float64            `json:"scale_factor"`
 	Queries     []QueryBenchReport `json:"queries"`
+	Concurrency *ConcurrencyReport `json:"concurrency,omitempty"`
+}
+
+// ConcurrencyReport compares the engine's throughput on the same job
+// list executed serially and with concurrent submitters sharing one
+// engine (worker pool, admission gate, plan cache). Cores records the
+// machine's parallelism so CI only asserts a concurrent speedup where
+// one is physically possible.
+type ConcurrencyReport struct {
+	Workers       int     `json:"workers"`
+	Cores         int     `json:"cores"`
+	Jobs          int     `json:"jobs"`
+	SerialQPS     float64 `json:"serial_qps"`
+	ConcurrentQPS float64 `json:"concurrent_qps"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// MeasureConcurrency runs every query (approx mode) reps times serially
+// and then again with the given number of concurrent submitters, and
+// reports queries-per-second for both. One warmup execution per
+// distinct plan precedes the timed passes so both run against a warm
+// plan cache and the comparison isolates execution concurrency.
+func MeasureConcurrency(env *Env, queries []workload.Query, workers, reps int) (*ConcurrencyReport, error) {
+	var jobs []string
+	for r := 0; r < reps; r++ {
+		for _, q := range queries {
+			jobs = append(jobs, q.SQL)
+		}
+	}
+	for _, q := range queries { // warm the plan cache for both passes
+		if _, err := env.Eng.ExecApprox(q.SQL); err != nil {
+			return nil, fmt.Errorf("%s warmup: %w", q.ID, err)
+		}
+	}
+	pass := func(conc int) (float64, error) {
+		if conc < 1 {
+			conc = 1
+		}
+		start := time.Now()
+		var firstErr error
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		next := make(chan string)
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sql := range next {
+					if _, err := env.Eng.ExecApprox(sql); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, sql := range jobs {
+			next <- sql
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(len(jobs)) / time.Since(start).Seconds(), nil
+	}
+	serial, err := pass(1)
+	if err != nil {
+		return nil, err
+	}
+	concurrent, err := pass(workers)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ConcurrencyReport{
+		Workers:       workers,
+		Cores:         runtime.NumCPU(),
+		Jobs:          len(jobs),
+		SerialQPS:     serial,
+		ConcurrentQPS: concurrent,
+	}
+	if serial > 0 {
+		rep.Speedup = concurrent / serial
+	}
+	return rep, nil
 }
 
 // BuildBenchReport runs the given queries through the harness and
@@ -105,6 +195,11 @@ func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf 
 		}
 		rep.Queries = append(rep.Queries, q)
 	}
+	conc, err := MeasureConcurrency(env, queries, 8, 3)
+	if err != nil {
+		return nil, err
+	}
+	rep.Concurrency = conc
 	return rep, nil
 }
 

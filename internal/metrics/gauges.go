@@ -1,0 +1,61 @@
+package metrics
+
+import "sync/atomic"
+
+// Process-wide gauges for the concurrent query service: the shared
+// worker pool, the byte-budget admission gate, and the plan cache all
+// publish here, and the `quickr -serve` /metrics endpoint (plus tests)
+// reads consistent snapshots via Gauges(). Unlike the per-query Op
+// collectors these are cross-query and therefore atomic.
+var (
+	// PoolWorkers is the number of live pool workers.
+	PoolWorkers atomic.Int64
+	// PoolRunningTasks is the number of partition tasks executing now.
+	PoolRunningTasks atomic.Int64
+	// PoolQueuedJobs is the number of jobs with unclaimed tasks.
+	PoolQueuedJobs atomic.Int64
+	// PoolCompletedTasks counts tasks finished since process start.
+	PoolCompletedTasks atomic.Int64
+
+	// AdmittedBytes is the admission gate's currently reserved bytes.
+	AdmittedBytes atomic.Int64
+	// QueuedQueries is the number of queries waiting at the gate.
+	QueuedQueries atomic.Int64
+
+	// PlanCacheHits and PlanCacheMisses count prepared-plan cache
+	// lookups across all engines in the process.
+	PlanCacheHits   atomic.Int64
+	PlanCacheMisses atomic.Int64
+
+	// ActiveQueries is the number of queries between admission and
+	// completion.
+	ActiveQueries atomic.Int64
+)
+
+// GaugeSnapshot is a point-in-time copy of the process gauges.
+type GaugeSnapshot struct {
+	PoolWorkers        int64 `json:"pool_workers"`
+	PoolRunningTasks   int64 `json:"pool_running_tasks"`
+	PoolQueuedJobs     int64 `json:"pool_queued_jobs"`
+	PoolCompletedTasks int64 `json:"pool_completed_tasks"`
+	AdmittedBytes      int64 `json:"admitted_bytes"`
+	QueuedQueries      int64 `json:"queued_queries"`
+	PlanCacheHits      int64 `json:"plan_cache_hits"`
+	PlanCacheMisses    int64 `json:"plan_cache_misses"`
+	ActiveQueries      int64 `json:"active_queries"`
+}
+
+// Gauges snapshots the process-wide service gauges.
+func Gauges() GaugeSnapshot {
+	return GaugeSnapshot{
+		PoolWorkers:        PoolWorkers.Load(),
+		PoolRunningTasks:   PoolRunningTasks.Load(),
+		PoolQueuedJobs:     PoolQueuedJobs.Load(),
+		PoolCompletedTasks: PoolCompletedTasks.Load(),
+		AdmittedBytes:      AdmittedBytes.Load(),
+		QueuedQueries:      QueuedQueries.Load(),
+		PlanCacheHits:      PlanCacheHits.Load(),
+		PlanCacheMisses:    PlanCacheMisses.Load(),
+		ActiveQueries:      ActiveQueries.Load(),
+	}
+}

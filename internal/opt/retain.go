@@ -1,0 +1,96 @@
+package opt
+
+import "quickr/internal/lplan"
+
+// RetainColumns threads the given columns through the projections under
+// the topmost Aggregate so they are still visible in the aggregate's
+// input. The accuracy analysis can decide post-placement that a plan is
+// effectively universe-sampled on its join key (a uniform sampler on
+// the dimension side of an FK join cluster-samples the join output);
+// the per-subspace variance estimator then needs that key column at the
+// aggregate, but normalization has usually pruned it away right above
+// the join. Appending pass-through ColRefs to the pruned Projects is
+// semantically invisible — the aggregate reads only the columns it
+// resolves by ID — and restores the subspace identity the estimator
+// keys on.
+func RetainColumns(n lplan.Node, cols []lplan.ColumnID) lplan.Node {
+	if len(cols) == 0 {
+		return n
+	}
+	if agg, ok := n.(*lplan.Aggregate); ok {
+		c := *agg
+		c.Input = retainThrough(agg.Input, cols)
+		return &c
+	}
+	ch := n.Children()
+	if len(ch) == 0 {
+		return n
+	}
+	newCh := make([]lplan.Node, len(ch))
+	changed := false
+	for i, child := range ch {
+		newCh[i] = RetainColumns(child, cols)
+		if newCh[i] != child {
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	return n.WithChildren(newCh)
+}
+
+// retainThrough rewrites Projects in the subtree to pass the requested
+// columns along whenever their input still carries them.
+func retainThrough(n lplan.Node, cols []lplan.ColumnID) lplan.Node {
+	if n == nil {
+		return nil
+	}
+	// Stop at nested aggregates: columns below them are a different
+	// scope and the samplers this rewrite serves sit above them.
+	if _, ok := n.(*lplan.Aggregate); ok {
+		return n
+	}
+	ch := n.Children()
+	newCh := make([]lplan.Node, len(ch))
+	changed := false
+	for i, child := range ch {
+		newCh[i] = retainThrough(child, cols)
+		if newCh[i] != child {
+			changed = true
+		}
+	}
+	if changed {
+		n = n.WithChildren(newCh)
+	}
+	p, ok := n.(*lplan.Project)
+	if !ok {
+		return n
+	}
+	have := map[lplan.ColumnID]lplan.ColumnInfo{}
+	for _, ci := range p.Input.Columns() {
+		have[ci.ID] = ci
+	}
+	out := map[lplan.ColumnID]bool{}
+	for _, ci := range p.Cols {
+		out[ci.ID] = true
+	}
+	var addExprs []lplan.Expr
+	var addCols []lplan.ColumnInfo
+	for _, id := range cols {
+		ci, avail := have[id]
+		if !avail || out[id] {
+			continue
+		}
+		out[id] = true
+		addExprs = append(addExprs, &lplan.ColRef{ID: ci.ID, Name: ci.Name, Kind: ci.Kind})
+		addCols = append(addCols, ci)
+	}
+	if len(addExprs) == 0 {
+		return n
+	}
+	c := *p
+	c.Exprs = append(append([]lplan.Expr{}, p.Exprs...), addExprs...)
+	c.Cols = append(append([]lplan.ColumnInfo{}, p.Cols...), addCols...)
+	return &c
+}

@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"quickr/internal/testutil"
+)
+
+func TestGateAdmitsWithinBudget(t *testing.T) {
+	g := NewGate(100)
+	a, err := g.Acquire(context.Background(), 60)
+	if err != nil || a.Bytes != 60 {
+		t.Fatalf("first acquire: %+v err=%v", a, err)
+	}
+	b, err := g.Acquire(context.Background(), 40)
+	if err != nil || b.Bytes != 40 {
+		t.Fatalf("second acquire: %+v err=%v", b, err)
+	}
+	g.Release(a)
+	g.Release(b)
+}
+
+func TestGateClampsOversizedQuery(t *testing.T) {
+	g := NewGate(100)
+	// A query estimated above the whole budget is clamped so it runs
+	// alone rather than queueing forever.
+	a, err := g.Acquire(context.Background(), 1_000_000)
+	if err != nil || a.Bytes != 100 {
+		t.Fatalf("oversized acquire: %+v err=%v", a, err)
+	}
+	g.Release(a)
+	if b, err := g.Acquire(context.Background(), 100); err != nil || b.Bytes != 100 {
+		t.Fatalf("budget not restored after clamped release: %+v err=%v", b, err)
+	}
+}
+
+// Over-budget queries queue and are admitted FIFO as budget frees.
+func TestGateQueuesFIFO(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewGate(100)
+	hold, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	started := make(chan struct{}, 2)
+	for _, name := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			started <- struct{}{}
+			// Each waiter needs the whole budget, so grants serialize:
+			// the recorded order is exactly the admission order.
+			a, err := g.Acquire(context.Background(), 100)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			g.Release(a)
+		}(name)
+		<-started
+		// Give this waiter time to enqueue before the next, so arrival
+		// order is deterministic.
+		for {
+			time.Sleep(time.Millisecond)
+			g.mu.Lock()
+			queued := len(g.waiters)
+			g.mu.Unlock()
+			if (name == "A" && queued >= 1) || (name == "B" && queued >= 2) {
+				break
+			}
+		}
+	}
+
+	if a := order; len(a) != 0 {
+		t.Fatalf("waiters admitted while budget held: %v", a)
+	}
+	g.Release(hold)
+	wg.Wait()
+	if len(order) != 2 || order[0] != "A" {
+		t.Fatalf("admission order %v, want [A B]", order)
+	}
+
+	q := g.queuedWait()
+	if q != 0 {
+		t.Fatalf("%d waiters left queued", q)
+	}
+}
+
+// queuedWait returns the current queue length (test helper).
+func (g *Gate) queuedWait() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters)
+}
+
+func TestGateCancelWhileQueuedReturnsBudget(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewGate(100)
+	hold, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 50)
+		done <- err
+	}()
+	for g.queuedWait() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire returned %v, want context.Canceled", err)
+	}
+	g.Release(hold)
+	// The canceled waiter must not have consumed budget or wedged the
+	// queue: a full-budget acquire succeeds immediately.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	a, err := g.Acquire(ctx2, 100)
+	if err != nil {
+		t.Fatalf("budget leaked after canceled waiter: %v", err)
+	}
+	g.Release(a)
+}
+
+func TestGateDeadlineWhileQueued(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewGate(10)
+	hold, _ := g.Acquire(context.Background(), 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := g.Acquire(ctx, 5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	g.Release(hold)
+}
+
+// Hammer the gate from many goroutines; under -race this proves the
+// waiter queue and budget accounting stay consistent.
+func TestGateConcurrentStress(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := NewGate(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a, err := g.Acquire(context.Background(), int64(1+(w*37+i*13)%400))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				g.Release(a)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q := g.queuedWait(); q != 0 {
+		t.Fatalf("%d waiters left queued", q)
+	}
+	a, err := g.Acquire(context.Background(), 1000)
+	if err != nil {
+		t.Fatalf("full budget not recoverable after stress: %v", err)
+	}
+	g.Release(a)
+}

@@ -1,0 +1,214 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quickr/internal/testutil"
+)
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(4)
+	defer p.Close()
+	const n = 200
+	var visits [n]int64
+	st, err := p.Run(context.Background(), n, func(i int) error {
+		atomic.AddInt64(&visits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	if st.Tasks != n {
+		t.Fatalf("stats counted %d tasks, want %d", st.Tasks, n)
+	}
+	if st.Stolen < 0 || st.Stolen > n {
+		t.Fatalf("stolen count %d out of range", st.Stolen)
+	}
+}
+
+func TestRunSingleTaskInline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(4)
+	defer p.Close()
+	// n==1 must run on the caller's goroutine: this unsynchronized
+	// append is proven safe by the race detector.
+	var got []int
+	st, err := p.Run(context.Background(), 1, func(i int) error {
+		got = append(got, i)
+		return nil
+	})
+	if err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("inline run: err=%v got=%v", err, got)
+	}
+	if st.Tasks != 1 || st.Stolen != 0 {
+		t.Fatalf("inline stats %+v", st)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	called := false
+	if _, err := p.Run(context.Background(), 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("zero tasks: err=%v called=%v", err, called)
+	}
+}
+
+// After a task fails, every started task still completes before Run
+// returns (teardown always finishes) and unstarted tasks are skipped.
+func TestRunFailFastCompletesStartedTasks(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(4)
+	defer p.Close()
+	sentinel := errors.New("task failed")
+	var started, finished atomic.Int64
+	st, err := p.Run(context.Background(), 500, func(i int) error {
+		started.Add(1)
+		defer finished.Add(1)
+		if i == 0 {
+			return fmt.Errorf("part %d: %w", i, sentinel)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("expected sentinel error, got %v", err)
+	}
+	if started.Load() != finished.Load() {
+		t.Fatalf("Run returned with %d started but only %d finished", started.Load(), finished.Load())
+	}
+	if int(started.Load()) != st.Tasks {
+		t.Fatalf("stats counted %d tasks, %d actually started", st.Tasks, started.Load())
+	}
+	// Task 0 is the caller's first claim, so the error lands before most
+	// of the 500 tasks are handed out.
+	if st.Tasks == 500 {
+		t.Fatal("fail-fast did not skip any unstarted tasks")
+	}
+}
+
+func TestRunCanceledBeforeSubmitRunsNothing(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := p.Run(ctx, 64, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if st.Tasks != 0 {
+		t.Fatalf("%d tasks ran after pre-canceled context", st.Tasks)
+	}
+}
+
+// Cancellation mid-job stops further claims: tasks claimed before the
+// cancel finish, the rest never start, and Run reports context.Canceled.
+func TestRunCancelMidJobSkipsRemainder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 10_000
+	var ran atomic.Int64
+	st, err := p.Run(ctx, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if got := ran.Load(); got == n {
+		t.Fatal("cancellation skipped no tasks")
+	}
+	if int(ran.Load()) != st.Tasks {
+		t.Fatalf("stats %d vs ran %d", st.Tasks, ran.Load())
+	}
+}
+
+// Many concurrent jobs share the fixed worker set; every job's every
+// index runs exactly once (raced under -race).
+func TestRunConcurrentJobsShareWorkers(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(4)
+	defer p.Close()
+	const jobs, tasks = 16, 64
+	var visits [jobs][tasks]int64
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			_, errs[j] = p.Run(context.Background(), tasks, func(i int) error {
+				atomic.AddInt64(&visits[j][i], 1)
+				return nil
+			})
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < jobs; j++ {
+		if errs[j] != nil {
+			t.Fatalf("job %d: %v", j, errs[j])
+		}
+		for i := 0; i < tasks; i++ {
+			if visits[j][i] != 1 {
+				t.Fatalf("job %d index %d visited %d times", j, i, visits[j][i])
+			}
+		}
+	}
+}
+
+// Nested Run calls (a task that itself fans out on the same pool) must
+// not deadlock even when the pool has a single worker: callers always
+// claim their own tasks.
+func TestRunNestedDoesNotDeadlock(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(1)
+	defer p.Close()
+	var inner atomic.Int64
+	_, err := p.Run(context.Background(), 8, func(i int) error {
+		_, err := p.Run(context.Background(), 8, func(j int) error {
+			inner.Add(1)
+			return nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Load() != 64 {
+		t.Fatalf("inner tasks ran %d times, want 64", inner.Load())
+	}
+}
+
+// A closed pool still completes jobs on the caller's goroutine.
+func TestRunAfterCloseDrainsOnCaller(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	p := New(2)
+	p.Close()
+	var ran atomic.Int64
+	st, err := p.Run(context.Background(), 32, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || ran.Load() != 32 {
+		t.Fatalf("closed-pool run: err=%v ran=%d", err, ran.Load())
+	}
+	if st.Stolen != 0 {
+		t.Fatalf("closed pool stole %d tasks", st.Stolen)
+	}
+}

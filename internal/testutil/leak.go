@@ -1,0 +1,101 @@
+// Package testutil holds shared test helpers, chiefly a goroutine leak
+// checker used by the concurrency test battery.
+package testutil
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks marks goroutines that are allowed to outlive a test: the
+// process-wide worker pool (its workers are persistent by design), the
+// testing harness itself, and runtime service goroutines.
+var ignoredStacks = []string{
+	"quickr/internal/pool.(*Pool).worker",
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"testing.runTests(",
+	"runtime.gc",
+	"runtime.forcegchelper",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.runfinq",
+	"runtime.ReadTrace",
+	"gcBgMarkWorker",
+	"os/signal.signal_recv",
+}
+
+// VerifyNoLeaks snapshots live goroutines and registers a cleanup that
+// fails the test if new goroutines (beyond the ignore list) are still
+// running when the test ends. The check retries briefly so goroutines
+// mid-teardown can finish — a real leak stays stuck and is reported with
+// its stack.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := map[int]bool{}
+	for id := range stacks() {
+		base[id] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range stacks() {
+				if !base[id] && !ignorable(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leaked %d goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+func ignorable(stack string) bool {
+	for _, ig := range ignoredStacks {
+		if strings.Contains(stack, ig) {
+			return true
+		}
+	}
+	return false
+}
+
+// stacks returns every live goroutine's stack keyed by goroutine ID.
+func stacks() map[int]string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	out := map[int]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		// Header: "goroutine 123 [running]:"
+		rest, ok := strings.CutPrefix(g, "goroutine ")
+		if !ok {
+			continue
+		}
+		idStr, _, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue
+		}
+		out[id] = g
+	}
+	return out
+}

@@ -23,7 +23,9 @@
 package quickr
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"quickr/internal/accuracy"
@@ -32,11 +34,29 @@ import (
 	"quickr/internal/core"
 	"quickr/internal/exec"
 	"quickr/internal/lplan"
+	"quickr/internal/metrics"
 	"quickr/internal/opt"
 	"quickr/internal/plancheck"
+	"quickr/internal/pool"
 	"quickr/internal/sql"
 	"quickr/internal/table"
 )
+
+// Typed errors a context-interrupted query returns (re-exported from
+// the executor so callers need not import internal packages).
+var (
+	// ErrCanceled is returned when the query's context was canceled;
+	// cancellation takes effect within one executor batch boundary.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadline is returned when the query's context deadline passed.
+	ErrDeadline = exec.ErrDeadline
+)
+
+// DefaultMemoryBudget is the admission gate's default byte budget: the
+// total estimated in-flight bytes of concurrently executing queries is
+// kept below this, and over-budget queries queue (FIFO) instead of
+// running immediately.
+const DefaultMemoryBudget int64 = 256 << 20
 
 // ColType is a column type for CreateTable.
 type ColType int
@@ -56,35 +76,76 @@ type Column struct {
 }
 
 // Engine is a Quickr database instance.
+//
+// An Engine is safe for concurrent query execution: any number of
+// goroutines may call Exec/ExecApprox (and their Context variants)
+// simultaneously — they share the process-wide worker pool, the
+// byte-budget admission gate, and the engine's prepared-plan cache.
+// Data definition and settings calls (CreateTable, Insert, Set*) are
+// not synchronized against in-flight queries; perform them before
+// serving traffic or between quiesced periods, as a production DDL
+// path would.
 type Engine struct {
-	cat        *catalog.Catalog
+	cat *catalog.Catalog
+
+	// mu guards the engine's configuration snapshot and epoch.
+	mu         sync.RWMutex
 	cfg        cluster.Config
 	opts       core.Options
 	seed       uint64
 	batchSize  int
 	planChecks bool
+	// epoch versions everything a prepared plan depends on: it bumps on
+	// DDL, data loads and every Set* call, invalidating the plan cache.
+	epoch uint64
+
+	cache *planCache
+	gate  *pool.Gate
 }
 
 // New creates an engine with default cluster-simulation and ASALQA
 // parameters.
 func New() *Engine {
 	return &Engine{
-		cat:  catalog.New(),
-		cfg:  cluster.DefaultConfig(),
-		opts: core.DefaultOptions(),
+		cat:   catalog.New(),
+		cfg:   cluster.DefaultConfig(),
+		opts:  core.DefaultOptions(),
+		cache: newPlanCache(),
+		gate:  pool.NewGate(DefaultMemoryBudget),
 	}
 }
 
+// bump invalidates cached plans after a DDL or settings change.
+func (e *Engine) bump() {
+	e.epoch++
+	e.cache.purge()
+}
+
 // SetClusterConfig overrides the cluster simulator configuration.
-func (e *Engine) SetClusterConfig(cfg cluster.Config) { e.cfg = cfg }
+func (e *Engine) SetClusterConfig(cfg cluster.Config) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg = cfg
+	e.bump()
+}
 
 // SetSeed re-seeds the engine's sampler randomness. Every run is
 // deterministic for a given seed; the default seed 0 reproduces the
 // historical per-plan sampler seed sequence.
-func (e *Engine) SetSeed(seed uint64) { e.seed = seed }
+func (e *Engine) SetSeed(seed uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seed = seed
+	e.bump()
+}
 
 // SetOptions overrides the ASALQA parameters.
-func (e *Engine) SetOptions(o core.Options) { e.opts = o }
+func (e *Engine) SetOptions(o core.Options) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts = o
+	e.bump()
+}
 
 // SetBatchSize sets the executor's streaming batch size: the number of
 // rows each fused scan→filter→project→sample pipeline hands downstream
@@ -92,10 +153,37 @@ func (e *Engine) SetOptions(o core.Options) { e.opts = o }
 // value disables streaming and materializes whole partitions between
 // operators (the pre-pipeline behavior, kept as a benchmark baseline).
 // Results are bit-identical across batch sizes.
-func (e *Engine) SetBatchSize(n int) { e.batchSize = n }
+func (e *Engine) SetBatchSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchSize = n
+	e.bump()
+}
+
+// SetMemoryBudget replaces the admission gate with one holding the
+// given byte budget (values < 1 select an effectively unlimited
+// budget). Call it while no queries are in flight: admissions already
+// granted by the old gate release against the old gate.
+func (e *Engine) SetMemoryBudget(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gate = pool.NewGate(bytes)
+	e.bump()
+}
 
 // Options returns the current ASALQA parameters.
-func (e *Engine) Options() core.Options { return e.opts }
+func (e *Engine) Options() core.Options {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts
+}
+
+// MemoryBudget returns the admission gate's configured byte budget.
+func (e *Engine) MemoryBudget() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gate.Budget()
+}
 
 // SetPlanChecks toggles the plan-invariant verifier
 // (internal/plancheck): when enabled, every optimized logical plan and
@@ -105,7 +193,12 @@ func (e *Engine) Options() core.Options { return e.opts }
 // execution; a violation fails the query instead of silently returning
 // a biased answer. The CLI flag `quickr -check` enables the same
 // verifier.
-func (e *Engine) SetPlanChecks(on bool) { e.planChecks = on }
+func (e *Engine) SetPlanChecks(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planChecks = on
+	e.bump()
+}
 
 // CreateTable registers an empty table with the given columns, split
 // into parts partitions.
@@ -128,6 +221,9 @@ func (e *Engine) CreateTable(name string, cols []Column, parts int) error {
 		sc.Cols = append(sc.Cols, table.Column{Name: c.Name, Kind: k})
 	}
 	e.cat.Register(table.New(name, sc, parts))
+	e.mu.Lock()
+	e.bump()
+	e.mu.Unlock()
 	return nil
 }
 
@@ -149,6 +245,10 @@ func (e *Engine) Insert(name string, rows [][]any) error {
 		}
 		t.Append(i, row)
 	}
+	// Loads change the cardinalities cached plans were costed with.
+	e.mu.Lock()
+	e.bump()
+	e.mu.Unlock()
 	return nil
 }
 
@@ -176,6 +276,9 @@ func toValue(v any) (table.Value, error) {
 // foreign-key joins with dimension tables).
 func (e *Engine) SetPrimaryKey(tableName string, cols ...string) {
 	e.cat.SetPrimaryKey(tableName, cols...)
+	e.mu.Lock()
+	e.bump()
+	e.mu.Unlock()
 }
 
 // RegisterStored registers a pre-built internal table (used by the
@@ -185,6 +288,9 @@ func (e *Engine) RegisterStored(t *table.Table, pk ...string) {
 	if len(pk) > 0 {
 		e.cat.SetPrimaryKey(t.Name, pk...)
 	}
+	e.mu.Lock()
+	e.bump()
+	e.mu.Unlock()
 }
 
 // Catalog exposes the underlying catalog (for the bundled experiment
@@ -194,7 +300,7 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // Exec runs the query exactly (the Baseline plan: same optimizer, no
 // samplers).
 func (e *Engine) Exec(query string) (*Result, error) {
-	return e.run(query, false)
+	return e.run(context.Background(), query, false)
 }
 
 // ExecApprox runs the query through ASALQA: if an accuracy-feasible
@@ -202,19 +308,81 @@ func (e *Engine) Exec(query string) (*Result, error) {
 // carries per-group estimates and standard errors; otherwise the exact
 // plan runs and Result.Unapproximable is set.
 func (e *Engine) ExecApprox(query string) (*Result, error) {
-	return e.run(query, true)
+	return e.run(context.Background(), query, true)
 }
 
-func (e *Engine) run(query string, approx bool) (*Result, error) {
-	prep, err := e.prepare(query, approx)
+// ExecContext is Exec honoring a context: the query stops at the next
+// executor batch boundary once ctx is canceled or its deadline passes,
+// returning ErrCanceled or ErrDeadline. The context also bounds time
+// spent queued at the admission gate.
+func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error) {
+	return e.run(ctx, query, false)
+}
+
+// ExecApproxContext is ExecApprox honoring a context (see ExecContext).
+func (e *Engine) ExecApproxContext(ctx context.Context, query string) (*Result, error) {
+	return e.run(ctx, query, true)
+}
+
+func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prep, cached, err := e.prepareCached(query, approx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.RunWithOptions(prep.physical, e.cfg, prep.ests, exec.Options{BatchSize: e.batchSize})
+
+	// Snapshot the execution configuration and gate once, so a
+	// concurrent Set* call cannot tear this run's view.
+	e.mu.RLock()
+	cfg, batch, gate := e.cfg, e.batchSize, e.gate
+	e.mu.RUnlock()
+
+	// Admission control: reserve the plan's estimated in-flight bytes,
+	// queueing (FIFO) while concurrent queries hold the budget.
+	metrics.ActiveQueries.Add(1)
+	defer metrics.ActiveQueries.Add(-1)
+	adm, err := gate.Acquire(ctx, exec.EstimateAdmissionBytes(prep.physical, prep.ests))
+	if err != nil {
+		return nil, exec.MapCtxErr(err)
+	}
+	defer gate.Release(adm)
+
+	res, err := exec.RunWithOptions(ctx, prep.physical, cfg, prep.ests, exec.Options{
+		BatchSize:     batch,
+		QueuedNanos:   adm.QueuedNanos,
+		AdmittedBytes: adm.Bytes,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return newResult(res, prep), nil
+	out := newResult(res, prep)
+	out.PlanCached = cached
+	return out, nil
+}
+
+// prepareCached parses the query, normalizes it through the AST's
+// canonical rendering, and returns the cached prepared plan for
+// (normalized SQL, mode, epoch) — optimizing and caching on miss.
+func (e *Engine) prepareCached(query string, approx bool) (*prepared, bool, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, false, err
+	}
+	e.mu.RLock()
+	epoch := e.epoch
+	e.mu.RUnlock()
+	key := planKey{sql: stmt.String(), approx: approx, epoch: epoch}
+	if prep, ok := e.cache.get(key); ok {
+		return prep, true, nil
+	}
+	prep, err := e.prepareStmt(stmt, approx)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, prep)
+	return prep, false, nil
 }
 
 // prepared carries everything Plan/Exec produce before execution.
@@ -235,6 +403,13 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.prepareStmt(stmt, approx)
+}
+
+func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, error) {
+	e.mu.RLock()
+	cfg, opts, seed, planChecks := e.cfg, e.opts, e.seed, e.planChecks
+	e.mu.RUnlock()
 	binder := catalog.NewBinder(e.cat)
 	logical, err := binder.Bind(stmt)
 	if err != nil {
@@ -242,13 +417,13 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 	}
 	start := time.Now()
 	est := opt.NewEstimator(e.cat)
-	cm := opt.NewCostModel(est, e.cfg)
+	cm := opt.NewCostModel(est, cfg)
 	logical = opt.Normalize(logical, est)
 
 	p := &prepared{logical: logical}
 	var estCfg *exec.EstimatorConfig
 	if approx {
-		asalqa := core.New(est, cm, e.opts)
+		asalqa := core.New(est, cm, opts)
 		res, err := asalqa.Place(logical)
 		if err != nil {
 			return nil, err
@@ -268,19 +443,25 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 			an := accuracy.Analyze(res.Plan)
 			p.analysis = an
 			estCfg = &exec.EstimatorConfig{Type: an.Type, P: an.P, UniverseCols: an.UniverseCols}
+			if an.Type == lplan.SamplerUniverse && len(an.UniverseCols) > 0 {
+				// The subspace variance estimator keys on the universe
+				// columns at the aggregate input; re-thread them past any
+				// pruned projections.
+				p.logical = opt.RetainColumns(p.logical, an.UniverseCols)
+			}
 		}
 	}
-	if e.planChecks {
+	if planChecks {
 		if err := plancheck.Logical(p.logical); err != nil {
 			return nil, fmt.Errorf("quickr: optimized logical plan is invalid: %w", err)
 		}
 	}
-	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: e.seed}
+	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: seed}
 	physical, err := planner.Plan(p.logical)
 	if err != nil {
 		return nil, err
 	}
-	if e.planChecks {
+	if planChecks {
 		if err := plancheck.Physical(physical); err != nil {
 			return nil, fmt.Errorf("quickr: compiled physical plan is invalid: %w", err)
 		}

@@ -19,6 +19,17 @@ type RunMetrics struct {
 	RowsPerSec float64 `json:"rows_per_sec"`
 	// ExecSeconds is the real (not simulated) execution wall time.
 	ExecSeconds float64 `json:"exec_seconds"`
+	// QueuedSeconds is the admission-gate wait before execution began.
+	QueuedSeconds float64 `json:"queued_seconds"`
+	// AdmittedBytes is the admission gate's byte reservation.
+	AdmittedBytes int64 `json:"admitted_bytes"`
+	// PoolWaitSeconds is the aggregate scheduling wait on the shared
+	// worker pool.
+	PoolWaitSeconds float64 `json:"pool_wait_seconds"`
+	// PoolTasks and PoolStolen count partition tasks and how many ran
+	// on shared pool workers.
+	PoolTasks  int `json:"pool_tasks"`
+	PoolStolen int `json:"pool_stolen"`
 }
 
 // RunReport is the machine-readable report of one executed query,
@@ -29,6 +40,7 @@ type RunReport struct {
 	Approx         bool               `json:"approx"`
 	Sampled        bool               `json:"sampled"`
 	Unapproximable bool               `json:"unapproximable"`
+	PlanCached     bool               `json:"plan_cached"`
 	Samplers       []SamplerInfo      `json:"samplers,omitempty"`
 	Metrics        RunMetrics         `json:"metrics"`
 	Operators      []metrics.OpReport `json:"operators"`
@@ -45,6 +57,7 @@ func (r *Result) RunReport(query string, approx bool) *RunReport {
 		Approx:         approx,
 		Sampled:        r.Sampled,
 		Unapproximable: r.Unapproximable,
+		PlanCached:     r.PlanCached,
 		Samplers:       r.Samplers,
 		Metrics: RunMetrics{
 			MachineHours:      r.Metrics.MachineHours,
@@ -58,6 +71,11 @@ func (r *Result) RunReport(query string, approx bool) *RunReport {
 			PeakInflightBytes: r.PeakInFlightBytes,
 			RowsPerSec:        rps,
 			ExecSeconds:       r.ExecSeconds,
+			QueuedSeconds:     r.QueuedSeconds,
+			AdmittedBytes:     r.AdmittedBytes,
+			PoolWaitSeconds:   r.PoolWaitSeconds,
+			PoolTasks:         r.PoolTasks,
+			PoolStolen:        r.PoolStolen,
 		},
 		Operators: r.Stats.Report(),
 	}

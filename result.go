@@ -51,6 +51,22 @@ type Result struct {
 	RowsProcessed int64
 	// ExecSeconds is real wall-clock execution time (not simulated).
 	ExecSeconds float64
+	// QueuedSeconds is the time the query waited at the byte-budget
+	// admission gate before executing.
+	QueuedSeconds float64
+	// AdmittedBytes is the in-flight byte reservation the admission
+	// gate granted the query (estimated from optimizer cardinalities).
+	AdmittedBytes int64
+	// PoolWaitSeconds is the run's aggregate scheduling wait on the
+	// process-wide shared worker pool.
+	PoolWaitSeconds float64
+	// PoolTasks and PoolStolen count partition tasks run for the query
+	// and how many were executed by shared pool workers rather than the
+	// query's own goroutine.
+	PoolTasks, PoolStolen int
+	// PlanCached reports whether the prepared plan came from the
+	// engine's plan cache rather than a fresh optimization.
+	PlanCached bool
 	// InternalRows exposes the raw rows for in-module tooling.
 	InternalRows []table.Row
 }
@@ -87,6 +103,11 @@ func newResult(r *exec.Result, p *prepared) *Result {
 		PeakInFlightBytes: r.PeakInFlightBytes,
 		RowsProcessed:     r.RowsProcessed,
 		ExecSeconds:       r.ExecSeconds,
+		QueuedSeconds:     float64(r.QueuedNanos) / 1e9,
+		AdmittedBytes:     r.AdmittedBytes,
+		PoolWaitSeconds:   float64(r.PoolWaitNanos) / 1e9,
+		PoolTasks:         r.PoolTasks,
+		PoolStolen:        r.PoolStolen,
 	}
 	for _, c := range r.Cols {
 		out.Columns = append(out.Columns, c.Name)
