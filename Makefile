@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test race hammer seed-sweep bench smoke-bench lint quickrlint fuzz fmt fmt-check vet
+.PHONY: build test race hammer seed-sweep bench bench-gate smoke-bench lint quickrlint fuzz fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,17 @@ seed-sweep:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# Allocation/CPU regression gate on the executor's hot-path
+# microbenchmarks: run them with -benchmem and compare allocs/op (and,
+# loosely, ns/op) against the committed pre-optimization baseline. The
+# 0.7x allocs ceiling pins the hash-path overhaul's win permanently.
+bench-gate:
+	$(GO) test ./internal/exec/ -run '^$$' \
+		-bench 'BenchmarkJoinBroadcast|BenchmarkJoinCoPartitioned|BenchmarkGroupedAgg|BenchmarkWindowPartition|BenchmarkSortPartitions' \
+		-benchmem -benchtime 5x -count 1 | tee bench_micro.txt
+	$(GO) run ./cmd/benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench_micro.txt
+	@rm -f bench_micro.txt
 
 # Tiny-scale bench emitting a JSON run report, then a schema check that
 # the per-operator counters survived.

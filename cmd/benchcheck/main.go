@@ -4,15 +4,26 @@
 // field dashboards consume) fails the build instead of producing empty
 // reports.
 //
+// With -micro it instead gates `go test -bench -benchmem` output
+// against a committed baseline: each baseline benchmark must be present
+// and its allocs/op (a deterministic, machine-independent counter) must
+// stay within max_allocs_ratio of the recorded value; ns/op gets a
+// deliberately generous max_ns_ratio since CI hardware varies.
+//
 // Usage:
 //
 //	benchcheck BENCH_SMOKE.json [more.json...]
+//	benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench.txt
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // operatorFields are required on every operator entry: the per-operator
@@ -41,12 +52,23 @@ var concurrencyFields = []string{
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	micro := flag.Bool("micro", false, "gate `go test -bench -benchmem` output against -baseline instead of checking report schemas")
+	baseline := flag.String("baseline", "", "baseline JSON for -micro (committed allocs/op and ns/op ceilings)")
+	flag.Parse()
+	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
+		fmt.Fprintln(os.Stderr, "       benchcheck -micro -baseline baseline.json bench.txt")
 		os.Exit(2)
 	}
+	if *micro {
+		if err := checkMicro(*baseline, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck -micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	bad := 0
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		if errs := checkFile(path); len(errs) > 0 {
 			bad++
 			for _, e := range errs {
@@ -203,4 +225,151 @@ func checkFile(path string) []error {
 		}
 	}
 	return errs
+}
+
+// microBaseline is the committed micro-benchmark baseline: per
+// benchmark, the pre-optimization allocs/op and ns/op plus the ratios
+// current runs must stay within. allocs/op is exact and deterministic,
+// so max_allocs_ratio is the real gate (0.7 = "at least 30% fewer
+// allocations than the baseline, forever"); ns/op is machine-dependent
+// and gets a generous ceiling purely to catch order-of-magnitude
+// regressions.
+type microBaseline struct {
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]microEntry `json:"benchmarks"`
+}
+
+type microEntry struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	MaxAllocsRatio float64 `json:"max_allocs_ratio"`
+	MaxNsRatio     float64 `json:"max_ns_ratio"`
+}
+
+type microResult struct {
+	nsPerOp     float64
+	allocsPerOp float64
+}
+
+// parseBenchFile extracts Benchmark lines from `go test -bench
+// -benchmem` output ("-" = stdin). The trailing -N GOMAXPROCS suffix is
+// stripped so baselines are portable across core counts.
+func parseBenchFile(path string) (map[string]microResult, error) {
+	var in *os.File
+	if path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	out := map[string]microResult{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res microResult
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp = v
+				seen = true
+			case "allocs/op":
+				res.allocsPerOp = v
+				seen = true
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// checkMicro compares parsed benchmark results against the baseline.
+// Every baseline benchmark must be present in the results — a renamed
+// or deleted benchmark cannot silently drop out of the gate.
+func checkMicro(baselinePath string, files []string) error {
+	if baselinePath == "" {
+		return fmt.Errorf("-micro requires -baseline")
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base microBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks in baseline", baselinePath)
+	}
+	got := map[string]microResult{}
+	for _, f := range files {
+		res, err := parseBenchFile(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for k, v := range res {
+			got[k] = v
+		}
+	}
+	var fails []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		cur, ok := got[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: missing from bench output", name))
+			continue
+		}
+		allocCeil := b.AllocsPerOp * b.MaxAllocsRatio
+		nsCeil := b.NsPerOp * b.MaxNsRatio
+		status := "ok"
+		if cur.allocsPerOp > allocCeil {
+			status = "FAIL"
+			fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op exceeds ceiling %.0f (%.2f x baseline %.0f, limit %.2fx)",
+				name, cur.allocsPerOp, allocCeil, cur.allocsPerOp/b.AllocsPerOp, b.AllocsPerOp, b.MaxAllocsRatio))
+		}
+		if b.MaxNsRatio > 0 && cur.nsPerOp > nsCeil {
+			status = "FAIL"
+			fails = append(fails, fmt.Sprintf("%s: %.0f ns/op exceeds ceiling %.0f (%.2f x baseline %.0f, limit %.2fx)",
+				name, cur.nsPerOp, nsCeil, cur.nsPerOp/b.NsPerOp, b.NsPerOp, b.MaxNsRatio))
+		}
+		fmt.Printf("%-28s %s  allocs/op %8.0f (ceiling %8.0f)  ns/op %12.0f\n",
+			name, status, cur.allocsPerOp, allocCeil, cur.nsPerOp)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d gate failure(s):\n  %s", len(fails), strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// sortStrings is a tiny insertion sort to keep the import set lean.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

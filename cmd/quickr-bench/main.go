@@ -4,6 +4,7 @@
 // Usage:
 //
 //	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9|SMOKE|BENCH] [-sf 1.0] [-json dir]
+//	             [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // SMOKE runs a tiny per-suite query subset; BENCH runs the full query
 // suites. With -json, both write a machine-readable BENCH_<exp>.json
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"quickr/internal/experiments"
+	"quickr/internal/profiling"
 	"quickr/internal/workload"
 )
 
@@ -26,7 +28,16 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (F1,F2a,F2b,T3..T9,F8a..F8c,F9,SMOKE,BENCH) or 'all'")
 	sf := flag.Float64("sf", 1.0, "scale factor for the synthetic datasets")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<exp>.json reports into (SMOKE/BENCH)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(strings.ToUpper(*exp), ",") {

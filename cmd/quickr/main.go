@@ -13,6 +13,9 @@
 // optimizer estimates, sampler pass rates, join sizes); -stats writes a
 // machine-readable JSON run report ("-" for stdout).
 //
+// -cpuprofile/-memprofile write runtime/pprof profiles for the run; the
+// -serve mode instead exposes live profiles on /debug/pprof.
+//
 // REPL commands: `exact <sql>`, `approx <sql>`, `explain <sql>`,
 // `analyze <sql>`, `tables`, `quit`.
 package main
@@ -29,6 +32,7 @@ import (
 
 	"quickr"
 	"quickr/internal/data"
+	"quickr/internal/profiling"
 	"quickr/internal/service"
 )
 
@@ -44,7 +48,16 @@ func main() {
 	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	interactive := flag.Bool("i", false, "interactive mode")
 	serve := flag.String("serve", "", "serve the HTTP/JSON query API on this address (e.g. :8080) instead of running a query")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
 	eng := buildEngine(*sf, *seed)

@@ -3,7 +3,6 @@ package exec
 import (
 	"math"
 	"sort"
-	"strings"
 
 	"quickr/internal/lplan"
 	"quickr/internal/table"
@@ -31,11 +30,20 @@ type aggRunner struct {
 	argIdx   []int
 	condIdx  []int
 	uniIdx   []int // positions of universe columns, if present in input
-	groups   map[string]*groupAcc
+	// Groups are found by 64-bit canonical hash through an
+	// open-addressing index (key equality verified on collision), so the
+	// per-row hot loop allocates nothing for already-seen groups. The
+	// dense group array is in first-seen order; each group's legacy
+	// concatenated string key is built once at creation and only used to
+	// reproduce the historical emit order.
+	idx    *hashIndex
+	groups []*groupAcc
+	keyBuf []byte // scratch for canonical key strings (new groups only)
 }
 
 type groupAcc struct {
 	key  []table.Value
+	skey string // concatenated Value.Key() form; sorted at emit
 	n    int64
 	aggs []aggAcc
 }
@@ -46,12 +54,36 @@ type aggAcc struct {
 	varTerm  float64 // Σ (w²−w)·x² (row-independent samplers)
 	distinct map[string]bool
 	min, max table.Value
-	uniSub   map[string]float64 // per-universe-subspace Σx
+	uni      *uniAcc // per-universe-subspace Σx
 	seen     bool
 }
 
+// uniAcc accumulates per-universe-subspace partial sums Y_g for the
+// universe variance estimator, hash-indexed like the group table so
+// rows of an already-seen subspace cost no allocation.
+type uniAcc struct {
+	idx  *hashIndex
+	keys [][]table.Value
+	sums []float64
+}
+
+// add folds x into the subspace holding row's universe columns.
+func (u *uniAcc) add(h uint64, row table.Row, uniIdx []int, x float64) {
+	e := u.idx.probe(h, func(i int) bool { return rowKeyEqualValues(u.keys[i], row, uniIdx) })
+	if e < 0 {
+		key := make([]table.Value, len(uniIdx))
+		for j, i := range uniIdx {
+			key[j] = row[i]
+		}
+		e = u.idx.add(h)
+		u.keys = append(u.keys, key)
+		u.sums = append(u.sums, 0)
+	}
+	u.sums[e] += x
+}
+
 func newAggRunner(p *PHashAgg, cm colMap) (*aggRunner, error) {
-	r := &aggRunner{p: p, groups: map[string]*groupAcc{}}
+	r := &aggRunner{p: p, idx: newHashIndex(16)}
 	for _, g := range p.GroupCols {
 		i, ok := cm[g]
 		if !ok {
@@ -95,31 +127,27 @@ func (e colMissingError) Error() string { return "exec: aggregate input column m
 func errColMissing(id lplan.ColumnID) error { return colMissingError(id) }
 
 func (r *aggRunner) add(row table.Row, w float64) {
-	var kb strings.Builder
-	for _, i := range r.groupIdx {
-		kb.WriteString(row[i].Key())
-		kb.WriteByte(0)
-	}
-	key := kb.String()
-	g, ok := r.groups[key]
-	if !ok {
+	h := hashRowKey(row, r.groupIdx)
+	gi := r.idx.probe(h, func(i int) bool { return rowKeyEqualValues(r.groups[i].key, row, r.groupIdx) })
+	var g *groupAcc
+	if gi >= 0 {
+		g = r.groups[gi]
+	} else {
 		g = &groupAcc{key: make([]table.Value, len(r.groupIdx)), aggs: make([]aggAcc, len(r.p.Aggs))}
 		for j, i := range r.groupIdx {
 			g.key[j] = row[i]
 		}
-		r.groups[key] = g
+		r.keyBuf = appendRowKey(r.keyBuf[:0], row, r.groupIdx)
+		g.skey = string(r.keyBuf)
+		r.idx.add(h)
+		r.groups = append(r.groups, g)
 	}
 	g.n++
 
-	uniKey := ""
-	if len(r.uniIdx) > 0 {
-		var ub strings.Builder
-		for _, i := range r.uniIdx {
-			ub.WriteString(row[i].Key())
-			ub.WriteByte(0)
-		}
-		uniKey = ub.String()
-	}
+	// The universe-subspace hash is only needed on accumulation paths
+	// that actually consume it; computed at most once per row.
+	uniH := uint64(0)
+	uniHashed := false
 
 	for j, spec := range r.p.Aggs {
 		acc := &g.aggs[j]
@@ -177,11 +205,15 @@ func (r *aggRunner) add(row table.Row, w float64) {
 			acc.sumWX += w * x
 			acc.varTerm += (w*w - w) * x * x
 			acc.seen = true
-			if uniKey != "" {
-				if acc.uniSub == nil {
-					acc.uniSub = map[string]float64{}
+			if len(r.uniIdx) > 0 {
+				if !uniHashed {
+					uniH = hashRowKey(row, r.uniIdx)
+					uniHashed = true
 				}
-				acc.uniSub[uniKey] += x
+				if acc.uni == nil {
+					acc.uni = &uniAcc{idx: newHashIndex(4)}
+				}
+				acc.uni.add(uniH, row, r.uniIdx, x)
 			}
 		}
 		// Denominator weight for AVG tracks the same condition filter.
@@ -226,9 +258,9 @@ func (r *aggRunner) finishGroup(g *groupAcc) ([]table.Value, []float64) {
 		}
 		// Variance estimate.
 		variance := acc.varTerm
-		if est != nil && est.Type == lplan.SamplerUniverse && est.P > 0 && len(acc.uniSub) > 0 {
+		if est != nil && est.Type == lplan.SamplerUniverse && est.P > 0 && acc.uni != nil && len(acc.uni.sums) > 0 {
 			var sub float64
-			for _, y := range acc.uniSub {
+			for _, y := range acc.uni.sums {
 				sub += y * y
 			}
 			uvar := (1 - est.P) / (est.P * est.P) * sub
@@ -268,17 +300,15 @@ func (r *aggRunner) argIsUniverse(spec lplan.AggSpec) bool {
 }
 
 // emit renders the partition's groups as output rows (deterministically
-// ordered) plus estimate records.
+// ordered) plus estimate records. Order is by the canonical string key,
+// exactly as when groups lived in a string-keyed map.
 func (r *aggRunner) emit() ([]wrow, []GroupEstimate) {
-	keys := make([]string, 0, len(r.groups))
-	for k := range r.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	rows := make([]wrow, 0, len(keys))
-	ests := make([]GroupEstimate, 0, len(keys))
-	for _, k := range keys {
-		g := r.groups[k]
+	order := make([]*groupAcc, len(r.groups))
+	copy(order, r.groups)
+	sort.Slice(order, func(a, b int) bool { return order[a].skey < order[b].skey })
+	rows := make([]wrow, 0, len(order))
+	ests := make([]GroupEstimate, 0, len(order))
+	for _, g := range order {
 		vals, errs := r.finishGroup(g)
 		row := make(table.Row, 0, len(g.key)+len(vals))
 		row = append(row, g.key...)

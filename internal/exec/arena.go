@@ -1,0 +1,35 @@
+package exec
+
+import "quickr/internal/table"
+
+// rowArena slab-allocates the table.Value backing arrays of operator
+// output rows: one make per slab instead of one per row. Arenas are
+// strictly per-task (no synchronization); handed-out windows are
+// disjoint and capacity-capped, so an append past a row's declared
+// length reallocates instead of stomping a neighbor. Rows keep their
+// slab alive after the task ends — the arena trades a little slack
+// memory at the tail of each slab for removing the allocator from the
+// join's per-output-row path.
+type rowArena struct {
+	buf []table.Value
+}
+
+// arenaSlabValues is the slab size. At 16 B/value a slab is 64 KiB —
+// big enough to amortize allocation over thousands of narrow rows,
+// small enough that the final partially-used slab wastes little.
+const arenaSlabValues = 4096
+
+// alloc returns a zero-length row with capacity exactly n, carved from
+// the current slab.
+func (a *rowArena) alloc(n int) table.Row {
+	if n > len(a.buf) {
+		size := arenaSlabValues
+		if n > size {
+			size = n
+		}
+		a.buf = make([]table.Value, size)
+	}
+	out := a.buf[0:0:n]
+	a.buf = a.buf[n:]
+	return table.Row(out)
+}

@@ -1,0 +1,289 @@
+package exec
+
+// Open-addressing hash tables for the executor's hot paths. Two shapes
+// live here:
+//
+//   - hashIndex: a growable hash→dense-index table used by grouped
+//     aggregation and window partitioning. Keys live in caller-owned
+//     dense arrays; the table stores only hashes and entry indexes, so
+//     a lookup of an already-seen key allocates nothing. Equality is
+//     verified through a callback on hash collision.
+//
+//   - joinTable: the build side of a hash join, built once and then
+//     shared read-only across probe tasks. Rows with equal join-key
+//     hash form flat []int32 chains over a single build-row array; the
+//     slot directory is sharded so the build parallelizes while chain
+//     order stays the global build-row order (bit-identical probe
+//     output vs the old per-task map[uint64][]wrow).
+//
+// Row hashing canonicalizes values exactly like Value.Key(), so the
+// hash-based group tables partition rows identically to the string keys
+// the engine previously concatenated per row.
+
+import (
+	"quickr/internal/table"
+)
+
+// hashRowKey folds the canonical key forms of the idx columns of row
+// into one 64-bit FNV-1a hash, consistent with rowKeyEqualValues /
+// rowKeyEqualRows and with concatenated Value.Key() strings:
+// Key()-equal column tuples hash identically, allocation-free.
+func hashRowKey(row table.Row, idx []int) uint64 {
+	h := uint64(table.KeyHashSeed)
+	for _, i := range idx {
+		h = row[i].KeyHash(h)
+	}
+	return h
+}
+
+// rowKeyEqualValues compares a stored key tuple against the idx columns
+// of row under Value.Key() equality.
+func rowKeyEqualValues(key []table.Value, row table.Row, idx []int) bool {
+	for j, i := range idx {
+		if !key[j].KeyEqual(row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowKeyEqualRows compares the idx columns of two rows under
+// Value.Key() equality.
+func rowKeyEqualRows(a, b table.Row, idx []int) bool {
+	for _, i := range idx {
+		if !a[i].KeyEqual(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendRowKey appends the legacy concatenated group key (each column's
+// Value.Key() followed by a NUL separator) to b. Group emit order sorts
+// these strings, exactly as the per-row strings.Builder keys used to.
+func appendRowKey(b []byte, row table.Row, idx []int) []byte {
+	for _, i := range idx {
+		b = row[i].AppendKey(b)
+		b = append(b, 0)
+	}
+	return b
+}
+
+// hashIndex is an open-addressing (linear probing, ≤50% load) table
+// mapping 64-bit hashes to dense entry indexes 0..n-1. The caller keeps
+// the actual keys in arrays parallel to the entry indexes and passes an
+// equality callback to probe; insertion order is the entry order, so
+// iteration over caller arrays is deterministic.
+type hashIndex struct {
+	mask  uint64
+	slots []int32  // entry index +1; 0 = empty
+	hash  []uint64 // per-slot hash, valid where slots != 0
+	entry []uint64 // per-entry hash, for rehash on growth
+}
+
+// newHashIndex sizes the table for about hint entries (it grows as
+// needed either way).
+func newHashIndex(hint int) *hashIndex {
+	capSlots := 8
+	for capSlots < 2*hint {
+		capSlots <<= 1
+	}
+	return &hashIndex{
+		mask:  uint64(capSlots - 1),
+		slots: make([]int32, capSlots),
+		hash:  make([]uint64, capSlots),
+	}
+}
+
+// len returns the number of entries.
+func (t *hashIndex) len() int { return len(t.entry) }
+
+// probe returns the entry index whose hash is h and for which eq
+// reports a true key match, or -1. eq only runs on slots with an exact
+// hash match, so with a sound hash it is rarely called more than once.
+func (t *hashIndex) probe(h uint64, eq func(int) bool) int {
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		e := t.slots[s]
+		if e == 0 {
+			return -1
+		}
+		if t.hash[s] == h && eq(int(e-1)) {
+			return int(e - 1)
+		}
+	}
+}
+
+// add inserts the next dense entry index under hash h (call after a
+// failed probe) and returns it.
+func (t *hashIndex) add(h uint64) int {
+	if 2*(len(t.entry)+1) > len(t.slots) {
+		t.grow()
+	}
+	t.entry = append(t.entry, h)
+	e := len(t.entry) // stored +1
+	for s := h & t.mask; ; s = (s + 1) & t.mask {
+		if t.slots[s] == 0 {
+			t.slots[s] = int32(e)
+			t.hash[s] = h
+			return e - 1
+		}
+	}
+}
+
+// grow doubles the slot directory and reinserts every entry.
+func (t *hashIndex) grow() {
+	capSlots := 2 * len(t.slots)
+	t.mask = uint64(capSlots - 1)
+	t.slots = make([]int32, capSlots)
+	t.hash = make([]uint64, capSlots)
+	for i, h := range t.entry {
+		for s := h & t.mask; ; s = (s + 1) & t.mask {
+			if t.slots[s] == 0 {
+				t.slots[s] = int32(i + 1)
+				t.hash[s] = h
+				break
+			}
+		}
+	}
+}
+
+// joinTable is a read-only build-side hash table over a flat build-row
+// array. lookup(h) returns the index of the first build row whose join
+// keys hashed to h (walk next[] for the rest; -1 terminates). Chains
+// are in build-row order regardless of how many shards built the table.
+type joinTable struct {
+	rows []wrow
+	next []int32
+	// hashes holds each build row's join-key hash; kept so probes can be
+	// cross-checked in tests and shards rebuilt without rehashing.
+	hashes    []uint64
+	shards    []joinShard
+	shardMask uint64
+	shardBits uint
+}
+
+// joinShard is one slot-directory shard: open addressing over the rows
+// whose hash routes to the shard (low bits), probed by the remaining
+// hash bits.
+type joinShard struct {
+	mask uint64
+	hash []uint64
+	head []int32 // build-row index +1; 0 = empty
+	tail []int32 // last row of the chain, +1 (build-time only)
+}
+
+// joinTableShards picks the build fan-out: sharding pays off only when
+// the build side is big enough to amortize the per-shard scan.
+func joinTableShards(n int) int {
+	if n < 4096 {
+		return 1
+	}
+	return 8
+}
+
+// buildJoinTable hashes rows' keyIdx columns with table.HashRow (seed
+// 3, as the join always has) and builds the sharded directory. parallel
+// runs fn(i) for i in [0,n) concurrently (the executor passes its pool
+// fan-out; tests may pass a serial loop). The build is deterministic:
+// each shard inserts its rows in global build order.
+func buildJoinTable(rows []wrow, keyIdx []int, parallel func(n int, fn func(i int) error) error) (*joinTable, error) {
+	nShards := joinTableShards(len(rows))
+	shardBits := uint(0)
+	for 1<<shardBits < nShards {
+		shardBits++
+	}
+	t := &joinTable{
+		rows:      rows,
+		next:      make([]int32, len(rows)),
+		hashes:    make([]uint64, len(rows)),
+		shards:    make([]joinShard, nShards),
+		shardMask: uint64(nShards - 1),
+		shardBits: shardBits,
+	}
+	// Pass 1: per-row hashes, chunked across the pool.
+	chunks := nShards
+	if chunks == 1 || len(rows) == 0 {
+		for i := range rows {
+			t.hashes[i] = table.HashRow(rows[i].row, keyIdx, 3)
+		}
+	} else {
+		per := (len(rows) + chunks - 1) / chunks
+		if err := parallel(chunks, func(c int) error {
+			lo := c * per
+			hi := lo + per
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			for i := lo; i < hi; i++ {
+				t.hashes[i] = table.HashRow(rows[i].row, keyIdx, 3)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: per-shard counts and slot directories, then in-order chain
+	// inserts. Shards own disjoint row sets, so next[] writes are
+	// data-race free across the fan-out.
+	buildShard := func(si int) error {
+		cnt := 0
+		for _, h := range t.hashes {
+			if h&t.shardMask == uint64(si) {
+				cnt++
+			}
+		}
+		capSlots := 8
+		for capSlots < 2*cnt {
+			capSlots <<= 1
+		}
+		sh := &t.shards[si]
+		sh.mask = uint64(capSlots - 1)
+		sh.hash = make([]uint64, capSlots)
+		sh.head = make([]int32, capSlots)
+		sh.tail = make([]int32, capSlots)
+		for i, h := range t.hashes {
+			if h&t.shardMask != uint64(si) {
+				continue
+			}
+			for s := (h >> t.shardBits) & sh.mask; ; s = (s + 1) & sh.mask {
+				if sh.head[s] == 0 {
+					sh.hash[s] = h
+					sh.head[s] = int32(i + 1)
+					sh.tail[s] = int32(i + 1)
+					t.next[i] = -1
+					break
+				}
+				if sh.hash[s] == h {
+					t.next[sh.tail[s]-1] = int32(i)
+					sh.tail[s] = int32(i + 1)
+					t.next[i] = -1
+					break
+				}
+			}
+		}
+		return nil
+	}
+	if nShards == 1 {
+		if err := buildShard(0); err != nil {
+			return nil, err
+		}
+	} else if err := parallel(nShards, buildShard); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// lookup returns the first build-row index whose join-key hash is h, or
+// -1. Follow t.next[i] for the rest of the chain.
+func (t *joinTable) lookup(h uint64) int32 {
+	sh := &t.shards[h&t.shardMask]
+	for s := (h >> t.shardBits) & sh.mask; ; s = (s + 1) & sh.mask {
+		e := sh.head[s]
+		if e == 0 {
+			return -1
+		}
+		if sh.hash[s] == h {
+			return e - 1
+		}
+	}
+}

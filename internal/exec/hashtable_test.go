@@ -1,0 +1,380 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// TestHashIndexCollisions forces every entry onto one crafted 64-bit
+// hash: the index must keep them distinct through the equality callback
+// and resolve each probe to the right dense entry.
+func TestHashIndexCollisions(t *testing.T) {
+	const n = 100
+	const h = uint64(0xdeadbeefcafef00d)
+	idx := newHashIndex(4)
+	keys := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		if got := idx.probe(h, func(i int) bool { return keys[i] == k }); got != -1 {
+			t.Fatalf("key %d found before insert (entry %d)", k, got)
+		}
+		keys = append(keys, k)
+		if e := idx.add(h); e != k {
+			t.Fatalf("add(%d) = entry %d", k, e)
+		}
+	}
+	if idx.len() != n {
+		t.Fatalf("len = %d want %d", idx.len(), n)
+	}
+	for k := 0; k < n; k++ {
+		if got := idx.probe(h, func(i int) bool { return keys[i] == k }); got != k {
+			t.Fatalf("probe key %d = %d", k, got)
+		}
+	}
+	// A colliding-but-unequal key still reports a miss.
+	if got := idx.probe(h, func(i int) bool { return false }); got != -1 {
+		t.Fatalf("unequal collision probe = %d", got)
+	}
+}
+
+// TestHashIndexGrowth inserts well past several doubling boundaries and
+// checks every entry stays reachable, including hashes that only differ
+// in bits above the initial mask.
+func TestHashIndexGrowth(t *testing.T) {
+	const n = 5000
+	idx := newHashIndex(1)
+	hash := func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+	keys := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		h := hash(k)
+		if got := idx.probe(h, func(i int) bool { return keys[i] == k }); got != -1 {
+			t.Fatalf("key %d present before insert", k)
+		}
+		keys = append(keys, k)
+		idx.add(h)
+		// Spot-check mid-growth: everything inserted so far resolves.
+		if k == 7 || k == 63 || k == 1023 {
+			for j := 0; j <= k; j++ {
+				hj := hash(j)
+				if got := idx.probe(hj, func(i int) bool { return keys[i] == j }); got != j {
+					t.Fatalf("after %d inserts, probe key %d = %d", k+1, j, got)
+				}
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if got := idx.probe(hash(k), func(i int) bool { return keys[i] == k }); got != k {
+			t.Fatalf("probe key %d = %d", k, got)
+		}
+	}
+	if got := idx.probe(hash(n+1), func(i int) bool { return true }); got != -1 {
+		t.Fatalf("absent key probe = %d", got)
+	}
+}
+
+// TestRowKeyNullAndEmpty covers the degenerate key shapes: an empty
+// column list (global aggregate) and NULL key columns, which must group
+// together exactly like the legacy Value.Key() strings did.
+func TestRowKeyNullAndEmpty(t *testing.T) {
+	a := table.Row{table.NewInt(1), table.Null, table.NewString("x")}
+	b := table.Row{table.NewInt(2), table.Null, table.NewString("y")}
+
+	// Empty key: every row shares one group.
+	if hashRowKey(a, nil) != hashRowKey(b, nil) {
+		t.Fatal("empty-key hashes differ")
+	}
+	if !rowKeyEqualRows(a, b, nil) {
+		t.Fatal("empty-key rows not equal")
+	}
+	if got := appendRowKey(nil, a, nil); len(got) != 0 {
+		t.Fatalf("empty-key string = %q", got)
+	}
+
+	// NULL columns group together (unlike Value.Equal, where NULL≠NULL).
+	idx := []int{1}
+	if hashRowKey(a, idx) != hashRowKey(b, idx) {
+		t.Fatal("NULL-key hashes differ")
+	}
+	if !rowKeyEqualRows(a, b, idx) {
+		t.Fatal("NULL keys not equal")
+	}
+	if !rowKeyEqualValues([]table.Value{table.Null}, a, idx) {
+		t.Fatal("stored NULL key not equal to NULL column")
+	}
+
+	// And the canonical string matches Value.Key() + NUL exactly.
+	want := table.Null.Key() + "\x00" + table.NewString("x").Key() + "\x00"
+	if got := string(appendRowKey(nil, a, []int{1, 2})); got != want {
+		t.Fatalf("key string = %q want %q", got, want)
+	}
+
+	// Integral float and int keys collapse, as Value.Key() does.
+	fi := table.Row{table.NewFloat(42)}
+	ii := table.Row{table.NewInt(42)}
+	if hashRowKey(fi, []int{0}) != hashRowKey(ii, []int{0}) {
+		t.Fatal("float 42.0 and int 42 hash differently")
+	}
+	if !rowKeyEqualRows(fi, ii, []int{0}) {
+		t.Fatal("float 42.0 and int 42 not key-equal")
+	}
+}
+
+// joinRowsFor builds n single-partition build rows over (k, s, v) with
+// keys cycling modulo dups so chains form.
+func joinRowsFor(n, dups int) []wrow {
+	rows := make([]wrow, n)
+	for i := 0; i < n; i++ {
+		k := i % dups
+		rows[i] = newWRow(table.Row{
+			table.NewInt(int64(k)),
+			table.NewString(fmt.Sprintf("key-%04d", k)),
+			table.NewFloat(float64(i)),
+		}, 1)
+	}
+	return rows
+}
+
+// TestJoinTableChainOrder checks that chains visit build rows in global
+// build order — the property that keeps probe output bit-identical to
+// the old append-to-map build — for both the serial (1-shard) and the
+// parallel (sharded) build sizes.
+func TestJoinTableChainOrder(t *testing.T) {
+	for _, n := range []int{300, 5000} { // below and above the shard cutoff
+		rows := joinRowsFor(n, 17)
+		bt, err := buildJoinTable(rows, []int{0, 1}, serialFan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 17; k++ {
+			h := table.HashRow(rows[k].row, []int{0, 1}, 3)
+			var got []int
+			for ri := bt.lookup(h); ri >= 0; ri = bt.next[ri] {
+				got = append(got, int(ri))
+			}
+			var want []int
+			for i := k; i < n; i += 17 {
+				want = append(want, i)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d key %d: chain len %d want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d key %d: chain[%d]=%d want %d (order broken)", n, k, i, got[i], want[i])
+				}
+			}
+		}
+		if bt.lookup(0x1234) != -1 {
+			t.Fatal("absent hash found")
+		}
+	}
+}
+
+// TestJoinTableParallelBuildMatchesSerial builds the same sharded table
+// through a genuinely concurrent fan-out and through serialFan; the
+// resulting directories must be identical structures.
+func TestJoinTableParallelBuildMatchesSerial(t *testing.T) {
+	rows := joinRowsFor(6000, 113)
+	concurrent := func(n int, fn func(i int) error) error {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = fn(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	a, err := buildJoinTable(rows, []int{0, 1}, serialFan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildJoinTable(rows, []int{0, 1}, concurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.next) != len(b.next) {
+		t.Fatalf("next len %d vs %d", len(a.next), len(b.next))
+	}
+	for i := range a.next {
+		if a.next[i] != b.next[i] {
+			t.Fatalf("next[%d]: %d vs %d", i, a.next[i], b.next[i])
+		}
+	}
+	for i := range rows {
+		if a.lookup(a.hashes[i]) != b.lookup(b.hashes[i]) {
+			t.Fatalf("lookup(hashes[%d]) differs", i)
+		}
+	}
+}
+
+// TestJoinTableConcurrentProbes hammers one shared build table with 32
+// concurrent probers (run under -race in CI): the read-only probe path
+// must be free of data races and every prober must see full chains.
+func TestJoinTableConcurrentProbes(t *testing.T) {
+	const n, dups, probers = 5000, 41, 32
+	rows := joinRowsFor(n, dups)
+	bt, err := buildJoinTable(rows, []int{0, 1}, serialFan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, probers)
+	for p := 0; p < probers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < dups; k++ {
+				probe := table.Row{
+					table.NewInt(int64(k)),
+					table.NewString(fmt.Sprintf("key-%04d", k)),
+				}
+				h := table.HashRow(probe, []int{0, 1}, 3)
+				cnt := 0
+				for ri := bt.lookup(h); ri >= 0; ri = bt.next[ri] {
+					if !rowKeyEqualRows(bt.rows[ri].row, probe, []int{0, 1}) {
+						errCh <- fmt.Errorf("prober %d key %d: wrong row in chain", p, k)
+						return
+					}
+					cnt++
+				}
+				want := n / dups
+				if k < n%dups {
+					want++
+				}
+				if cnt != want {
+					errCh <- fmt.Errorf("prober %d key %d: %d matches want %d", p, k, cnt, want)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestRowArena checks slab carving: disjoint capacity-capped windows,
+// oversize requests, and append-past-cap isolation.
+func TestRowArena(t *testing.T) {
+	var ar rowArena
+	a := ar.alloc(2)
+	a = append(a, table.NewInt(1), table.NewInt(2))
+	b := ar.alloc(3)
+	b = append(b, table.NewInt(10), table.NewInt(11), table.NewInt(12))
+	if a[0].Int() != 1 || a[1].Int() != 2 {
+		t.Fatalf("neighbor stomped: %v", a)
+	}
+	// Appending past a row's declared capacity must reallocate, not
+	// write into b's window.
+	a = append(a, table.NewInt(3))
+	if b[0].Int() != 10 {
+		t.Fatalf("append past cap stomped next row: %v", b)
+	}
+	// Oversize rows get a dedicated slab.
+	big := ar.alloc(2 * arenaSlabValues)
+	if cap(big) != 2*arenaSlabValues {
+		t.Fatalf("oversize cap = %d", cap(big))
+	}
+	// Crossing a slab boundary yields fresh backing.
+	for i := 0; i < 3*arenaSlabValues/7; i++ {
+		r := ar.alloc(7)
+		if cap(r) != 7 || len(r) != 0 {
+			t.Fatalf("alloc window len=%d cap=%d", len(r), cap(r))
+		}
+	}
+}
+
+// aggAllocFixture builds an aggRunner with SUM and COUNT over a
+// two-column (int, string) group key, optionally universe-estimated,
+// plus the cycling input rows to feed it.
+func aggAllocFixture(est *EstimatorConfig) (*aggRunner, []table.Row, error) {
+	cols := []lplan.ColumnInfo{
+		{ID: 9001, Name: "k", Kind: table.KindInt},
+		{ID: 9002, Name: "s", Kind: table.KindString},
+		{ID: 9003, Name: "v", Kind: table.KindFloat},
+	}
+	p := &PHashAgg{
+		GroupCols: []lplan.ColumnID{9001, 9002},
+		GroupInfo: cols[:2],
+		Aggs: []lplan.AggSpec{
+			{Kind: lplan.AggSum, Arg: 9003, Cond: lplan.NoColumn, Out: lplan.ColumnInfo{ID: 9004, Name: "sum_v", Kind: table.KindFloat}},
+			{Kind: lplan.AggCount, Arg: lplan.NoColumn, Cond: lplan.NoColumn, Out: lplan.ColumnInfo{ID: 9005, Name: "cnt", Kind: table.KindInt}},
+		},
+		Est: est,
+	}
+	r, err := newAggRunner(p, buildColMap(cols))
+	if err != nil {
+		return nil, nil, err
+	}
+	const groups = 64
+	rows := make([]table.Row, groups)
+	for k := 0; k < groups; k++ {
+		rows[k] = table.Row{
+			table.NewInt(int64(k)),
+			table.NewString(fmt.Sprintf("key-%04d", k)),
+			table.NewFloat(float64(k) * 1.5),
+		}
+	}
+	return r, rows, nil
+}
+
+// TestAggAddSeenGroupsZeroAllocs pins the tentpole's core acceptance
+// criterion: once a group exists, folding another row into it allocates
+// nothing — no key strings, no map growth, no closure escapes.
+func TestAggAddSeenGroupsZeroAllocs(t *testing.T) {
+	r, rows, err := aggAllocFixture(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		r.add(row, 1) // materialize every group up front
+	}
+	i := 0
+	got := testing.AllocsPerRun(200, func() {
+		r.add(rows[i%len(rows)], 1)
+		i++
+	})
+	if got != 0 {
+		t.Fatalf("aggRunner.add on seen groups: %v allocs/op, want 0", got)
+	}
+}
+
+// TestAggUniverseSeenSubspacesZeroAllocs extends the zero-alloc
+// guarantee to the universe-sampled variance path: the subspace hash is
+// computed lazily (only on consuming paths) and seen subspaces fold
+// into uniAcc without allocating.
+func TestAggUniverseSeenSubspacesZeroAllocs(t *testing.T) {
+	est := &EstimatorConfig{Type: lplan.SamplerUniverse, P: 0.1, UniverseCols: []lplan.ColumnID{9001}}
+	r, rows, err := aggAllocFixture(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.uniIdx) == 0 {
+		t.Fatal("fixture: universe columns not resolved")
+	}
+	for _, row := range rows {
+		r.add(row, 10)
+	}
+	i := 0
+	got := testing.AllocsPerRun(200, func() {
+		r.add(rows[i%len(rows)], 10)
+		i++
+	})
+	if got != 0 {
+		t.Fatalf("universe add on seen subspaces: %v allocs/op, want 0", got)
+	}
+}

@@ -418,26 +418,28 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	// Probe-output preallocation from the optimizer's join cardinality
 	// estimate (set before the parallel regions; read-only inside).
 	estPerTask := estHint(p.EstOutRows, len(left.parts))
-	joinRows := func(st *cluster.Stage, task int, lpart, rpart []wrow) []wrow {
-		ht := make(map[uint64][]wrow, len(rpart))
-		for _, r := range rpart {
-			h := table.HashRow(r.row, rIdx, 3)
-			ht[h] = append(ht[h], r)
-		}
+	// joinRows probes one partition against a prebuilt (possibly shared,
+	// read-only) build table. buildLen is the number of build rows this
+	// task reads — the simulated-cluster CPU and per-slot counters charge
+	// it exactly as when every task built its own table. Output rows are
+	// carved from a per-task arena instead of one make per row.
+	joinRows := func(st *cluster.Stage, task int, lpart []wrow, bt *joinTable, buildLen int) []wrow {
 		hint := estPerTask
 		if hint <= 0 {
 			hint = len(lpart)
 		}
 		out := make([]wrow, 0, hint)
+		var ar rowArena
 		var outBytes float64
 		for _, l := range lpart {
 			h := table.HashRow(l.row, lIdx, 3)
 			matched := false
-			for _, r := range ht[h] {
+			for ri := bt.lookup(h); ri >= 0; ri = bt.next[ri] {
+				r := bt.rows[ri]
 				if !keysEqual(l.row, lIdx, r.row, rIdx) {
 					continue
 				}
-				combined := make(table.Row, 0, len(l.row)+len(r.row))
+				combined := ar.alloc(len(l.row) + len(r.row))
 				combined = append(combined, l.row...)
 				combined = append(combined, r.row...)
 				w := l.w * r.w
@@ -456,7 +458,7 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 				matched = true
 			}
 			if !matched && p.Kind == lplan.LeftOuterJoin {
-				combined := make(table.Row, 0, len(l.row)+nRightCols)
+				combined := ar.alloc(len(l.row) + nRightCols)
 				combined = append(combined, l.row...)
 				for k := 0; k < nRightCols; k++ {
 					combined = append(combined, table.Null)
@@ -466,11 +468,11 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 				out = append(out, wr)
 			}
 		}
-		st.AddCPU(task, 2*float64(len(rpart))+2*float64(len(lpart)))
+		st.AddCPU(task, 2*float64(buildLen)+2*float64(len(lpart)))
 		sl := op.Slot(task)
-		sl.RowsIn += int64(len(lpart) + len(rpart))
+		sl.RowsIn += int64(len(lpart) + buildLen)
 		sl.RowsOut += int64(len(out))
-		sl.BuildRows += int64(len(rpart))
+		sl.BuildRows += int64(buildLen)
 		sl.ProbeRows += int64(len(lpart))
 		if len(out) > 0 {
 			sl.NoteBatch(outBytes)
@@ -479,7 +481,10 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	}
 
 	if p.Broadcast {
-		// Build side is gathered and replicated to every probe task.
+		// Build side is gathered and replicated to every probe task. The
+		// hash table over it is built ONCE (parallel partitioned build)
+		// and shared read-only across all probe tasks; the simulated
+		// cluster still charges each task for reading the broadcast copy.
 		ex.ensureStage(right, "build-src")
 		ex.materialize(right, true)
 		var buildRows []wrow
@@ -491,9 +496,13 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		bbytes := rowsBytes(buildRows)
 		op.Grow(len(left.parts))
 		t0 := time.Now()
+		bt, err := buildJoinTable(buildRows, rIdx, ex.parallel)
+		if err != nil {
+			return nil, err
+		}
 		if err := ex.parallel(len(left.parts), func(i int) error {
 			left.stage.AddInput(i, int64(len(buildRows)), bbytes)
-			left.parts[i] = joinRows(left.stage, i, left.parts[i], buildRows)
+			left.parts[i] = joinRows(left.stage, i, left.parts[i], bt, len(buildRows))
 			return nil
 		}); err != nil {
 			return nil, err
@@ -503,7 +512,8 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 	}
 
 	// Partitioned join: children arrive materialized (below exchanges)
-	// and co-partitioned; the join opens a new stage reading both.
+	// and co-partitioned; the join opens a new stage reading both. Each
+	// task builds the table over its own co-located build partition.
 	ex.ensureStage(left, "join-left-src")
 	ex.materialize(left, false)
 	ex.ensureStage(right, "join-right-src")
@@ -520,13 +530,29 @@ func (ex *executor) execJoin(p *PHashJoin) (*stream, error) {
 		inRows := int64(len(left.parts[i]) + len(right.parts[i]))
 		inBytes := rowsBytes(left.parts[i]) + rowsBytes(right.parts[i])
 		st.AddInput(i, inRows, inBytes)
-		out[i] = joinRows(st, i, left.parts[i], right.parts[i])
+		bt, err := buildJoinTable(right.parts[i], rIdx, serialFan)
+		if err != nil {
+			return err
+		}
+		out[i] = joinRows(st, i, left.parts[i], bt, len(right.parts[i]))
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	op.AddWall(time.Since(t0))
 	return &stream{parts: out, stage: st}, nil
+}
+
+// serialFan runs fn(0..n-1) on the calling goroutine; used for
+// per-task join-table builds, which must not re-enter the shared pool
+// from inside a pool task.
+func serialFan(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func appendDep(deps []int, more []int) []int {
@@ -621,10 +647,23 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 		}
 		idx[i] = pos
 	}
+	// Sort keys with their input positions resolved once, outside the
+	// comparator: the hot comparison loop does no colMap lookups.
+	type sortKey struct {
+		pos  int
+		desc bool
+	}
+	keys := make([]sortKey, len(p.Keys))
+	for i, k := range p.Keys {
+		keys[i] = sortKey{pos: idx[i], desc: k.Desc}
+	}
 	op := ex.opFor(p)
 	op.Grow(len(s.parts))
 	t0 := time.Now()
-	for pi, part := range s.parts {
+	// Partitions are independent: sort them on the shared pool like
+	// join/agg fan-outs (slot and stage accounting are index-disjoint).
+	if err := ex.parallel(len(s.parts), func(pi int) error {
+		part := s.parts[pi]
 		sl := op.Slot(pi)
 		sl.RowsIn += int64(len(part))
 		sl.RowsOut += int64(len(part))
@@ -634,9 +673,9 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 		n := len(part)
 		sort.SliceStable(part, func(a, b int) bool {
 			ra, rb := part[a].row, part[b].row
-			for i, k := range p.Keys {
-				c := ra[idx[i]].Compare(rb[idx[i]])
-				if k.Desc {
+			for _, k := range keys {
+				c := ra[k.pos].Compare(rb[k.pos])
+				if k.desc {
 					c = -c
 				}
 				if c != 0 {
@@ -649,6 +688,9 @@ func (ex *executor) execSort(p *PSort) (*stream, error) {
 		if n > 1 {
 			s.stage.AddCPU(pi, float64(n)*logf(n))
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	op.AddWall(time.Since(t0))
 	return s, nil

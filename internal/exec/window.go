@@ -124,27 +124,37 @@ func computeWindow(spec lplan.WinSpec, cm colMap, part []wrow) ([]table.Value, e
 		argIdx = pos
 	}
 
-	// Group row indexes by partition key.
-	groups := map[string][]int{}
-	var keys []string
-	var kb strings.Builder
+	// Group row indexes by partition key: canonical 64-bit hash into an
+	// open-addressing index (equality verified against a representative
+	// row on collision), so already-seen partitions cost no allocation
+	// beyond the growing index slice. Each group's legacy string key is
+	// built once to reproduce the historical partition order.
+	hidx := newHashIndex(16)
+	var rowLists [][]int
+	var skeys []string
+	var reps []int
+	var keyBuf []byte
 	for j, r := range part {
-		kb.Reset()
-		for _, pi := range partIdx {
-			kb.WriteString(r.row[pi].Key())
-			kb.WriteByte(0)
+		h := hashRowKey(r.row, partIdx)
+		e := hidx.probe(h, func(i int) bool { return rowKeyEqualRows(part[reps[i]].row, r.row, partIdx) })
+		if e < 0 {
+			keyBuf = appendRowKey(keyBuf[:0], r.row, partIdx)
+			e = hidx.add(h)
+			rowLists = append(rowLists, nil)
+			skeys = append(skeys, string(keyBuf))
+			reps = append(reps, j)
 		}
-		k := kb.String()
-		if _, ok := groups[k]; !ok {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], j)
+		rowLists[e] = append(rowLists[e], j)
 	}
-	sort.Strings(keys)
+	order := make([]int, len(skeys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return skeys[order[a]] < skeys[order[b]] })
 
 	out := make([]table.Value, len(part))
-	for _, k := range keys {
-		idxs := groups[k]
+	for _, gi := range order {
+		idxs := rowLists[gi]
 		// Sort partition rows by the ORDER BY keys (stable; ties broken
 		// by full row compare for determinism).
 		sort.SliceStable(idxs, func(a, b int) bool {

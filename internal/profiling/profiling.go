@@ -1,0 +1,52 @@
+// Package profiling wires runtime/pprof into the CLIs: -cpuprofile and
+// -memprofile flags on quickr and quickr-bench write profiles that `go
+// tool pprof` reads directly, for attributing executor time and
+// allocations (join build/probe, group lookup, window partitioning) to
+// source lines. The query service additionally serves live profiles on
+// /debug/pprof.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (empty = disabled) and
+// returns a stop function that ends the CPU profile and writes a heap
+// profile to memPath (empty = disabled). Call stop on the successful
+// exit path; profiles are intentionally best-effort on error exits.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

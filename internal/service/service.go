@@ -10,6 +10,7 @@
 //	GET  /query/{id}          status; includes the result (with error bars) once done
 //	POST /query/{id}/cancel   cancel a queued or running query
 //	GET  /metrics             process-wide pool/admission/cache gauges
+//	GET  /debug/pprof/        live CPU/heap/goroutine profiles (net/http/pprof)
 //
 // A submitted query runs on its own goroutine under a cancellable
 // context; cancellation takes effect within one executor batch boundary
@@ -25,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +72,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleSubmit)
 	mux.HandleFunc("/query/", s.handleQuery)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Live profiling of a serving engine: `go tool pprof
+	// host/debug/pprof/profile` against the hash-path hot loops. Routed
+	// explicitly so the service never depends on http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

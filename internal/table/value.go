@@ -7,7 +7,6 @@ package table
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
@@ -202,58 +201,131 @@ func (v Value) Compare(o Value) int {
 	return 0
 }
 
-// Hash64 hashes the value with FNV-1a. Numeric values hash by canonical
-// form so NewInt(2) and NewFloat(2.0) collide, matching Equal.
-func (v Value) Hash64() uint64 {
-	h := fnv.New64a()
-	v.hashInto(h)
-	return h.Sum64()
+// FNV-1a constants, inlined so hot hashing loops never allocate a
+// hash.Hash (fnv.New64a escapes to the heap on every call).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h uint64, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(u>>(8*i)))
+	}
+	return h
 }
 
-type hasher interface{ Write([]byte) (int, error) }
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
 
-func (v Value) hashInto(h hasher) {
-	var tag [1]byte
+// Hash64 hashes the value with FNV-1a. Numeric values hash by canonical
+// form so NewInt(2) and NewFloat(2.0) collide, matching Equal. The
+// digest is bit-identical to feeding the tagged encoding through
+// hash/fnv, but allocation-free.
+func (v Value) Hash64() uint64 {
 	switch v.kind {
 	case KindNull:
-		tag[0] = 0
-		h.Write(tag[:])
+		return fnvByte(fnvOffset64, 0)
 	case KindInt, KindFloat:
 		f := v.Float()
 		if v.kind == KindInt || f == math.Trunc(f) && !math.IsInf(f, 0) {
-			tag[0] = 1
-			h.Write(tag[:])
-			var b [8]byte
 			u := uint64(int64(f))
 			if v.kind == KindInt {
 				u = uint64(v.i)
 			}
-			putUint64(b[:], u)
-			h.Write(b[:])
-		} else {
-			tag[0] = 2
-			h.Write(tag[:])
-			var b [8]byte
-			putUint64(b[:], math.Float64bits(f))
-			h.Write(b[:])
+			return fnvUint64(fnvByte(fnvOffset64, 1), u)
 		}
+		return fnvUint64(fnvByte(fnvOffset64, 2), math.Float64bits(f))
 	case KindString:
-		tag[0] = 3
-		h.Write(tag[:])
-		h.Write([]byte(v.s))
+		return fnvString(fnvByte(fnvOffset64, 3), v.s)
 	case KindBool:
-		tag[0] = 4
-		h.Write(tag[:])
-		var b [1]byte
-		b[0] = byte(v.i)
-		h.Write(b[:])
+		return fnvByte(fnvByte(fnvOffset64, 4), byte(v.i))
 	}
+	return fnvOffset64
 }
 
-func putUint64(b []byte, u uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
+// keyClass canonicalizes the value exactly like Key() does: class 1
+// covers ints and integral floats below 1e18 (payload: the int64),
+// class 2 the remaining floats (payload: IEEE bits), strings compare by
+// content (class 3), booleans and NULL by tag. Two values have equal
+// Key() strings iff their classes, payloads and string contents match.
+func (v Value) keyClass() (uint8, uint64) {
+	switch v.kind {
+	case KindNull:
+		return 0, 0
+	case KindInt:
+		return 1, uint64(v.i)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
+			return 1, uint64(int64(v.f))
+		}
+		return 2, math.Float64bits(v.f)
+	case KindString:
+		return 3, 0
+	case KindBool:
+		return 4, uint64(v.i)
 	}
+	return 255, 0
+}
+
+// KeyEqual reports whether v.Key() == o.Key() without materializing
+// either canonical key string; grouping by KeyEqual partitions values
+// exactly like grouping by Key().
+func (v Value) KeyEqual(o Value) bool {
+	vc, vp := v.keyClass()
+	oc, op := o.keyClass()
+	if vc != oc {
+		return false
+	}
+	if vc == 3 {
+		return v.s == o.s
+	}
+	return vp == op
+}
+
+// KeyHash folds the value's canonical key form into the running FNV-1a
+// state h, allocation-free and consistent with KeyEqual: values with
+// equal Key() strings fold identically. Start chains at KeyHashSeed.
+func (v Value) KeyHash(h uint64) uint64 {
+	c, p := v.keyClass()
+	h = fnvByte(h, c)
+	if c == 3 {
+		return fnvString(h, v.s)
+	}
+	return fnvUint64(h, p)
+}
+
+// KeyHashSeed is the canonical starting state for KeyHash chains.
+const KeyHashSeed = fnvOffset64
+
+// AppendKey appends the value's canonical key (the exact bytes Key()
+// returns) to b, avoiding the per-call string allocation of Key().
+func (v Value) AppendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 0)
+	case KindInt:
+		return strconv.AppendInt(append(b, 'i'), v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
+			return strconv.AppendInt(append(b, 'i'), int64(v.f), 10)
+		}
+		return strconv.AppendUint(append(b, 'f'), math.Float64bits(v.f), 16)
+	case KindString:
+		return append(append(b, 's'), v.s...)
+	case KindBool:
+		if v.i != 0 {
+			return append(b, 'b', 't')
+		}
+		return append(b, 'b', 'f')
+	}
+	return append(b, '?')
 }
 
 // Key returns a canonical string key of the value, usable as a map key
