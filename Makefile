@@ -11,9 +11,11 @@ test:
 
 # The race job covers the packages with real concurrency: the parallel
 # executor, the shared worker pool and admission gate, the query
-# service, and the samplers the executor drives.
+# service, the samplers the executor drives, the per-partition metric
+# slots, and the lazily-columnarized table storage. Keep this list in
+# lockstep with the CI race job.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/sampler/... ./internal/pool/... ./internal/service/...
+	$(GO) test -race ./internal/exec/... ./internal/sampler/... ./internal/pool/... ./internal/service/... ./internal/metrics/... ./internal/table/...
 
 # Concurrency hammer: 32+ mixed exact/approx queries on one engine under
 # the race detector, plus cancellation and chaos interleavings.
@@ -32,10 +34,13 @@ bench:
 # Allocation/CPU regression gate on the executor's hot-path
 # microbenchmarks: run them with -benchmem and compare allocs/op (and,
 # loosely, ns/op) against the committed pre-optimization baseline. The
-# 0.7x allocs ceiling pins the hash-path overhaul's win permanently.
+# 0.7x allocs ceiling pins the hash-path overhaul's win permanently;
+# the 0.5x ceiling on the *Kernel benchmarks pins the columnar kernels
+# at no more than half the row path's allocations (the baseline records
+# the BenchmarkRowPath* twins' numbers under the kernel names).
 bench-gate:
 	$(GO) test ./internal/exec/ -run '^$$' \
-		-bench 'BenchmarkJoinBroadcast|BenchmarkJoinCoPartitioned|BenchmarkGroupedAgg|BenchmarkWindowPartition|BenchmarkSortPartitions' \
+		-bench 'BenchmarkJoinBroadcast|BenchmarkJoinCoPartitioned|BenchmarkGroupedAgg|BenchmarkWindowPartition|BenchmarkSortPartitions|BenchmarkFilterKernel|BenchmarkProjectKernel|BenchmarkSamplerKernel|BenchmarkPreAggKernel' \
 		-benchmem -benchtime 5x -count 1 | tee bench_micro.txt
 	$(GO) run ./cmd/benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench_micro.txt
 	@rm -f bench_micro.txt

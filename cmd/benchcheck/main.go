@@ -10,10 +10,17 @@
 // stay within max_allocs_ratio of the recorded value; ns/op gets a
 // deliberately generous max_ns_ratio since CI hardware varies.
 //
+// With -oracle it compares two BENCH_*.json reports of the same
+// workload produced by different executor modes (row-at-a-time vs
+// columnar): every query must appear in both with identical result row
+// counts and result hashes, so any bitwise divergence between the two
+// executors fails the build.
+//
 // Usage:
 //
 //	benchcheck BENCH_SMOKE.json [more.json...]
 //	benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench.txt
+//	benchcheck -oracle row/BENCH_BENCH.json columnar/BENCH_BENCH.json
 package main
 
 import (
@@ -54,15 +61,28 @@ var concurrencyFields = []string{
 func main() {
 	micro := flag.Bool("micro", false, "gate `go test -bench -benchmem` output against -baseline instead of checking report schemas")
 	baseline := flag.String("baseline", "", "baseline JSON for -micro (committed allocs/op and ns/op ceilings)")
+	oracle := flag.Bool("oracle", false, "compare two reports of the same workload from different executor modes; result hashes must match")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
 		fmt.Fprintln(os.Stderr, "       benchcheck -micro -baseline baseline.json bench.txt")
+		fmt.Fprintln(os.Stderr, "       benchcheck -oracle row.json columnar.json")
 		os.Exit(2)
 	}
 	if *micro {
 		if err := checkMicro(*baseline, flag.Args()); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck -micro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *oracle {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchcheck -oracle: need exactly two report files")
+			os.Exit(2)
+		}
+		if err := checkOracle(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck -oracle:", err)
 			os.Exit(1)
 		}
 		return
@@ -225,6 +245,87 @@ func checkFile(path string) []error {
 		}
 	}
 	return errs
+}
+
+// oracleEntry is the slice of a query report the oracle diff needs.
+type oracleEntry struct {
+	ResultRows int    `json:"result_rows"`
+	ResultHash string `json:"result_hash"`
+}
+
+// loadOracle reads a BENCH report's per-query result fingerprints.
+func loadOracle(path string) (map[string]oracleEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Queries []struct {
+			ID string `json:"id"`
+			oracleEntry
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]oracleEntry{}
+	for _, q := range rep.Queries {
+		if q.ResultHash == "" {
+			return nil, fmt.Errorf("%s: query %s has no result_hash (report predates the oracle fields?)", path, q.ID)
+		}
+		out[q.ID] = q.oracleEntry
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: report contains no queries", path)
+	}
+	return out, nil
+}
+
+// checkOracle diffs two reports of the same workload produced by
+// different executor modes: both must cover the same query set with
+// identical result row counts and hashes.
+func checkOracle(pathA, pathB string) error {
+	a, err := loadOracle(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := loadOracle(pathB)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(a))
+	for id := range a {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	var fails []string
+	for _, id := range ids {
+		ea := a[id]
+		eb, ok := b[id]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: present in %s but missing from %s", id, pathA, pathB))
+			continue
+		}
+		switch {
+		case ea.ResultRows != eb.ResultRows:
+			fails = append(fails, fmt.Sprintf("%s: %d rows vs %d rows", id, ea.ResultRows, eb.ResultRows))
+		case ea.ResultHash != eb.ResultHash:
+			fails = append(fails, fmt.Sprintf("%s: result hash mismatch (%d rows): %s vs %s",
+				id, ea.ResultRows, ea.ResultHash[:12], eb.ResultHash[:12]))
+		}
+	}
+	for id := range b {
+		if _, ok := a[id]; !ok {
+			fails = append(fails, fmt.Sprintf("%s: present in %s but missing from %s", id, pathB, pathA))
+		}
+	}
+	if len(fails) > 0 {
+		sortStrings(fails)
+		return fmt.Errorf("%d query result(s) diverge between executor modes:\n  %s",
+			len(fails), strings.Join(fails, "\n  "))
+	}
+	fmt.Printf("oracle: %d queries bit-identical across %s and %s\n", len(ids), pathA, pathB)
+	return nil
 }
 
 // microBaseline is the committed micro-benchmark baseline: per

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-seed 0] [-batch 1024] [-check] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-batch 1024] [-columnar] [-check] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //	quickr [-sf 1] -serve :8080  # HTTP/JSON query service (see internal/service)
 //
@@ -45,6 +45,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print simulated cluster metrics")
 	stats := flag.String("stats", "", "write a JSON run report to this path (\"-\" = stdout)")
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
+	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
 	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	interactive := flag.Bool("i", false, "interactive mode")
 	serve := flag.String("serve", "", "serve the HTTP/JSON query API on this address (e.g. :8080) instead of running a query")
@@ -62,6 +63,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loading TPC-DS-like data at sf=%.2g...\n", *sf)
 	eng := buildEngine(*sf, *seed)
 	eng.SetBatchSize(*batch)
+	eng.SetColumnar(*columnar)
 	eng.SetPlanChecks(*check)
 
 	if *serve != "" {

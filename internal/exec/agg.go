@@ -223,6 +223,31 @@ func (r *aggRunner) add(row table.Row, w float64) {
 	}
 }
 
+// addBatch folds a columnar batch's live rows into the runner through a
+// reusable gather row (the accumulators copy every Value they keep, so
+// reusing the row is safe). The add() call sequence — and therefore
+// every accumulator state — is identical to running add() over the
+// materialized rows. Returns the number of rows folded.
+func (r *aggRunner) addBatch(b *Batch, sc *colScratch) int {
+	row := sc.row(len(b.cols))
+	if b.sel != nil {
+		for _, lane := range b.sel {
+			for c := range b.cols {
+				row[c] = b.cols[c].Value(int(lane))
+			}
+			r.add(row, b.weights[lane])
+		}
+		return len(b.sel)
+	}
+	for i := 0; i < b.n; i++ {
+		for c := range b.cols {
+			row[c] = b.cols[c].Value(i)
+		}
+		r.add(row, b.weights[i])
+	}
+	return b.n
+}
+
 // finishGroup converts a group's accumulators into output values and
 // standard errors.
 func (r *aggRunner) finishGroup(g *groupAcc) ([]table.Value, []float64) {

@@ -22,6 +22,11 @@ type Options struct {
 	// pipeline materializes whole partitions (the pre-batching executor,
 	// kept as the comparison baseline for BenchmarkExecutorPipeline).
 	BatchSize int
+	// Columnar switches non-breaker pipelines to the column-major
+	// vectorized executor (typed vectors + selection vectors). It only
+	// applies when BatchSize >= 0: the materializing baseline
+	// (BatchSize < 0) always runs the row-at-a-time oracle path.
+	Columnar bool
 	// Pool overrides the worker pool partition fan-out runs on (nil
 	// selects the process-wide shared pool).
 	Pool *pool.Pool

@@ -1,0 +1,157 @@
+package exec
+
+// Microbenchmarks for the vectorized columnar kernels (filter, project,
+// sampler, fused pre-aggregation), each paired with a row-at-a-time
+// twin running the identical plan on the row executor. The committed
+// baseline (testdata/bench_baseline.json) records the ROW path's
+// numbers under the kernel names; CI runs the columnar benchmarks
+// against it with max_allocs_ratio 0.5, so the columnar kernels must
+// stay at or below half the row path's allocations forever. The row
+// twins are deliberately named without the gated substrings
+// (BenchmarkRowPath*) so the gate regex never matches them.
+
+import (
+	"context"
+	"testing"
+
+	"quickr/internal/cluster"
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// benchKernelTable builds the scan input shared by the kernel
+// benchmarks: int, string (dictionary-friendly) and float columns with
+// a sprinkling of NULLs, pre-columnarized so the timed loop measures
+// kernels rather than first-touch columnarization.
+func benchKernelTable() *table.Table {
+	sc := table.NewSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "s", Kind: table.KindString},
+		table.Column{Name: "v", Kind: table.KindFloat},
+	)
+	tbl := table.New("bench_kernel", sc, 4)
+	words := []string{"north", "south", "east", "west", "up", "down"}
+	for i := 0; i < 65536; i++ {
+		v := table.NewFloat(float64(i))
+		if i%97 == 11 {
+			v = table.Value{}
+		}
+		tbl.Append(i, table.Row{
+			table.NewInt(int64(i % 1024)),
+			table.NewString(words[i%len(words)]),
+			v,
+		})
+	}
+	tbl.EnsureColumnar()
+	return tbl
+}
+
+// benchRunMode executes the plan in row-streamed or columnar mode.
+func benchRunMode(b *testing.B, p PNode, columnar bool) *Result {
+	b.Helper()
+	res, err := RunWithOptions(context.Background(), p, cluster.DefaultConfig(), nil, Options{Columnar: columnar})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func kernelFilterPlan(tbl *table.Table) PNode {
+	scan := scanOf(tbl)
+	k, _, v := scan.OutCols[0], scan.OutCols[1], scan.OutCols[2]
+	return &PFilter{In: scan, Pred: &lplan.Binary{
+		Op: lplan.OpAnd,
+		L: &lplan.Binary{Op: lplan.OpLt,
+			L: &lplan.ColRef{ID: k.ID, Name: "k", Kind: table.KindInt},
+			R: &lplan.Const{Val: table.NewInt(512)}},
+		R: &lplan.Binary{Op: lplan.OpGe,
+			L: &lplan.ColRef{ID: v.ID, Name: "v", Kind: table.KindFloat},
+			R: &lplan.Const{Val: table.NewFloat(1000)}},
+	}}
+}
+
+func kernelProjectPlan(tbl *table.Table) PNode {
+	scan := scanOf(tbl)
+	k, s, v := scan.OutCols[0], scan.OutCols[1], scan.OutCols[2]
+	nextID += 3
+	return &PProject{In: scan, Exprs: []lplan.Expr{
+		&lplan.Binary{Op: lplan.OpAdd,
+			L: &lplan.ColRef{ID: k.ID, Name: "k", Kind: table.KindInt},
+			R: &lplan.Const{Val: table.NewInt(7)}},
+		&lplan.Binary{Op: lplan.OpMul,
+			L: &lplan.ColRef{ID: v.ID, Name: "v", Kind: table.KindFloat},
+			R: &lplan.Const{Val: table.NewFloat(0.5)}},
+		&lplan.Binary{Op: lplan.OpEq,
+			L: &lplan.ColRef{ID: s.ID, Name: "s", Kind: table.KindString},
+			R: &lplan.Const{Val: table.NewString("east")}},
+	}, OutCols: []lplan.ColumnInfo{
+		{ID: nextID - 2, Name: "k7", Kind: table.KindInt},
+		{ID: nextID - 1, Name: "vh", Kind: table.KindFloat},
+		{ID: nextID, Name: "e", Kind: table.KindBool},
+	}}
+}
+
+func kernelSamplerPlan(tbl *table.Table) PNode {
+	scan := scanOf(tbl)
+	return &PSample{In: scan, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.1}, Seed: 42}
+}
+
+func kernelPreAggPlan(tbl *table.Table) PNode {
+	scan := scanOf(tbl)
+	k, v := scan.OutCols[0], scan.OutCols[2]
+	smp := &PSample{In: scan, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.25}, Seed: 43}
+	nextID += 2
+	return &PHashAgg{
+		In:        smp,
+		GroupCols: []lplan.ColumnID{k.ID},
+		GroupInfo: []lplan.ColumnInfo{k},
+		Aggs: []lplan.AggSpec{
+			{Kind: lplan.AggSum, Arg: v.ID, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "s", Kind: table.KindFloat}},
+			{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID, Name: "c", Kind: table.KindInt}},
+		},
+		Top: true,
+	}
+}
+
+// benchKernel runs plan-builder mk once per iteration in the given mode.
+func benchKernel(b *testing.B, mk func(*table.Table) PNode, columnar bool) {
+	tbl := benchKernelTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRunMode(b, mk(tbl), columnar)
+	}
+}
+
+// BenchmarkFilterKernel measures the columnar filter: typed comparison
+// kernels over dense vectors writing a selection vector.
+func BenchmarkFilterKernel(b *testing.B) { benchKernel(b, kernelFilterPlan, true) }
+
+// BenchmarkRowPathFilter is the row-at-a-time twin whose numbers seed
+// the BenchmarkFilterKernel baseline.
+func BenchmarkRowPathFilter(b *testing.B) { benchKernel(b, kernelFilterPlan, false) }
+
+// BenchmarkProjectKernel measures columnar projection: arithmetic and
+// dictionary-compare kernels building output vectors.
+func BenchmarkProjectKernel(b *testing.B) { benchKernel(b, kernelProjectPlan, true) }
+
+// BenchmarkRowPathProject is the row-at-a-time twin whose numbers seed
+// the BenchmarkProjectKernel baseline.
+func BenchmarkRowPathProject(b *testing.B) { benchKernel(b, kernelProjectPlan, false) }
+
+// BenchmarkSamplerKernel measures the columnar uniform sampler:
+// selection-vector thinning with in-place weight scaling.
+func BenchmarkSamplerKernel(b *testing.B) { benchKernel(b, kernelSamplerPlan, true) }
+
+// BenchmarkRowPathSampler is the row-at-a-time twin whose numbers seed
+// the BenchmarkSamplerKernel baseline.
+func BenchmarkRowPathSampler(b *testing.B) { benchKernel(b, kernelSamplerPlan, false) }
+
+// BenchmarkPreAggKernel measures the fused columnar sample→group-by
+// pre-aggregation (scan batches feed the aggregation without an
+// intermediate materialized stream).
+func BenchmarkPreAggKernel(b *testing.B) { benchKernel(b, kernelPreAggPlan, true) }
+
+// BenchmarkRowPathPreAgg is the row-at-a-time twin whose numbers seed
+// the BenchmarkPreAggKernel baseline.
+func BenchmarkRowPathPreAgg(b *testing.B) { benchKernel(b, kernelPreAggPlan, false) }

@@ -1,0 +1,87 @@
+package exec
+
+// Batch is the column-major unit of data flowing through the vectorized
+// pipeline (Options.Columnar). It mirrors the row-mode batch exactly:
+// the live rows of a Batch — the lanes covered by sel, in sel order —
+// correspond one-to-one, in order, with the []wrow the row-at-a-time
+// pipeline would carry at the same operator boundary.
+//
+//   - cols holds one Vector per column, positionally aligned with the
+//     row layout at this point in the pipeline.
+//   - n is the physical lane count of each column.
+//   - sel is the selection vector: ascending physical lane indexes of
+//     the live rows. nil means all n lanes are live (dense).
+//   - weights holds the Horvitz–Thompson weight of each physical lane;
+//     samplers scale it in place as they thin sel.
+//   - bytes is the in-flight size of the live rows, matching row mode's
+//     batch.bytes (sum of per-row ByteSize()+8).
+//
+// Dead lanes (outside sel) hold unspecified zero/NULL payloads; kernels
+// may compute them, and must never read them back for live results.
+type Batch struct {
+	cols    []Vector
+	n       int
+	sel     []int32
+	weights []float64
+	bytes   float64
+}
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// liveSel returns the live lanes as an explicit selection, using buf
+// when the batch is dense. The result must not be retained past the
+// batch.
+func (b *Batch) liveSel(buf []int32) []int32 {
+	if b.sel != nil {
+		return b.sel
+	}
+	buf = buf[:0]
+	for i := 0; i < b.n; i++ {
+		buf = append(buf, int32(i))
+	}
+	return buf
+}
+
+// liveBytes recomputes the in-flight size of the live rows selected by
+// sel: per row, the per-column value bytes plus the 8-byte weight field
+// (matching newWRow's sz).
+func liveBytes(cols []Vector, sel []int32) float64 {
+	total := 8 * float64(len(sel))
+	for c := range cols {
+		total += cols[c].bytesSel(sel)
+	}
+	return total
+}
+
+// gatherRow materializes physical lane i as an arena-backed row plus
+// its cached size, identical to newWRow(row, w) in row mode.
+func gatherRow(a *rowArena, cols []Vector, lane int32, w float64) wrow {
+	row := a.alloc(len(cols))
+	sz := 8
+	for c := range cols {
+		row = append(row, cols[c].Value(int(lane)))
+		sz += cols[c].laneBytes(int(lane))
+	}
+	return wrow{row: row, w: w, sz: float64(sz)}
+}
+
+// materialize converts the live rows of a batch to []wrow, appending to
+// out. Only pipeline sinks (breaker boundaries) call this.
+func (b *Batch) materialize(a *rowArena, out []wrow) []wrow {
+	if b.sel != nil {
+		for _, lane := range b.sel {
+			out = append(out, gatherRow(a, b.cols, lane, b.weights[lane]))
+		}
+		return out
+	}
+	for i := 0; i < b.n; i++ {
+		out = append(out, gatherRow(a, b.cols, int32(i), b.weights[i]))
+	}
+	return out
+}

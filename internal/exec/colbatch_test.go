@@ -1,0 +1,477 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"quickr/internal/cluster"
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// runColumnar executes a plan on the vectorized columnar executor.
+func runColumnar(t *testing.T, p PNode, batch int) *Result {
+	t.Helper()
+	res, err := RunWithOptions(context.Background(), p, cluster.DefaultConfig(), nil, Options{BatchSize: batch, Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameEstimates asserts two results carry bit-identical group estimates.
+func sameEstimates(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if len(want.Estimates) != len(got.Estimates) {
+		t.Fatalf("%s: %d estimates, want %d", label, len(got.Estimates), len(want.Estimates))
+	}
+	for i := range want.Estimates {
+		w, g := want.Estimates[i], got.Estimates[i]
+		if table.CompareRows(w.Key, g.Key) != 0 || g.SampleRows != w.SampleRows {
+			t.Fatalf("%s: estimate %d key/rows differ: %+v vs %+v", label, i, g, w)
+		}
+		if table.CompareRows(w.Values, g.Values) != 0 {
+			t.Fatalf("%s: estimate %d values differ: %v vs %v", label, i, g.Values, w.Values)
+		}
+		for j := range w.StdErr {
+			if math.Float64bits(w.StdErr[j]) != math.Float64bits(g.StdErr[j]) {
+				t.Fatalf("%s: estimate %d stderr %d differs: %v vs %v", label, i, j, g.StdErr, w.StdErr)
+			}
+		}
+	}
+}
+
+// The acceptance bar of the columnar refactor: for every sampler type
+// and batch size, the vectorized executor's results are bit-identical
+// to the row-materializing oracle (batch < 0, which ignores Columnar).
+func TestColumnarBitIdenticalAcrossModes(t *testing.T) {
+	samplers := map[string]*lplan.SamplerDef{
+		"nosampler": nil,
+		"uniform":   {Type: lplan.SamplerUniform, P: 0.25},
+		"universe":  {Type: lplan.SamplerUniverse, P: 0.25, Cols: []lplan.ColumnID{1}, Seed: 99},
+		"distinct":  {Type: lplan.SamplerDistinct, P: 0.1, Cols: []lplan.ColumnID{1}, Delta: 4},
+		"passthru":  {Type: lplan.SamplerPassThrough},
+	}
+	for name, def := range samplers {
+		t.Run(name, func(t *testing.T) {
+			tbl, _ := buildT("ct_"+name, 8, pipelineRows(4000))
+			base := runBatched(t, chainOf(tbl, def, 7), -1) // row-mode oracle
+			for _, bs := range []int{1, 3, 7, 64, 0, DefaultBatchSize + 1} {
+				got := runColumnar(t, chainOf(tbl, def, 7), bs)
+				sameRows(t, base, got, fmt.Sprintf("columnar batch=%d", bs))
+			}
+		})
+	}
+}
+
+// mixedTable builds a table exercising every vector kind: ints, floats,
+// strings (with repeats, so dictionaries kick in), bools and NULLs.
+func mixedTable(name string, parts, n int) *table.Table {
+	sc := table.NewSchema(
+		table.Column{Name: "i", Kind: table.KindInt},
+		table.Column{Name: "f", Kind: table.KindFloat},
+		table.Column{Name: "s", Kind: table.KindString},
+		table.Column{Name: "b", Kind: table.KindBool},
+		table.Column{Name: "m", Kind: table.KindFloat}, // mixed kinds + nulls
+	)
+	tbl := table.New(name, sc, parts)
+	words := []string{"alpha", "beta", "gamma", "", "delta%x", "epsilon"}
+	for i := 0; i < n; i++ {
+		iv := table.NewInt(int64(i%97 - 40))
+		fv := table.NewFloat(float64(i) / 3)
+		sv := table.NewString(words[i%len(words)])
+		bv := table.NewBool(i%3 == 0)
+		var mv table.Value // cycles through null / int / float / string
+		switch i % 4 {
+		case 1:
+			mv = table.NewInt(int64(i % 13))
+		case 2:
+			mv = table.NewFloat(float64(i%7) / 2)
+		case 3:
+			mv = table.NewString(words[i%3])
+		}
+		if i%11 == 5 {
+			iv = table.Value{} // null int lane
+		}
+		if i%13 == 6 {
+			fv = table.Value{}
+		}
+		if i%17 == 7 {
+			sv = table.Value{}
+		}
+		if i%19 == 8 {
+			bv = table.Value{}
+		}
+		tbl.Append(i, table.Row{iv, fv, sv, bv, mv})
+	}
+	return tbl
+}
+
+// colRefsOf returns one ColRef per scan output column.
+func colRefsOf(scan *PScan) []*lplan.ColRef {
+	refs := make([]*lplan.ColRef, len(scan.OutCols))
+	for i, c := range scan.OutCols {
+		refs[i] = &lplan.ColRef{ID: c.ID, Name: c.Name, Kind: c.Kind}
+	}
+	return refs
+}
+
+// Every kernel class — comparisons, arithmetic, AND/OR, NOT/NEG,
+// IS NULL, IN, LIKE, and the row-at-a-time fallback (CASE) — must agree
+// bit-for-bit with the row-mode closures over mixed-kind, NULL-laden
+// input, both as filter predicates and projected expressions.
+func TestColumnarExpressionKernels(t *testing.T) {
+	tbl := mixedTable("cexpr", 6, 3000)
+	mk := func(pred lplan.Expr, exprs ...lplan.Expr) PNode {
+		scan := scanOf(tbl)
+		r := colRefsOf(scan)
+		// Re-resolve refs against this scan's fresh IDs.
+		reb := func(e lplan.Expr) lplan.Expr { return rebindExpr(e, r) }
+		var node PNode = scan
+		if pred != nil {
+			node = &PFilter{In: node, Pred: reb(pred)}
+		}
+		if len(exprs) > 0 {
+			out := make([]lplan.ColumnInfo, len(exprs))
+			rex := make([]lplan.Expr, len(exprs))
+			for i, e := range exprs {
+				nextID++
+				out[i] = lplan.ColumnInfo{ID: nextID, Name: fmt.Sprintf("e%d", i), Kind: table.KindFloat}
+				rex[i] = reb(e)
+			}
+			node = &PProject{In: node, Exprs: rex, OutCols: out}
+		}
+		return node
+	}
+	// Templates use placeholder ColRefs with IDs 0..4 (rebound per scan).
+	c := func(i int) lplan.Expr { return &lplan.ColRef{ID: lplan.ColumnID(i)} }
+	lit := func(v table.Value) lplan.Expr { return &lplan.Const{Val: v} }
+	cases := []struct {
+		name  string
+		pred  lplan.Expr
+		exprs []lplan.Expr
+	}{
+		{"cmp-int", &lplan.Binary{Op: lplan.OpGt, L: c(0), R: lit(table.NewInt(3))}, nil},
+		{"cmp-float-mix", &lplan.Binary{Op: lplan.OpLe, L: c(1), R: c(0)}, nil},
+		{"cmp-str-const", &lplan.Binary{Op: lplan.OpGe, L: c(2), R: lit(table.NewString("beta"))}, nil},
+		{"cmp-any", &lplan.Binary{Op: lplan.OpEq, L: c(4), R: lit(table.NewInt(5))}, nil},
+		{"ne-str", &lplan.Binary{Op: lplan.OpNe, L: c(2), R: lit(table.NewString("gamma"))}, nil},
+		{"and-or", &lplan.Binary{Op: lplan.OpOr,
+			L: &lplan.Binary{Op: lplan.OpAnd, L: c(3), R: &lplan.Binary{Op: lplan.OpLt, L: c(0), R: lit(table.NewInt(10))}},
+			R: &lplan.Binary{Op: lplan.OpGt, L: c(1), R: lit(table.NewFloat(900))}}, nil},
+		{"not", &lplan.Not{X: c(3)}, nil},
+		{"isnull", &lplan.IsNull{X: c(4)}, nil},
+		{"isnotnull", &lplan.IsNull{X: c(1), Inv: true}, nil},
+		{"in-int", &lplan.In{X: c(0), Vals: []table.Value{table.NewInt(1), table.NewInt(7), table.NewFloat(12)}}, nil},
+		{"in-str-inv", &lplan.In{X: c(2), Vals: []table.Value{table.NewString("alpha"), table.NewString("")}, Inv: true}, nil},
+		{"in-any", &lplan.In{X: c(4), Vals: []table.Value{table.NewInt(3), table.NewString("beta"), table.NewFloat(1.5)}}, nil},
+		{"like", &lplan.Like{X: c(2), Pattern: "%a"}, nil},
+		{"like-esc", &lplan.Like{X: c(2), Pattern: "delta\\%_", Inv: true}, nil},
+		{"arith-int", nil, []lplan.Expr{
+			&lplan.Binary{Op: lplan.OpAdd, L: c(0), R: lit(table.NewInt(2))},
+			&lplan.Binary{Op: lplan.OpMod, L: c(0), R: lit(table.NewInt(5))},
+			&lplan.Binary{Op: lplan.OpMod, L: c(0), R: lit(table.NewInt(0))},
+		}},
+		{"arith-mix", nil, []lplan.Expr{
+			&lplan.Binary{Op: lplan.OpMul, L: c(1), R: c(0)},
+			&lplan.Binary{Op: lplan.OpDiv, L: c(1), R: c(0)},
+			&lplan.Binary{Op: lplan.OpSub, L: c(4), R: lit(table.NewFloat(1))},
+			&lplan.Neg{X: c(0)},
+			&lplan.Neg{X: c(4)},
+		}},
+		{"arith-nonnum", nil, []lplan.Expr{
+			&lplan.Binary{Op: lplan.OpAdd, L: c(2), R: lit(table.NewInt(1))},
+		}},
+		{"fallback-case", &lplan.Case{
+			Whens: []lplan.When{{Cond: &lplan.Binary{Op: lplan.OpGt, L: c(0), R: lit(table.NewInt(0))}, Then: c(3)}},
+			Else:  lit(table.NewBool(false)),
+		}, []lplan.Expr{
+			&lplan.Case{
+				Whens: []lplan.When{{Cond: c(3), Then: c(1)}},
+				Else:  &lplan.Neg{X: c(1)},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runBatched(t, mk(tc.pred, tc.exprs...), -1)
+			got := runColumnar(t, mk(tc.pred, tc.exprs...), 113)
+			sameRows(t, base, got, tc.name)
+		})
+	}
+}
+
+// rebindExpr rewrites placeholder ColRefs (ID < 100 = positional column
+// index) onto the scan's real output IDs.
+func rebindExpr(e lplan.Expr, refs []*lplan.ColRef) lplan.Expr {
+	switch x := e.(type) {
+	case *lplan.ColRef:
+		if int(x.ID) < len(refs) {
+			return refs[x.ID]
+		}
+		return x
+	case *lplan.Binary:
+		return &lplan.Binary{Op: x.Op, L: rebindExpr(x.L, refs), R: rebindExpr(x.R, refs)}
+	case *lplan.Not:
+		return &lplan.Not{X: rebindExpr(x.X, refs)}
+	case *lplan.Neg:
+		return &lplan.Neg{X: rebindExpr(x.X, refs)}
+	case *lplan.IsNull:
+		return &lplan.IsNull{X: rebindExpr(x.X, refs), Inv: x.Inv}
+	case *lplan.In:
+		return &lplan.In{X: rebindExpr(x.X, refs), Vals: x.Vals, Inv: x.Inv}
+	case *lplan.Like:
+		return &lplan.Like{X: rebindExpr(x.X, refs), Pattern: x.Pattern, Inv: x.Inv}
+	case *lplan.Case:
+		out := &lplan.Case{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, lplan.When{Cond: rebindExpr(w.Cond, refs), Then: rebindExpr(w.Then, refs)})
+		}
+		if x.Else != nil {
+			out.Else = rebindExpr(x.Else, refs)
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// Selection-vector extremes: predicates that keep nothing, exactly one
+// row, and everything must all round-trip identically, as must empty
+// tables and partitions (zero-length batches).
+func TestColumnarSelectionExtremes(t *testing.T) {
+	tbl, _ := buildT("csel", 5, pipelineRows(1000))
+	mkPred := func(pred lplan.Expr) PNode {
+		scan := scanOf(tbl)
+		r := colRefsOf(scan)
+		return &PFilter{In: scan, Pred: rebindExpr(pred, r)}
+	}
+	c0 := &lplan.ColRef{ID: 0}
+	c1 := &lplan.ColRef{ID: 1}
+	preds := map[string]lplan.Expr{
+		"none": &lplan.Binary{Op: lplan.OpLt, L: c0, R: &lplan.Const{Val: table.NewInt(-1)}},
+		"one":  &lplan.Binary{Op: lplan.OpEq, L: c1, R: &lplan.Const{Val: table.NewFloat(500)}},
+		"all":  &lplan.Binary{Op: lplan.OpGe, L: c0, R: &lplan.Const{Val: table.NewInt(0)}},
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			base := runBatched(t, mkPred(pred), -1)
+			got := runColumnar(t, mkPred(pred), 64)
+			sameRows(t, base, got, name)
+			switch name {
+			case "none":
+				if len(got.Rows) != 0 {
+					t.Fatalf("kept %d rows", len(got.Rows))
+				}
+			case "one":
+				if len(got.Rows) != 1 {
+					t.Fatalf("kept %d rows, want 1", len(got.Rows))
+				}
+			case "all":
+				if len(got.Rows) != 1000 {
+					t.Fatalf("kept %d rows, want 1000", len(got.Rows))
+				}
+			}
+		})
+	}
+	t.Run("empty-table", func(t *testing.T) {
+		empty, _ := buildT("cempty", 6, nil)
+		def := &lplan.SamplerDef{Type: lplan.SamplerDistinct, P: 0.1, Cols: []lplan.ColumnID{1}, Delta: 2}
+		res := runColumnar(t, chainOf(empty, def, 3), 0)
+		if len(res.Rows) != 0 {
+			t.Fatalf("empty table produced %d rows", len(res.Rows))
+		}
+	})
+	t.Run("sparse-partitions", func(t *testing.T) {
+		sc := table.NewSchema(
+			table.Column{Name: "k", Kind: table.KindInt},
+			table.Column{Name: "v", Kind: table.KindFloat},
+		)
+		sparse := table.New("csparse", sc, 16)
+		for i := 0; i < 400; i++ {
+			sparse.Append(0, table.Row{table.NewInt(int64(i % 11)), table.NewFloat(float64(i))})
+		}
+		base := runBatched(t, chainOf(sparse, nil, 0), -1)
+		got := runColumnar(t, chainOf(sparse, nil, 0), 32)
+		sameRows(t, base, got, "sparse")
+	})
+}
+
+// An all-null column must survive the columnar scan→project→breaker trip.
+func TestColumnarAllNullColumn(t *testing.T) {
+	sc := table.NewSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "n", Kind: table.KindFloat},
+	)
+	tbl := table.New("cnull", sc, 4)
+	for i := 0; i < 500; i++ {
+		tbl.Append(i, table.Row{table.NewInt(int64(i)), table.Value{}})
+	}
+	mk := func() PNode {
+		scan := scanOf(tbl)
+		r := colRefsOf(scan)
+		nextID += 2
+		return &PProject{In: scan, Exprs: []lplan.Expr{
+			r[1],
+			&lplan.Binary{Op: lplan.OpAdd, L: r[1], R: r[0]},
+		}, OutCols: []lplan.ColumnInfo{
+			{ID: nextID - 1, Name: "n2", Kind: table.KindFloat},
+			{ID: nextID, Name: "sum", Kind: table.KindFloat},
+		}}
+	}
+	base := runBatched(t, mk(), -1)
+	got := runColumnar(t, mk(), 64)
+	sameRows(t, base, got, "all-null")
+	if !got.Rows[7][0].IsNull() || !got.Rows[7][1].IsNull() {
+		t.Fatalf("null column not preserved: %v", got.Rows[7])
+	}
+}
+
+// Weights must propagate through chained samplers exactly as in row
+// mode: two stacked uniform samplers compose their 1/p scalings, which
+// the weighted aggregate then surfaces in its estimates.
+func TestColumnarChainedSamplerWeights(t *testing.T) {
+	tbl, _ := buildT("cchain", 4, pipelineRows(8000))
+	mk := func() PNode {
+		scan := scanOf(tbl)
+		k, v := scan.OutCols[0], scan.OutCols[1]
+		s1 := &PSample{In: scan, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5}, Seed: 11}
+		s2 := &PSample{In: s1, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5}, Seed: 12}
+		nextID += 2
+		return &PHashAgg{
+			In:        s2,
+			GroupCols: []lplan.ColumnID{k.ID},
+			GroupInfo: []lplan.ColumnInfo{k},
+			Aggs: []lplan.AggSpec{
+				{Kind: lplan.AggSum, Arg: v.ID, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "s", Kind: table.KindFloat}},
+				{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID, Name: "c", Kind: table.KindInt}},
+			},
+			Top: true,
+		}
+	}
+	base := runBatched(t, mk(), -1)
+	got := runColumnar(t, mk(), 97)
+	sameRows(t, base, got, "chained-samplers")
+	sameEstimates(t, base, got, "chained-samplers")
+	// The composed weight 1/(0.5*0.5)=4 must make COUNT estimate ~8000.
+	var est float64
+	for _, r := range got.Rows {
+		est += float64(r[2].Int())
+	}
+	if est < 4000 || est > 12000 {
+		t.Fatalf("composed weights look wrong: total count estimate %v", est)
+	}
+}
+
+// The fused columnar pre-aggregation must match row mode bit-for-bit,
+// including estimates, for grouped and global aggregates.
+func TestColumnarFusedAggBitIdentical(t *testing.T) {
+	tbl, _ := buildT("cagg", 8, pipelineRows(6000))
+	mk := func(global bool) PNode {
+		scan := scanOf(tbl)
+		k, v := scan.OutCols[0], scan.OutCols[1]
+		smp := &PSample{In: scan, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.25}, Seed: 5}
+		nextID += 2
+		agg := &PHashAgg{
+			In: smp,
+			Aggs: []lplan.AggSpec{
+				{Kind: lplan.AggSum, Arg: v.ID, Out: lplan.ColumnInfo{ID: nextID - 1, Name: "s", Kind: table.KindFloat}},
+				{Kind: lplan.AggCount, Arg: lplan.NoColumn, Out: lplan.ColumnInfo{ID: nextID, Name: "c", Kind: table.KindInt}},
+			},
+			Top: true,
+		}
+		if !global {
+			agg.GroupCols = []lplan.ColumnID{k.ID}
+			agg.GroupInfo = []lplan.ColumnInfo{k}
+		}
+		return agg
+	}
+	for _, global := range []bool{false, true} {
+		name := map[bool]string{false: "grouped", true: "global"}[global]
+		t.Run(name, func(t *testing.T) {
+			base := runBatched(t, mk(global), -1)
+			got := runColumnar(t, mk(global), 73)
+			sameRows(t, base, got, name)
+			sameEstimates(t, base, got, name)
+		})
+	}
+}
+
+// Hammer the fused columnar chain across many partitions repeatedly;
+// under -race this proves the per-partition kernel scratch, selection
+// buffers and metric slots stay disjoint.
+func TestColumnarParallelHammerRaceFree(t *testing.T) {
+	tbl, _ := buildT("crace", 64, pipelineRows(6400))
+	def := &lplan.SamplerDef{Type: lplan.SamplerDistinct, P: 0.2, Cols: []lplan.ColumnID{1}, Delta: 3}
+	var want *Result
+	for round := 0; round < 8; round++ {
+		res := runColumnar(t, chainOf(tbl, def, 11), 17)
+		if want == nil {
+			want = res
+		} else {
+			sameRows(t, want, res, fmt.Sprintf("round=%d", round))
+		}
+	}
+	base := runBatched(t, chainOf(tbl, def, 11), -1)
+	sameRows(t, base, want, "vs row oracle")
+}
+
+// Columnar runs must report kernel telemetry (physical lanes through
+// vectorized kernels); row-mode runs must not, keeping their JSON
+// reports byte-identical to before the columnar executor existed.
+func TestColumnarKernelTelemetry(t *testing.T) {
+	tbl, _ := buildT("ctel", 4, pipelineRows(2000))
+	colRes := runColumnar(t, chainOf(tbl, nil, 0), 100)
+	var colLanes int64
+	for _, op := range colRes.Stats.Ops() {
+		colLanes += op.Total().KernelLanes
+	}
+	if colLanes == 0 {
+		t.Fatal("columnar run reported no kernel lanes")
+	}
+	rowRes := runBatched(t, chainOf(tbl, nil, 0), 100)
+	for _, op := range rowRes.Stats.Ops() {
+		tot := op.Total()
+		if tot.KernelLanes != 0 || tot.FallbackRows != 0 {
+			t.Fatalf("row-mode run leaked kernel telemetry: %+v", tot)
+		}
+	}
+}
+
+// Dictionary builders must survive growth far past their initial
+// capacity: a high-cardinality string column pushed through a columnar
+// project (fallback CASE keeps the builder path busy) stays exact.
+func TestColumnarDictionaryGrowth(t *testing.T) {
+	sc := table.NewSchema(
+		table.Column{Name: "k", Kind: table.KindInt},
+		table.Column{Name: "s", Kind: table.KindString},
+	)
+	tbl := table.New("cdict", sc, 3)
+	for i := 0; i < 4000; i++ {
+		v := table.NewString(fmt.Sprintf("tag-%04d", i%2500)) // > initial dict caps
+		if i%29 == 3 {
+			v = table.Value{}
+		}
+		tbl.Append(i, table.Row{table.NewInt(int64(i)), v})
+	}
+	mk := func() PNode {
+		scan := scanOf(tbl)
+		r := colRefsOf(scan)
+		nextID += 2
+		return &PProject{In: scan, Exprs: []lplan.Expr{
+			&lplan.Case{ // fallback kernel rebuilds the dict lane by lane
+				Whens: []lplan.When{{Cond: &lplan.IsNull{X: r[1], Inv: true}, Then: r[1]}},
+				Else:  &lplan.Const{Val: table.NewString("missing")},
+			},
+			&lplan.Binary{Op: lplan.OpGt, L: r[1], R: &lplan.Const{Val: table.NewString("tag-1000")}},
+		}, OutCols: []lplan.ColumnInfo{
+			{ID: nextID - 1, Name: "s2", Kind: table.KindString},
+			{ID: nextID, Name: "gt", Kind: table.KindBool},
+		}}
+	}
+	base := runBatched(t, mk(), -1)
+	got := runColumnar(t, mk(), 512)
+	sameRows(t, base, got, "dict-growth")
+}

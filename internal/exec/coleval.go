@@ -1,0 +1,835 @@
+package exec
+
+import (
+	"math"
+
+	"quickr/internal/lplan"
+	"quickr/internal/table"
+)
+
+// This file compiles bound expressions to columnar kernels: closures
+// that evaluate one expression over a whole Batch and return a Vector.
+//
+// The contract is bit-identity with eval.go's row closures: for every
+// live lane, the kernel's Value(lane) equals what the corresponding row
+// closure would return for the materialized row. Typed kernels compute
+// densely over all physical lanes (dead lanes may hold garbage, which
+// is fine — they are never read as live results); the row-fallback
+// kernel (Func, Case, and anything without a vector implementation)
+// evaluates only live lanes through the compiled row closure.
+//
+// Kernels are compiled per partition and own their output buffers, so
+// parallel partitions never share mutable state. A kernel's output is
+// valid until its next invocation.
+
+// colKernel evaluates an expression over a batch.
+type colKernel func(b *Batch) Vector
+
+// colScratch is per-partition scratch shared by the fallback kernels:
+// a reusable gather row and the count of rows routed through row-at-a-
+// time evaluation (reported as the op's FallbackRows).
+type colScratch struct {
+	fallbackRows int64
+	rowBuf       table.Row
+	selBuf       []int32
+}
+
+func (sc *colScratch) row(n int) table.Row {
+	if cap(sc.rowBuf) < n {
+		sc.rowBuf = make(table.Row, n)
+	}
+	return sc.rowBuf[:n]
+}
+
+func (sc *colScratch) takeFallback() int64 {
+	v := sc.fallbackRows
+	sc.fallbackRows = 0
+	return v
+}
+
+func growInts(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+// growBits returns a zeroed null bitmap covering n lanes.
+func growBits(buf []uint64, n int) []uint64 {
+	w := (n + 63) / 64
+	if cap(buf) < w {
+		return make([]uint64, w)
+	}
+	buf = buf[:w]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func setBit(bits []uint64, i int) { bits[i>>6] |= 1 << (uint(i) & 63) }
+
+func btoi(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func isNumericVK(k VecKind) bool { return k == VKInt || k == VKFloat }
+
+// allNull returns an n-lane all-NULL vector.
+func allNull(n int) Vector { return Vector{K: VKNull, N: n} }
+
+// compileColKernel compiles e into a columnar kernel over the column
+// layout described by cm. Expressions without a vector implementation
+// compile to a row-fallback kernel; an error is only possible when a
+// referenced column is missing (the same condition compileExpr reports).
+func compileColKernel(e lplan.Expr, cm colMap, sc *colScratch) (colKernel, error) {
+	switch x := e.(type) {
+	case *lplan.ColRef:
+		i, ok := cm[x.ID]
+		if !ok {
+			return nil, errColKernel(e, cm, sc)
+		}
+		return func(b *Batch) Vector { return b.cols[i] }, nil
+	case *lplan.Const:
+		return constKernel(x.Val), nil
+	case *lplan.Binary:
+		l, err := compileColKernel(x.L, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileColKernel(x.R, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case lplan.OpAnd:
+			return andKernel(l, r), nil
+		case lplan.OpOr:
+			return orKernel(l, r), nil
+		case lplan.OpAdd, lplan.OpSub, lplan.OpMul, lplan.OpDiv, lplan.OpMod:
+			return arithKernel(x.Op, l, r), nil
+		default:
+			return cmpKernel(x.Op, l, r), nil
+		}
+	case *lplan.Not:
+		in, err := compileColKernel(x.X, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		return notKernel(in), nil
+	case *lplan.Neg:
+		in, err := compileColKernel(x.X, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		return negKernel(in), nil
+	case *lplan.IsNull:
+		in, err := compileColKernel(x.X, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		return isNullKernel(in, x.Inv), nil
+	case *lplan.In:
+		in, err := compileColKernel(x.X, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		return inKernel(in, x.Vals, x.Inv), nil
+	case *lplan.Like:
+		in, err := compileColKernel(x.X, cm, sc)
+		if err != nil {
+			return nil, err
+		}
+		return likeKernel(in, x.Pattern, x.Inv), nil
+	}
+	// Func, Case, anything new: row-at-a-time fallback.
+	return fallbackKernel(e, cm, sc)
+}
+
+// errColKernel surfaces the row compiler's error message for a missing
+// column.
+func errColKernel(e lplan.Expr, cm colMap, sc *colScratch) error {
+	_, err := compileExpr(e, cm)
+	return err
+}
+
+// fallbackKernel evaluates e through the compiled row closure, one live
+// lane at a time, gathering a scratch row per lane. Dead lanes come out
+// NULL.
+func fallbackKernel(e lplan.Expr, cm colMap, sc *colScratch) (colKernel, error) {
+	f, err := compileExpr(e, cm)
+	if err != nil {
+		return nil, err
+	}
+	var bld vecBuilder
+	return func(b *Batch) Vector {
+		row := sc.row(len(b.cols))
+		bld.reset()
+		si, sel := 0, b.sel
+		for i := 0; i < b.n; i++ {
+			live := sel == nil || (si < len(sel) && int(sel[si]) == i)
+			if !live {
+				bld.appendNull()
+				continue
+			}
+			if sel != nil {
+				si++
+			}
+			for c := range b.cols {
+				row[c] = b.cols[c].Value(i)
+			}
+			bld.append(f(row))
+			sc.fallbackRows++
+		}
+		return bld.build()
+	}, nil
+}
+
+// constKernel materializes a constant as an n-lane vector, refilled
+// only when the batch grows past the cached width.
+func constKernel(v table.Value) colKernel {
+	var ints []int64
+	var floats []float64
+	return func(b *Batch) Vector {
+		n := b.n
+		switch v.Kind() {
+		case table.KindNull:
+			return allNull(n)
+		case table.KindFloat:
+			if len(floats) < n {
+				floats = growFloats(floats, n)
+				for i := range floats {
+					floats[i] = v.Float()
+				}
+			}
+			return Vector{K: VKFloat, N: n, Floats: floats[:n], constVal: true}
+		case table.KindString:
+			if len(ints) < n {
+				ints = growInts(ints, n) // codes all 0
+				for i := range ints {
+					ints[i] = 0
+				}
+			}
+			return Vector{K: VKStr, N: n, Ints: ints[:n], Dict: []string{v.Str()}, constVal: true}
+		default: // int, bool
+			k := VKInt
+			if v.Kind() == table.KindBool {
+				k = VKBool
+			}
+			if len(ints) < n {
+				ints = growInts(ints, n)
+				for i := range ints {
+					ints[i] = v.Int()
+				}
+			}
+			return Vector{K: k, N: n, Ints: ints[:n], constVal: true}
+		}
+	}
+}
+
+// andKernel / orKernel: boolean combination. For VKBool inputs NULL
+// lanes carry payload 0, which makes the row semantics (NULL acts as
+// false on either side) a plain payload test.
+func andKernel(l, r colKernel) colKernel {
+	var out []int64
+	return func(b *Batch) Vector {
+		lv, rv := l(b), r(b)
+		n := b.n
+		out = growInts(out, n)
+		if lv.K == VKBool && rv.K == VKBool {
+			for i := 0; i < n; i++ {
+				out[i] = btoi(lv.Ints[i] != 0 && rv.Ints[i] != 0)
+			}
+			return Vector{K: VKBool, N: n, Ints: out[:n]}
+		}
+		for i := 0; i < n; i++ {
+			out[i] = btoi(rowAnd(lv.Value(i), rv.Value(i)))
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+func orKernel(l, r colKernel) colKernel {
+	var out []int64
+	return func(b *Batch) Vector {
+		lv, rv := l(b), r(b)
+		n := b.n
+		out = growInts(out, n)
+		if lv.K == VKBool && rv.K == VKBool {
+			for i := 0; i < n; i++ {
+				out[i] = btoi(lv.Ints[i] != 0 || rv.Ints[i] != 0)
+			}
+			return Vector{K: VKBool, N: n, Ints: out[:n]}
+		}
+		for i := 0; i < n; i++ {
+			out[i] = btoi(rowOr(lv.Value(i), rv.Value(i)))
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+// rowAnd / rowOr replicate the eval.go closures exactly.
+func rowAnd(lv, rv table.Value) bool {
+	if lv.Kind() == table.KindBool && !lv.Bool() {
+		return false
+	}
+	if rv.Kind() == table.KindBool && !rv.Bool() {
+		return false
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return false
+	}
+	return lv.Bool() && rv.Bool()
+}
+
+func rowOr(lv, rv table.Value) bool {
+	if lv.Kind() == table.KindBool && lv.Bool() {
+		return true
+	}
+	return rv.Kind() == table.KindBool && rv.Bool()
+}
+
+// arithKernel vectorizes +,-,*,/,% with the exact table.Add/Sub/Mul/
+// Div/Mod semantics: int⊕int stays int except /, NULL or non-numeric
+// operands yield NULL, division (or modulo) by zero yields NULL.
+func arithKernel(op lplan.BinOp, l, r colKernel) colKernel {
+	var ints []int64
+	var floats []float64
+	var nulls []uint64
+	var bld vecBuilder
+	return func(b *Batch) Vector {
+		lv, rv := l(b), r(b)
+		n := b.n
+		switch {
+		case lv.K == VKAny || rv.K == VKAny:
+			bld.reset()
+			for i := 0; i < n; i++ {
+				bld.append(rowArith(op, lv.Value(i), rv.Value(i)))
+			}
+			return bld.build()
+		case op == lplan.OpMod:
+			if lv.K != VKInt || rv.K != VKInt {
+				return allNull(n)
+			}
+			ints = growInts(ints, n)
+			nulls = growBits(nulls, n)
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) || rv.Ints[i] == 0 {
+					setBit(nulls, i)
+					ints[i] = 0
+					continue
+				}
+				ints[i] = lv.Ints[i] % rv.Ints[i]
+			}
+			return Vector{K: VKInt, N: n, Ints: ints[:n], nulls: nulls}
+		case lv.K == VKInt && rv.K == VKInt && op != lplan.OpDiv:
+			ints = growInts(ints, n)
+			nulls = growBits(nulls, n)
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			li, ri := lv.Ints, rv.Ints
+			switch op {
+			case lplan.OpAdd:
+				for i := 0; i < n; i++ {
+					ints[i] = li[i] + ri[i]
+				}
+			case lplan.OpSub:
+				for i := 0; i < n; i++ {
+					ints[i] = li[i] - ri[i]
+				}
+			case lplan.OpMul:
+				for i := 0; i < n; i++ {
+					ints[i] = li[i] * ri[i]
+				}
+			}
+			if lnul || rnul {
+				for i := 0; i < n; i++ {
+					if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+						setBit(nulls, i)
+					}
+				}
+			}
+			return Vector{K: VKInt, N: n, Ints: ints[:n], nulls: nulls}
+		case isNumericVK(lv.K) && isNumericVK(rv.K):
+			floats = growFloats(floats, n)
+			nulls = growBits(nulls, n)
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+					setBit(nulls, i)
+					floats[i] = 0
+					continue
+				}
+				a, c := lv.laneFloat(i), rv.laneFloat(i)
+				switch op {
+				case lplan.OpAdd:
+					floats[i] = a + c
+				case lplan.OpSub:
+					floats[i] = a - c
+				case lplan.OpMul:
+					floats[i] = a * c
+				case lplan.OpDiv:
+					if c == 0 {
+						setBit(nulls, i)
+						floats[i] = 0
+						continue
+					}
+					floats[i] = a / c
+				}
+			}
+			return Vector{K: VKFloat, N: n, Floats: floats[:n], nulls: nulls}
+		default:
+			// A non-numeric side: every lane is NULL.
+			return allNull(n)
+		}
+	}
+}
+
+func rowArith(op lplan.BinOp, lv, rv table.Value) table.Value {
+	switch op {
+	case lplan.OpAdd:
+		return table.Add(lv, rv)
+	case lplan.OpSub:
+		return table.Sub(lv, rv)
+	case lplan.OpMul:
+		return table.Mul(lv, rv)
+	case lplan.OpDiv:
+		return table.Div(lv, rv)
+	case lplan.OpMod:
+		return table.Mod(lv, rv)
+	}
+	return table.Null
+}
+
+// cmpKernel vectorizes the six comparisons. NULL operands compare
+// false (never NULL), matching the row closure, so the output is a
+// bitmap-free VKBool vector.
+func cmpKernel(op lplan.BinOp, l, r colKernel) colKernel {
+	var out []int64
+	var dictRes []bool
+	return func(b *Batch) Vector {
+		lv, rv := l(b), r(b)
+		n := b.n
+		out = growInts(out, n)
+		switch {
+		case lv.K == VKInt && rv.K == VKInt:
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			li, ri := lv.Ints, rv.Ints
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(cmpInt(op, li[i], ri[i]))
+			}
+		case isNumericVK(lv.K) && isNumericVK(rv.K):
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(cmpFloat(op, lv.laneFloat(i), rv.laneFloat(i)))
+			}
+		case lv.K == VKStr && rv.K == VKStr && rv.constVal:
+			// Compare each dictionary entry against the constant once,
+			// then map codes through the result table.
+			rs := rv.Dict[0]
+			dictRes = growBools(dictRes, len(lv.Dict))
+			for code, s := range lv.Dict {
+				dictRes[code] = cmpStr(op, s, rs)
+			}
+			lnul := lv.hasNulls()
+			for i := 0; i < n; i++ {
+				if lnul && lv.IsNull(i) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(dictRes[lv.Ints[i]])
+			}
+		case lv.K == VKStr && rv.K == VKStr:
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(cmpStr(op, lv.Dict[lv.Ints[i]], rv.Dict[rv.Ints[i]]))
+			}
+		case lv.K == VKBool && rv.K == VKBool:
+			lnul, rnul := lv.hasNulls(), rv.hasNulls()
+			for i := 0; i < n; i++ {
+				if (lnul && lv.IsNull(i)) || (rnul && rv.IsNull(i)) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(cmpInt(op, lv.Ints[i], rv.Ints[i]))
+			}
+		default:
+			for i := 0; i < n; i++ {
+				out[i] = btoi(cmpRow(op, lv.Value(i), rv.Value(i)))
+			}
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+func cmpInt(op lplan.BinOp, a, b int64) bool {
+	switch op {
+	case lplan.OpEq:
+		return a == b
+	case lplan.OpNe:
+		return a != b
+	case lplan.OpLt:
+		return a < b
+	case lplan.OpLe:
+		return a <= b
+	case lplan.OpGt:
+		return a > b
+	case lplan.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// cmpFloat matches Value.Compare/Equal over floats, including NaN:
+// Compare reports 0 for NaN vs anything, so Le/Ge hold and Lt/Gt/Eq do
+// not.
+func cmpFloat(op lplan.BinOp, a, b float64) bool {
+	switch op {
+	case lplan.OpEq:
+		return a == b
+	case lplan.OpNe:
+		return a != b
+	case lplan.OpLt:
+		return a < b
+	case lplan.OpLe:
+		return !(a > b)
+	case lplan.OpGt:
+		return a > b
+	case lplan.OpGe:
+		return !(a < b)
+	}
+	return false
+}
+
+func cmpStr(op lplan.BinOp, a, b string) bool {
+	switch op {
+	case lplan.OpEq:
+		return a == b
+	case lplan.OpNe:
+		return a != b
+	case lplan.OpLt:
+		return a < b
+	case lplan.OpLe:
+		return a <= b
+	case lplan.OpGt:
+		return a > b
+	case lplan.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// cmpRow replicates the eval.go comparison closure for arbitrary lanes.
+func cmpRow(op lplan.BinOp, lv, rv table.Value) bool {
+	if lv.IsNull() || rv.IsNull() {
+		return false
+	}
+	c := lv.Compare(rv)
+	switch op {
+	case lplan.OpEq:
+		return lv.Equal(rv)
+	case lplan.OpNe:
+		return !lv.Equal(rv)
+	case lplan.OpLt:
+		return c < 0
+	case lplan.OpLe:
+		return c <= 0
+	case lplan.OpGt:
+		return c > 0
+	case lplan.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+func notKernel(in colKernel) colKernel {
+	var out []int64
+	return func(b *Batch) Vector {
+		v := in(b)
+		n := b.n
+		out = growInts(out, n)
+		if v.K == VKBool {
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				out[i] = btoi(!(nul && v.IsNull(i)) && v.Ints[i] == 0)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				lv := v.Value(i)
+				out[i] = btoi(lv.Kind() == table.KindBool && !lv.Bool())
+			}
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+func negKernel(in colKernel) colKernel {
+	var ints []int64
+	var floats []float64
+	var nulls []uint64
+	var bld vecBuilder
+	return func(b *Batch) Vector {
+		v := in(b)
+		n := b.n
+		switch v.K {
+		case VKInt:
+			ints = growInts(ints, n)
+			nulls = growBits(nulls, n)
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					setBit(nulls, i)
+					ints[i] = 0
+					continue
+				}
+				ints[i] = -v.Ints[i]
+			}
+			return Vector{K: VKInt, N: n, Ints: ints[:n], nulls: nulls}
+		case VKFloat:
+			floats = growFloats(floats, n)
+			nulls = growBits(nulls, n)
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					setBit(nulls, i)
+					floats[i] = 0
+					continue
+				}
+				floats[i] = -v.Floats[i]
+			}
+			return Vector{K: VKFloat, N: n, Floats: floats[:n], nulls: nulls}
+		case VKAny:
+			bld.reset()
+			for i := 0; i < n; i++ {
+				lv := v.Vals[i]
+				switch lv.Kind() {
+				case table.KindInt:
+					bld.append(table.NewInt(-lv.Int()))
+				case table.KindFloat:
+					bld.append(table.NewFloat(-lv.Float()))
+				default:
+					bld.appendNull()
+				}
+			}
+			return bld.build()
+		default:
+			// Strings, bools, all-NULL: NULL everywhere.
+			return allNull(n)
+		}
+	}
+}
+
+func isNullKernel(in colKernel, inv bool) colKernel {
+	var out []int64
+	return func(b *Batch) Vector {
+		v := in(b)
+		n := b.n
+		out = growInts(out, n)
+		if !v.hasNulls() {
+			fill := btoi(inv) // non-NULL lane: IsNull()==false, false != inv == inv
+			for i := 0; i < n; i++ {
+				out[i] = fill
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				out[i] = btoi(v.IsNull(i) != inv)
+			}
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+// inSets canonicalizes an IN list exactly like Value.Key(): integers
+// and integral floats below 1e18 share the int set, remaining floats
+// match by IEEE bits, strings by content, booleans by truth value.
+type inSets struct {
+	key   map[string]bool // row-identical Key() set, for VKAny lanes
+	ints  map[int64]bool
+	bits  map[uint64]bool
+	boolv [2]bool
+	strs  map[string]bool
+}
+
+func buildInSets(vals []table.Value) *inSets {
+	s := &inSets{
+		key:  make(map[string]bool, len(vals)),
+		ints: make(map[int64]bool),
+		bits: make(map[uint64]bool),
+		strs: make(map[string]bool),
+	}
+	for _, v := range vals {
+		s.key[v.Key()] = true
+		switch v.Kind() {
+		case table.KindInt:
+			s.ints[v.Int()] = true
+		case table.KindFloat:
+			f := v.Float()
+			if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e18 {
+				s.ints[int64(f)] = true
+			} else {
+				s.bits[math.Float64bits(f)] = true
+			}
+		case table.KindString:
+			s.strs[v.Str()] = true
+		case table.KindBool:
+			s.boolv[v.Int()&1] = true
+		}
+	}
+	return s
+}
+
+func (s *inSets) hasFloat(f float64) bool {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e18 {
+		return s.ints[int64(f)]
+	}
+	return s.bits[math.Float64bits(f)]
+}
+
+func inKernel(in colKernel, vals []table.Value, inv bool) colKernel {
+	sets := buildInSets(vals)
+	var out []int64
+	var dictRes []bool
+	return func(b *Batch) Vector {
+		v := in(b)
+		n := b.n
+		out = growInts(out, n)
+		switch v.K {
+		case VKNull:
+			for i := 0; i < n; i++ {
+				out[i] = 0
+			}
+		case VKInt:
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(sets.ints[v.Ints[i]] != inv)
+			}
+		case VKFloat:
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(sets.hasFloat(v.Floats[i]) != inv)
+			}
+		case VKStr:
+			dictRes = growBools(dictRes, len(v.Dict))
+			for code, s := range v.Dict {
+				dictRes[code] = sets.strs[s] != inv
+			}
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(dictRes[v.Ints[i]])
+			}
+		case VKBool:
+			nul := v.hasNulls()
+			for i := 0; i < n; i++ {
+				if nul && v.IsNull(i) {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(sets.boolv[v.Ints[i]&1] != inv)
+			}
+		default: // VKAny: exact row path, set[v.Key()]
+			for i := 0; i < n; i++ {
+				lv := v.Vals[i]
+				if lv.IsNull() {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(sets.key[lv.Key()] != inv)
+			}
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}
+
+func likeKernel(in colKernel, pattern string, inv bool) colKernel {
+	match := compileLike(pattern)
+	var out []int64
+	var dictRes []bool
+	return func(b *Batch) Vector {
+		v := in(b)
+		n := b.n
+		out = growInts(out, n)
+		switch v.K {
+		case VKStr:
+			if len(v.Dict) <= n {
+				// Match each dictionary entry once, map codes through.
+				dictRes = growBools(dictRes, len(v.Dict))
+				for code, s := range v.Dict {
+					dictRes[code] = match(s) != inv
+				}
+				nul := v.hasNulls()
+				for i := 0; i < n; i++ {
+					if nul && v.IsNull(i) {
+						out[i] = 0
+						continue
+					}
+					out[i] = btoi(dictRes[v.Ints[i]])
+				}
+			} else {
+				nul := v.hasNulls()
+				for i := 0; i < n; i++ {
+					if nul && v.IsNull(i) {
+						out[i] = 0
+						continue
+					}
+					out[i] = btoi(match(v.Dict[v.Ints[i]]) != inv)
+				}
+			}
+		case VKAny:
+			for i := 0; i < n; i++ {
+				lv := v.Vals[i]
+				if lv.Kind() != table.KindString {
+					out[i] = 0
+					continue
+				}
+				out[i] = btoi(match(lv.Str()) != inv)
+			}
+		default:
+			// Non-string input: row semantics yield false everywhere.
+			for i := 0; i < n; i++ {
+				out[i] = 0
+			}
+		}
+		return Vector{K: VKBool, N: n, Ints: out[:n]}
+	}
+}

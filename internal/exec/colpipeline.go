@@ -1,0 +1,716 @@
+package exec
+
+import (
+	"time"
+
+	"quickr/internal/cluster"
+	"quickr/internal/metrics"
+	"quickr/internal/sampler"
+	"quickr/internal/table"
+)
+
+// This file is the vectorized twin of pipeline.go: with Options.Columnar
+// the scan→filter→project→sample chains between pipeline breakers run
+// column-at-a-time over exec.Batch instead of row-at-a-time over []wrow.
+// Predicates evaluate as per-column kernels and thin the selection
+// vector, samplers thin it further and scale the weight column, and rows
+// only materialize at the sink (the breaker boundary).
+//
+// Everything observable is bit-identical to row mode: the live rows of
+// every batch correspond one-to-one with the rows the row-at-a-time
+// pipeline carries, sampler decision sequences are unchanged (same rng
+// draws, same hash inputs, in the same order), and stage/metric
+// accounting charges the same stages the same amounts. Running with
+// BatchSize<0 disables columnar execution entirely — that mode is the
+// row-materializing oracle the CI two-mode gate diffs against.
+
+// colOperator is the columnar pipeline operator: an empty batch
+// (Len()==0) means the partition is exhausted. Batches may alias
+// operator-owned buffers and are valid until the next Next call.
+type colOperator interface {
+	Next() (Batch, error)
+}
+
+// colScanSource streams one stored partition's columnar mirror,
+// windowing each column zero-copy and extracting apriori sample weights
+// per batch. Accounting matches scanSource exactly.
+type colScanSource struct {
+	p    *PScan
+	cp   *table.ColPartition
+	size int
+	pos  int
+
+	st   *cluster.Stage
+	task int
+	slot *metrics.Slot
+	raw  *float64
+
+	weights []float64
+	cols    []Vector
+	wins    []Vector
+}
+
+func (s *colScanSource) Next() (Batch, error) {
+	remain := s.cp.NumRows - s.pos
+	if remain <= 0 {
+		return Batch{}, nil
+	}
+	n := s.size
+	if n > remain {
+		n = remain
+	}
+	t0 := time.Now()
+	// Window every stored column once: raw bytes account the full
+	// stored width, the batch carries only the pruned columns.
+	s.wins = s.wins[:0]
+	var rawBytes float64
+	for c := range s.cp.Cols {
+		w := window(&s.cp.Cols[c], s.pos, n)
+		rawBytes += w.bytesAll()
+		s.wins = append(s.wins, w)
+	}
+	s.cols = s.cols[:0]
+	if prune := len(s.p.ColIdx) > 0; prune {
+		for _, ci := range s.p.ColIdx {
+			s.cols = append(s.cols, s.wins[ci])
+		}
+	} else {
+		s.cols = append(s.cols, s.wins...)
+	}
+	if cap(s.weights) < n {
+		s.weights = make([]float64, n)
+	}
+	s.weights = s.weights[:n]
+	if s.p.WeightIdx >= 0 && s.p.WeightIdx < len(s.wins) {
+		wv := &s.wins[s.p.WeightIdx]
+		for i := 0; i < n; i++ {
+			w := wv.laneFloat(i)
+			if w <= 0 {
+				w = 1
+			}
+			s.weights[i] = w
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s.weights[i] = 1
+		}
+	}
+	outBytes := 8 * float64(n)
+	for c := range s.cols {
+		outBytes += s.cols[c].bytesAll()
+	}
+	s.pos += n
+	s.st.AddInput(s.task, int64(n), rawBytes)
+	s.st.AddCPU(s.task, float64(n))
+	s.slot.RowsIn += int64(n)
+	s.slot.RowsOut += int64(n)
+	s.slot.BytesIn += rawBytes
+	s.slot.BytesOut += rawBytes
+	s.slot.NoteBatch(outBytes)
+	s.slot.KernelLanes += int64(n)
+	*s.raw += rawBytes
+	s.slot.WallNanos += int64(time.Since(t0))
+	return Batch{cols: s.cols, n: n, weights: s.weights, bytes: outBytes}, nil
+}
+
+// batchBuilder re-batches materialized weighted rows into columnar form
+// (breaker outputs entering a columnar chain, and distinct-sampler
+// emissions). Buffers are reused across batches.
+type batchBuilder struct {
+	blds    []vecBuilder
+	weights []float64
+	cols    []Vector
+}
+
+// fromRows builds a dense batch from rows; bytes is the precomputed
+// row-mode batch size (sum of cached wrow sizes).
+func (bb *batchBuilder) fromRows(rows []wrow, bytes float64) Batch {
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0].row)
+	}
+	for len(bb.blds) < width {
+		bb.blds = append(bb.blds, vecBuilder{})
+	}
+	for c := 0; c < width; c++ {
+		bb.blds[c].reset()
+	}
+	bb.weights = bb.weights[:0]
+	for _, wr := range rows {
+		for c := 0; c < width; c++ {
+			bb.blds[c].append(wr.row[c])
+		}
+		bb.weights = append(bb.weights, wr.w)
+	}
+	bb.cols = bb.cols[:0]
+	for c := 0; c < width; c++ {
+		bb.cols = append(bb.cols, bb.blds[c].build())
+	}
+	return Batch{cols: bb.cols, n: len(rows), weights: bb.weights, bytes: bytes}
+}
+
+// colRowSource streams an already-materialized partition (a breaker's
+// output) in columnar batches.
+type colRowSource struct {
+	rows []wrow
+	size int
+	pos  int
+	bb   batchBuilder
+}
+
+func (s *colRowSource) Next() (Batch, error) {
+	remain := len(s.rows) - s.pos
+	if remain <= 0 {
+		return Batch{}, nil
+	}
+	n := s.size
+	if n > remain {
+		n = remain
+	}
+	rows := s.rows[s.pos : s.pos+n]
+	s.pos += n
+	return s.bb.fromRows(rows, rowsBytes(rows)), nil
+}
+
+// colFilterOp evaluates the predicate kernel and keeps the truthy lanes
+// in the selection, pulling more input until it has survivors.
+type colFilterOp struct {
+	child colOperator
+	kern  colKernel
+	sc    *colScratch
+	st    *cluster.Stage
+	task  int
+	slot  *metrics.Slot
+	sel   []int32
+}
+
+func (f *colFilterOp) Next() (Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b.Len() == 0 {
+			return Batch{}, err
+		}
+		t0 := time.Now()
+		v := f.kern(&b)
+		liveIn := b.Len()
+		f.sel = f.sel[:0]
+		switch v.K {
+		case VKBool:
+			// NULL lanes carry payload 0, so truthiness is the payload.
+			if b.sel != nil {
+				for _, i := range b.sel {
+					if v.Ints[i] != 0 {
+						f.sel = append(f.sel, i)
+					}
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					if v.Ints[i] != 0 {
+						f.sel = append(f.sel, int32(i))
+					}
+				}
+			}
+		case VKAny:
+			if b.sel != nil {
+				for _, i := range b.sel {
+					if truthy(v.Vals[i]) {
+						f.sel = append(f.sel, i)
+					}
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					if truthy(v.Vals[i]) {
+						f.sel = append(f.sel, int32(i))
+					}
+				}
+			}
+		default:
+			// Non-boolean predicate result: nothing passes.
+		}
+		f.st.AddCPU(f.task, float64(liveIn))
+		f.slot.RowsIn += int64(liveIn)
+		f.slot.RowsOut += int64(len(f.sel))
+		f.slot.KernelLanes += int64(b.n)
+		f.slot.FallbackRows += f.sc.takeFallback()
+		f.slot.WallNanos += int64(time.Since(t0))
+		if len(f.sel) > 0 {
+			bytes := liveBytes(b.cols, f.sel)
+			f.slot.NoteBatch(bytes)
+			return Batch{cols: b.cols, n: b.n, sel: f.sel, weights: b.weights, bytes: bytes}, nil
+		}
+	}
+}
+
+// colProjectOp evaluates one kernel per output expression; the batch
+// keeps its selection and weights, only the columns change.
+type colProjectOp struct {
+	child colOperator
+	kerns []colKernel
+	cost  float64
+	sc    *colScratch
+	st    *cluster.Stage
+	task  int
+	slot  *metrics.Slot
+	cols  []Vector
+}
+
+func (p *colProjectOp) Next() (Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b.Len() == 0 {
+		return Batch{}, err
+	}
+	t0 := time.Now()
+	p.cols = p.cols[:0]
+	for _, k := range p.kerns {
+		p.cols = append(p.cols, k(&b))
+	}
+	live := b.Len()
+	var bytes float64
+	if b.sel != nil {
+		bytes = liveBytes(p.cols, b.sel)
+	} else {
+		bytes = 8 * float64(b.n)
+		for c := range p.cols {
+			bytes += p.cols[c].bytesAll()
+		}
+	}
+	p.st.AddCPU(p.task, p.cost*float64(live))
+	p.slot.RowsIn += int64(live)
+	p.slot.RowsOut += int64(live)
+	p.slot.KernelLanes += int64(b.n)
+	p.slot.FallbackRows += p.sc.takeFallback()
+	p.slot.NoteBatch(bytes)
+	p.slot.WallNanos += int64(time.Since(t0))
+	return Batch{cols: p.cols, n: b.n, sel: b.sel, weights: b.weights, bytes: bytes}, nil
+}
+
+// colPassOp forwards batches untouched, counting them like passOp.
+type colPassOp struct {
+	child colOperator
+	slot  *metrics.Slot
+}
+
+func (p *colPassOp) Next() (Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b.Len() == 0 {
+		return b, err
+	}
+	live := b.Len()
+	p.slot.RowsIn += int64(live)
+	p.slot.RowsOut += int64(live)
+	p.slot.NoteBatch(b.bytes)
+	return b, nil
+}
+
+// colSampleOp runs a real sampler columnar-style. Uniform and universe
+// samplers thin the selection in place and scale the weight column
+// (sampler.AdmitBatch); the distinct sampler needs materialized rows
+// for its sketch, reservoirs and stratum keys, so it gathers each live
+// lane through a scratch row, admits it, and re-batches its (much
+// smaller) output stream.
+type colSampleOp struct {
+	child  colOperator
+	sm     sampler.Sampler
+	unif   *sampler.Uniform
+	uni    *sampler.Universe
+	dist   *sampler.Distinct
+	colIdx []int
+
+	st   *cluster.Stage
+	task int
+	slot *metrics.Slot
+	sc   *colScratch
+
+	selBuf []int32
+	valBuf []table.Value
+	out    []wrow
+	bb     batchBuilder
+	done   bool
+}
+
+func (s *colSampleOp) Next() (Batch, error) {
+	if s.done {
+		return Batch{}, nil
+	}
+	for {
+		b, err := s.child.Next()
+		if err != nil {
+			return Batch{}, err
+		}
+		t0 := time.Now()
+		if b.Len() == 0 {
+			// End of partition: the reservoir flush is the final batch.
+			s.done = true
+			out := s.out[:0]
+			var bytes float64
+			for _, fl := range s.sm.Flush() {
+				wr := newWRow(fl.Row, fl.W)
+				bytes += wr.sz
+				out = append(out, wr)
+			}
+			s.slot.RowsOut += int64(len(out))
+			s.slot.SamplerPassed += int64(len(out))
+			if s.dist != nil {
+				s.slot.SketchEntries += int64(s.dist.MemoryFootprint())
+			}
+			if len(out) > 0 {
+				s.slot.NoteBatch(bytes)
+			}
+			s.slot.WallNanos += int64(time.Since(t0))
+			s.out = out
+			if len(out) == 0 {
+				return Batch{}, nil
+			}
+			return s.bb.fromRows(out, bytes), nil
+		}
+		liveIn := b.Len()
+		switch {
+		case s.unif != nil:
+			sel := b.liveSel(s.selBuf)
+			if b.sel == nil {
+				s.selBuf = sel
+			}
+			newSel := s.unif.AdmitBatch(sel, b.weights)
+			s.noteThin(liveIn, newSel, t0)
+			if len(newSel) > 0 {
+				bytes := liveBytes(b.cols, newSel)
+				s.slot.NoteBatch(bytes)
+				return Batch{cols: b.cols, n: b.n, sel: newSel, weights: b.weights, bytes: bytes}, nil
+			}
+		case s.uni != nil:
+			sel := b.liveSel(s.selBuf)
+			if b.sel == nil {
+				s.selBuf = sel
+			}
+			if cap(s.valBuf) < len(s.colIdx) {
+				s.valBuf = make([]table.Value, len(s.colIdx))
+			}
+			vals := s.valBuf[:len(s.colIdx)]
+			seed := s.uni.Seed
+			hash := func(lane int32) uint64 {
+				for j, ci := range s.colIdx {
+					vals[j] = b.cols[ci].Value(int(lane))
+				}
+				return sampler.HashValues(vals, seed)
+			}
+			newSel := s.uni.AdmitBatch(sel, b.weights, hash)
+			s.noteThin(liveIn, newSel, t0)
+			if len(newSel) > 0 {
+				bytes := liveBytes(b.cols, newSel)
+				s.slot.NoteBatch(bytes)
+				return Batch{cols: b.cols, n: b.n, sel: newSel, weights: b.weights, bytes: bytes}, nil
+			}
+		default: // distinct
+			out := s.out[:0]
+			var bytes float64
+			row := s.sc.row(len(b.cols))
+			admit := func(lane int32) {
+				for c := range b.cols {
+					row[c] = b.cols[c].Value(int(lane))
+				}
+				if pass, w := s.sm.Admit(row, b.weights[lane]); pass {
+					wr := newWRow(row.Clone(), w)
+					bytes += wr.sz
+					out = append(out, wr)
+				}
+				for _, fl := range s.dist.TakePending() {
+					wr := newWRow(fl.Row, fl.W)
+					bytes += wr.sz
+					out = append(out, wr)
+				}
+			}
+			if b.sel != nil {
+				for _, lane := range b.sel {
+					admit(lane)
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					admit(int32(i))
+				}
+			}
+			s.st.AddCPU(s.task, s.sm.CostPerRow()*float64(liveIn))
+			s.slot.RowsIn += int64(liveIn)
+			s.slot.RowsOut += int64(len(out))
+			s.slot.SamplerSeen += int64(liveIn)
+			s.slot.SamplerPassed += int64(len(out))
+			s.slot.KernelLanes += int64(liveIn)
+			s.slot.WallNanos += int64(time.Since(t0))
+			s.out = out
+			if len(out) > 0 {
+				s.slot.NoteBatch(bytes)
+				return s.bb.fromRows(out, bytes), nil
+			}
+		}
+	}
+}
+
+// noteThin records the per-batch accounting shared by the selection-
+// thinning samplers.
+func (s *colSampleOp) noteThin(liveIn int, newSel []int32, t0 time.Time) {
+	s.st.AddCPU(s.task, s.sm.CostPerRow()*float64(liveIn))
+	s.slot.RowsIn += int64(liveIn)
+	s.slot.RowsOut += int64(len(newSel))
+	s.slot.SamplerSeen += int64(liveIn)
+	s.slot.SamplerPassed += int64(len(newSel))
+	s.slot.KernelLanes += int64(liveIn)
+	s.slot.WallNanos += int64(time.Since(t0))
+}
+
+// colChain is the shared setup for a fused columnar chain: the walk,
+// stage wiring and per-op compilation mirror execPipeline; per-partition
+// operators are built by operatorFor (kernels compile per partition so
+// each owns private buffers).
+type colChain struct {
+	ex      *executor
+	nodes   []PNode // bottom-up, aligned with specs
+	specs   []*pipeSpec
+	scan    *PScan
+	scanOp  *metrics.Op
+	src     *stream
+	st      *cluster.Stage
+	parts   int
+	partRaw []float64
+}
+
+func (ex *executor) buildColChain(top PNode) (*colChain, error) {
+	var chain []PNode
+	var scan *PScan
+	n := top
+	for {
+		if s, ok := n.(*PScan); ok {
+			scan = s
+			break
+		}
+		if n.Breaker() {
+			break
+		}
+		chain = append(chain, n)
+		n = n.Kids()[0]
+	}
+
+	cc := &colChain{ex: ex, scan: scan}
+	if scan != nil {
+		cc.parts = len(scan.Tbl.Partitions)
+		cc.st = ex.run.NewStage("scan:"+scan.Tbl.Name, cc.parts)
+		cc.st.Extract = true
+		cc.partRaw = make([]float64, cc.parts)
+		cc.scanOp = ex.opFor(scan)
+		cc.scanOp.Grow(cc.parts)
+	} else {
+		s, err := ex.exec(n)
+		if err != nil {
+			return nil, err
+		}
+		if name := pipelineStageName(chain); name != "" {
+			ex.ensureStage(s, name)
+		}
+		cc.src = s
+		cc.st = s.stage
+		cc.parts = len(s.parts)
+	}
+
+	for i := len(chain) - 1; i >= 0; i-- {
+		sp, err := ex.compilePipeOp(chain[i], cc.parts)
+		if err != nil {
+			return nil, err
+		}
+		cc.nodes = append(cc.nodes, chain[i])
+		cc.specs = append(cc.specs, sp)
+	}
+	return cc, nil
+}
+
+// operatorFor builds the partition-local columnar operator chain.
+func (cc *colChain) operatorFor(i int) (colOperator, *colScratch, error) {
+	sc := &colScratch{}
+	var cur colOperator
+	if cc.scan != nil {
+		cur = &colScanSource{
+			p: cc.scan, cp: cc.scan.Tbl.Columnar(i), size: cc.ex.batch,
+			st: cc.st, task: i, slot: cc.scanOp.Slot(i), raw: &cc.partRaw[i],
+		}
+	} else {
+		cur = &colRowSource{rows: cc.src.parts[i], size: cc.ex.batch}
+	}
+	for k, sp := range cc.specs {
+		slot := sp.op.Slot(i)
+		switch x := cc.nodes[k].(type) {
+		case *PFilter:
+			kern, err := compileColKernel(x.Pred, buildColMap(x.In.Cols()), sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = &colFilterOp{child: cur, kern: kern, sc: sc, st: cc.st, task: i, slot: slot}
+		case *PProject:
+			cm := buildColMap(x.In.Cols())
+			kerns := make([]colKernel, len(x.Exprs))
+			for j, e := range x.Exprs {
+				kern, err := compileColKernel(e, cm, sc)
+				if err != nil {
+					return nil, nil, err
+				}
+				kerns[j] = kern
+			}
+			cur = &colProjectOp{child: cur, kerns: kerns, cost: sp.cost, sc: sc, st: cc.st, task: i, slot: slot}
+		case *PSample:
+			if sp.passthrough {
+				cur = &colPassOp{child: cur, slot: slot}
+				break
+			}
+			sm := sp.newSampler(i)
+			op := &colSampleOp{
+				child: cur, sm: sm, colIdx: sp.colIdx,
+				st: cc.st, task: i, slot: slot, sc: sc,
+			}
+			switch t := sm.(type) {
+			case *sampler.Uniform:
+				op.unif = t
+			case *sampler.Universe:
+				op.uni = t
+			case *sampler.Distinct:
+				op.dist = t
+			}
+			cur = op
+		}
+	}
+	return cur, sc, nil
+}
+
+// finish folds the per-partition raw scan bytes into the job total.
+func (cc *colChain) finish() {
+	for _, b := range cc.partRaw {
+		cc.ex.run.JobInputBytes += b
+	}
+}
+
+// result wraps the materialized partitions as the chain's output stream.
+func (cc *colChain) result(outParts [][]wrow) *stream {
+	if cc.scan != nil {
+		return &stream{parts: outParts, stage: cc.st}
+	}
+	cc.src.parts = outParts
+	return cc.src
+}
+
+// execColPipeline runs the fused chain rooted at top column-at-a-time,
+// materializing rows only at the sink.
+func (ex *executor) execColPipeline(top PNode) (*stream, error) {
+	cc, err := ex.buildColChain(top)
+	if err != nil {
+		return nil, err
+	}
+	hint := 0
+	if topOp := ex.opFor(top); topOp.EstRows > 0 && cc.parts > 0 {
+		hint = int(topOp.EstRows)/cc.parts + 1
+		if hint > 1<<20 {
+			hint = 1 << 20
+		}
+	}
+	outParts := make([][]wrow, cc.parts)
+	if err := ex.parallel(cc.parts, func(i int) error {
+		cur, _, err := cc.operatorFor(i)
+		if err != nil {
+			return err
+		}
+		var arena rowArena
+		out := make([]wrow, 0, hint)
+		for {
+			if err := ctxErr(ex.ctx); err != nil {
+				return err
+			}
+			b, err := cur.Next()
+			if err != nil {
+				return err
+			}
+			if b.Len() == 0 {
+				break
+			}
+			out = b.materialize(&arena, out)
+		}
+		outParts[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	cc.finish()
+	return cc.result(outParts), nil
+}
+
+// execAggColumnar fuses a columnar chain directly into the hash
+// aggregate: batches feed the aggregation runner through a reusable
+// gather row instead of materializing the sampled stream first. All
+// stage, slot and estimate accounting matches execAgg over the row
+// pipeline.
+func (ex *executor) execAggColumnar(p *PHashAgg) (*stream, error) {
+	cc, err := ex.buildColChain(p.In)
+	if err != nil {
+		return nil, err
+	}
+	if cc.st == nil {
+		// Pass-through-only chain over a materialized stream: the
+		// aggregate opens the stage, exactly like the row path.
+		ex.ensureStage(cc.src, "aggregate")
+		cc.st = cc.src.stage
+	}
+	cm := buildColMap(p.In.Cols())
+	partEsts := make([][]GroupEstimate, cc.parts)
+	op := ex.opFor(p)
+	op.Grow(cc.parts)
+	outParts := make([][]wrow, cc.parts)
+	t0 := time.Now()
+	if err := ex.parallel(cc.parts, func(i int) error {
+		cur, sc, err := cc.operatorFor(i)
+		if err != nil {
+			return err
+		}
+		r, err := newAggRunner(p, cm)
+		if err != nil {
+			return err
+		}
+		nrows := 0
+		for {
+			if err := ctxErr(ex.ctx); err != nil {
+				return err
+			}
+			b, err := cur.Next()
+			if err != nil {
+				return err
+			}
+			if b.Len() == 0 {
+				break
+			}
+			nrows += r.addBatch(&b, sc)
+		}
+		rows, ests := r.emit()
+		// A grouped aggregate on a non-first partition must not emit the
+		// empty-input global row.
+		if len(p.GroupCols) == 0 && i > 0 && nrows == 0 {
+			rows, ests = nil, nil
+		}
+		outParts[i] = rows
+		cc.st.AddCPU(i, 2*float64(nrows))
+		sl := op.Slot(i)
+		sl.RowsIn += int64(nrows)
+		sl.RowsOut += int64(len(rows))
+		sl.KernelLanes += int64(nrows)
+		if len(rows) > 0 {
+			sl.NoteBatch(rowsBytes(rows))
+		}
+		if p.Top {
+			partEsts[i] = ests
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	op.AddWall(time.Since(t0))
+	cc.finish()
+	if p.Top {
+		var allEsts []GroupEstimate
+		for _, es := range partEsts {
+			allEsts = append(allEsts, es...)
+		}
+		ex.topEstimates = allEsts
+	}
+	return cc.result(outParts), nil
+}

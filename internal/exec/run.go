@@ -107,7 +107,7 @@ func RunWithOptions(ctx context.Context, p PNode, cfg cluster.Config, estRows ma
 	if pl == nil {
 		pl = pool.Default()
 	}
-	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize), ctx: ctx, pl: pl}
+	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize), col: opts.Columnar && opts.BatchSize >= 0, ctx: ctx, pl: pl}
 	t0 := time.Now()
 	s, err := ex.exec(p)
 	if err != nil {
@@ -219,6 +219,9 @@ type executor struct {
 	// batch is the streamed pipeline batch size (math.MaxInt in
 	// materializing-baseline mode, where one batch spans the partition).
 	batch int
+	// col selects the columnar vectorized pipeline executor for
+	// non-breaker chains (never set in materializing-baseline mode).
+	col bool
 	// ctx carries the query's cancellation/deadline signal; it is
 	// checked between partition tasks and at batch boundaries.
 	ctx context.Context
@@ -288,6 +291,9 @@ func (ex *executor) exec(n PNode) (*stream, error) {
 		return nil, err
 	}
 	if !n.Breaker() {
+		if ex.col {
+			return ex.execColPipeline(n)
+		}
 		return ex.execPipeline(n)
 	}
 	switch p := n.(type) {
@@ -581,6 +587,9 @@ func keysEqual(l table.Row, lIdx []int, r table.Row, rIdx []int) bool {
 }
 
 func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
+	if ex.col && !p.In.Breaker() {
+		return ex.execAggColumnar(p)
+	}
 	s, err := ex.exec(p.In)
 	if err != nil {
 		return nil, err

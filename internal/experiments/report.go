@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -10,6 +14,7 @@ import (
 	"time"
 
 	"quickr"
+	"quickr/internal/table"
 	"quickr/internal/workload"
 )
 
@@ -26,6 +31,14 @@ type QueryBenchReport struct {
 	GainShuffled     float64 `json:"gain_shuffled"`
 	MissedGroups     float64 `json:"missed_groups"`
 	AggError         float64 `json:"agg_error"`
+
+	// ResultRows and ResultHash fingerprint the approximate run's
+	// result: a SHA-256 over the exact (kind-tagged, bit-precise) row
+	// values and group estimates, in result order. CI's columnar oracle
+	// job diffs these across executor modes — row-at-a-time and
+	// vectorized runs of the same query must produce identical hashes.
+	ResultRows int    `json:"result_rows"`
+	ResultHash string `json:"result_hash"`
 
 	RateChecks   []RateCheckReport `json:"rate_checks"`
 	RateFailures int               `json:"rate_failures"`
@@ -152,6 +165,83 @@ func MeasureConcurrency(env *Env, queries []workload.Query, workers, reps int) (
 	return rep, nil
 }
 
+// appendExact appends a kind-tagged, bit-precise encoding of v:
+// unlike Value.Key, floats never collapse onto integers, so any
+// cross-executor difference in kind or bits changes the hash.
+func appendExact(b []byte, v table.Value) []byte {
+	switch v.Kind() {
+	case table.KindNull:
+		return append(b, 'n')
+	case table.KindInt:
+		return binary.LittleEndian.AppendUint64(append(b, 'i'), uint64(v.Int()))
+	case table.KindFloat:
+		return binary.LittleEndian.AppendUint64(append(b, 'f'), math.Float64bits(v.Float()))
+	case table.KindString:
+		s := v.Str()
+		b = binary.LittleEndian.AppendUint64(append(b, 's'), uint64(len(s)))
+		return append(b, s...)
+	case table.KindBool:
+		if v.Bool() {
+			return append(b, 'b', 1)
+		}
+		return append(b, 'b', 0)
+	}
+	return append(b, '?')
+}
+
+// resultHash fingerprints a query result: every row value (exact bits,
+// in order), then every group estimate's key, values, standard errors
+// and sample support.
+func resultHash(res *quickr.Result) string {
+	h := sha256.New()
+	var buf []byte
+	for _, row := range res.InternalRows {
+		buf = buf[:0]
+		for _, v := range row {
+			buf = appendExact(buf, v)
+		}
+		h.Write(append(buf, 0xff))
+	}
+	for _, g := range res.Estimates {
+		buf = append(buf[:0], 0xfe)
+		for _, k := range g.Key {
+			buf = appendAnyExact(buf, k)
+		}
+		for _, v := range g.Values {
+			buf = appendAnyExact(buf, v)
+		}
+		for _, se := range g.StdErr {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(se))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.SampleRows))
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// appendAnyExact encodes the result API's any-typed values (the
+// rowToAny image of a table.Value) with the same exactness.
+func appendAnyExact(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, 'n')
+	case int64:
+		return binary.LittleEndian.AppendUint64(append(b, 'i'), uint64(x))
+	case float64:
+		return binary.LittleEndian.AppendUint64(append(b, 'f'), math.Float64bits(x))
+	case string:
+		b = binary.LittleEndian.AppendUint64(append(b, 's'), uint64(len(x)))
+		return append(b, x...)
+	case bool:
+		if x {
+			return append(b, 'b', 1)
+		}
+		return append(b, 'b', 0)
+	default:
+		return append(b, fmt.Sprintf("?%v", x)...)
+	}
+}
+
 // BuildBenchReport runs the given queries through the harness and
 // collects the per-operator breakdowns.
 func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf float64) (*BenchReport, error) {
@@ -171,14 +261,18 @@ func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf 
 			MissedGroups:     out.MissedGroupsFull,
 			AggError:         out.AggErrorFull,
 			RateChecks:       []RateCheckReport{},
+			ResultRows:       len(out.Approx.InternalRows),
+			ResultHash:       resultHash(out.Approx),
 			Approx:           out.Approx.RunReport(out.Query.SQL, true),
 		}
 		q.PeakInflightBytes = out.Approx.PeakInFlightBytes
 		// Re-run with batching disabled to record the materializing
-		// baseline's footprint next to the streaming one.
+		// baseline's footprint next to the streaming one, then restore
+		// the configured batch size (not necessarily the default).
+		prevBatch := env.Eng.BatchSize()
 		env.Eng.SetBatchSize(-1)
 		mat, err := env.Eng.ExecApprox(out.Query.SQL)
-		env.Eng.SetBatchSize(0)
+		env.Eng.SetBatchSize(prevBatch)
 		if err != nil {
 			return nil, err
 		}

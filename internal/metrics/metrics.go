@@ -41,8 +41,14 @@ type Slot struct {
 	// operator's own per-batch work (machine time, not elapsed; the
 	// operator's elapsed time takes the max across partitions).
 	WallNanos int64
+	// KernelLanes counts physical vector lanes processed by columnar
+	// kernels (Options.Columnar); FallbackRows counts live rows the
+	// columnar pipeline routed through row-at-a-time expression
+	// fallbacks. Both stay zero in row mode.
+	KernelLanes  int64
+	FallbackRows int64
 
-	_ [32]byte // pad to 128 bytes (two cache lines)
+	_ [16]byte // pad to 128 bytes (two cache lines)
 }
 
 func (s *Slot) add(o *Slot) {
@@ -58,6 +64,8 @@ func (s *Slot) add(o *Slot) {
 	s.Batches += o.Batches
 	s.PeakBytes += o.PeakBytes
 	s.WallNanos += o.WallNanos
+	s.KernelLanes += o.KernelLanes
+	s.FallbackRows += o.FallbackRows
 }
 
 // NoteBatch records one emitted batch of the given byte size, tracking

@@ -32,6 +32,11 @@ type OpReport struct {
 
 	BuildRows int64 `json:"build_rows"`
 	ProbeRows int64 `json:"probe_rows"`
+
+	// Columnar-mode kernel counters (omitted in row mode so row-path
+	// reports are byte-identical to before the columnar executor).
+	KernelLanes  int64 `json:"kernel_lanes,omitempty"`
+	FallbackRows int64 `json:"fallback_rows,omitempty"`
 }
 
 // Report flattens the query's operators (plan pre-order, with depths,
@@ -64,6 +69,8 @@ func (q *Query) Report() []OpReport {
 			SketchEntries: t.SketchEntries,
 			BuildRows:     t.BuildRows,
 			ProbeRows:     t.ProbeRows,
+			KernelLanes:   t.KernelLanes,
+			FallbackRows:  t.FallbackRows,
 		}
 		if t.SamplerSeen > 0 {
 			r.SamplerRate = float64(t.SamplerPassed) / float64(t.SamplerSeen)

@@ -1,0 +1,36 @@
+package sampler
+
+// Batch-mode entry points for the vectorized executor: samplers thin a
+// selection vector and scale the weight column in place instead of
+// admitting materialized rows. Each draws exactly the per-row decision
+// sequence Admit would for the same live rows in the same order, so a
+// columnar run is bit-identical to a row-at-a-time run over the same
+// partition.
+
+// AdmitBatch admits the live lanes listed in sel, in order. Passing
+// lanes keep their slot in the (in-place thinned) selection and have
+// their weight scaled by 1/P; the thinned selection is returned.
+func (u *Uniform) AdmitBatch(sel []int32, weights []float64) []int32 {
+	out := sel[:0]
+	for _, lane := range sel {
+		if u.rng.Float64() < u.P {
+			weights[lane] /= u.P
+			out = append(out, lane)
+		}
+	}
+	return out
+}
+
+// AdmitBatch admits the live lanes listed in sel, in order. hash must
+// return the lane's subspace coordinate — HashValues over the same
+// universe-column values Admit would gather from the materialized row.
+func (u *Universe) AdmitBatch(sel []int32, weights []float64, hash func(lane int32) uint64) []int32 {
+	out := sel[:0]
+	for _, lane := range sel {
+		if hash(lane) <= u.threshold {
+			weights[lane] /= u.P
+			out = append(out, lane)
+		}
+	}
+	return out
+}

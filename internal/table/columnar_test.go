@@ -1,0 +1,157 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// colRows builds a row set exercising every columnar representation:
+// typed int/float/string/bool columns with and without NULLs, an
+// all-NULL column, a mixed-kind (Any) column, and a short row.
+func colRows(n int) []Row {
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		iv := NewInt(int64(i - n/2))
+		fv := NewFloat(float64(i) / 7)
+		sv := NewString(fmt.Sprintf("s%03d", i%200))
+		bv := NewBool(i%2 == 0)
+		var mv Value
+		switch i % 3 {
+		case 1:
+			mv = NewInt(int64(i))
+		case 2:
+			mv = NewString("mix")
+		}
+		if i%5 == 0 {
+			iv = Value{}
+		}
+		if i%7 == 0 {
+			sv = Value{}
+		}
+		row := Row{iv, fv, sv, bv, Value{}, mv}
+		if i == n-1 {
+			row = row[:3] // short row: trailing columns read as NULL
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Columnarize must reconstruct every lane bit-identically to the rows,
+// including NULLs, the all-NULL column, mixed-kind columns and padded
+// short rows.
+func TestColumnarizeRoundTrip(t *testing.T) {
+	const width = 6
+	rows := colRows(300)
+	cp := Columnarize(rows, width)
+	if cp.NumRows != len(rows) {
+		t.Fatalf("NumRows=%d, want %d", cp.NumRows, len(rows))
+	}
+	for c := 0; c < width; c++ {
+		cv := &cp.Cols[c]
+		if cv.Len() != len(rows) {
+			t.Fatalf("col %d Len=%d, want %d", c, cv.Len(), len(rows))
+		}
+		for i, r := range rows {
+			want := Null
+			if c < len(r) {
+				want = r[c]
+			}
+			got := cv.Value(i)
+			if want.IsNull() != got.IsNull() || want.IsNull() != cv.IsNull(i) ||
+				(!want.IsNull() && CompareRows(Row{want}, Row{got}) != 0) {
+				t.Fatalf("col %d lane %d: got %v, want %v", c, i, got, want)
+			}
+		}
+	}
+	// Representation spot checks: the typed columns must actually be
+	// typed, the mixed one Any, the empty one KindNull.
+	if cp.Cols[0].Kind != KindInt || cp.Cols[0].Nulls == nil {
+		t.Fatalf("int column repr: %+v", cp.Cols[0].Kind)
+	}
+	if cp.Cols[1].Kind != KindFloat || cp.Cols[1].Nulls != nil {
+		t.Fatal("float column should have no null bitmap")
+	}
+	distinct := map[string]bool{}
+	for _, r := range rows {
+		if len(r) > 2 && !r[2].IsNull() {
+			distinct[r[2].Str()] = true
+		}
+	}
+	if cp.Cols[2].Kind != KindString || len(cp.Cols[2].Dict) != len(distinct) {
+		t.Fatalf("string dict size %d, want %d", len(cp.Cols[2].Dict), len(distinct))
+	}
+	if cp.Cols[4].Kind != KindNull {
+		t.Fatal("all-null column should use KindNull repr")
+	}
+	if !cp.Cols[5].Any {
+		t.Fatal("mixed column should degrade to Any")
+	}
+}
+
+func TestColumnarizeEmptyPartition(t *testing.T) {
+	cp := Columnarize(nil, 3)
+	if cp.NumRows != 0 {
+		t.Fatalf("NumRows=%d", cp.NumRows)
+	}
+	for c := range cp.Cols {
+		if cp.Cols[c].Len() != 0 {
+			t.Fatalf("col %d Len=%d", c, cp.Cols[c].Len())
+		}
+	}
+}
+
+// Table.Columnar must cache per partition and invalidate on Append.
+func TestTableColumnarCacheInvalidation(t *testing.T) {
+	sc := NewSchema(Column{Name: "a", Kind: KindInt})
+	tbl := New("cc", sc, 2)
+	tbl.Append(0, Row{NewInt(1)})
+	cp1 := tbl.Columnar(0)
+	if tbl.Columnar(0) != cp1 {
+		t.Fatal("columnar form not cached")
+	}
+	tbl.Append(0, Row{NewInt(2)})
+	cp2 := tbl.Columnar(0)
+	if cp2 == cp1 {
+		t.Fatal("Append did not invalidate the columnar cache")
+	}
+	if cp2.NumRows != 2 || cp2.Cols[0].Value(1).Int() != 2 {
+		t.Fatalf("rebuilt partition wrong: %+v", cp2)
+	}
+	// The untouched partition keeps its own cache line independent.
+	if tbl.Columnar(1).NumRows != 0 {
+		t.Fatal("partition 1 should be empty")
+	}
+}
+
+// Concurrent readers racing first-use columnarization must all observe
+// a consistent column form (run with -race).
+func TestTableColumnarConcurrent(t *testing.T) {
+	sc := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "s", Kind: KindString})
+	tbl := New("ccr", sc, 8)
+	for i := 0; i < 4000; i++ {
+		tbl.Append(i, Row{NewInt(int64(i)), NewString(fmt.Sprintf("v%d", i%50))})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < 8; p++ {
+				cp := tbl.Columnar(p)
+				if cp.NumRows != len(tbl.Partitions[p]) {
+					t.Errorf("partition %d: NumRows=%d, want %d", p, cp.NumRows, len(tbl.Partitions[p]))
+					return
+				}
+				for i := 0; i < cp.NumRows; i += 97 {
+					if !cp.Cols[0].Value(i).Equal(tbl.Partitions[p][i][0]) {
+						t.Errorf("partition %d lane %d mismatch", p, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

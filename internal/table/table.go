@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Row is one tuple: a slice of values positionally aligned with a schema.
@@ -82,6 +83,11 @@ type Table struct {
 	Name       string
 	Schema     *Schema
 	Partitions [][]Row
+
+	// Lazily-built column-major mirror of each partition, for the
+	// vectorized executor (see columnar.go).
+	colMu    sync.Mutex
+	colCache []*ColPartition
 }
 
 // New creates a table with the given number of empty partitions.
@@ -96,6 +102,7 @@ func New(name string, schema *Schema, parts int) *Table {
 func (t *Table) Append(i int, r Row) {
 	p := i % len(t.Partitions)
 	t.Partitions[p] = append(t.Partitions[p], r)
+	t.invalidateColumnar(p)
 }
 
 // NumRows returns the total number of rows in the table.

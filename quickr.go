@@ -94,6 +94,7 @@ type Engine struct {
 	opts       core.Options
 	seed       uint64
 	batchSize  int
+	columnar   bool
 	planChecks bool
 	// epoch versions everything a prepared plan depends on: it bumps on
 	// DDL, data loads and every Set* call, invalidating the plan cache.
@@ -157,6 +158,35 @@ func (e *Engine) SetBatchSize(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.batchSize = n
+	e.bump()
+}
+
+// BatchSize returns the configured executor batch size.
+func (e *Engine) BatchSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.batchSize
+}
+
+// WarmColumnar eagerly builds the columnar form of every registered
+// table's partitions, so columnar benchmark runs measure kernel time
+// rather than first-touch columnarization.
+func (e *Engine) WarmColumnar() {
+	for _, name := range e.cat.Tables() {
+		if t, err := e.cat.Table(name); err == nil {
+			t.EnsureColumnar()
+		}
+	}
+}
+
+// SetColumnar toggles the vectorized columnar executor for streamed
+// pipelines. It has no effect while streaming is disabled (a negative
+// batch size keeps the row-materializing oracle path regardless).
+// Results are bit-identical across modes.
+func (e *Engine) SetColumnar(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.columnar = on
 	e.bump()
 }
 
@@ -336,7 +366,7 @@ func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, e
 	// Snapshot the execution configuration and gate once, so a
 	// concurrent Set* call cannot tear this run's view.
 	e.mu.RLock()
-	cfg, batch, gate := e.cfg, e.batchSize, e.gate
+	cfg, batch, columnar, gate := e.cfg, e.batchSize, e.columnar, e.gate
 	e.mu.RUnlock()
 
 	// Admission control: reserve the plan's estimated in-flight bytes,
@@ -351,6 +381,7 @@ func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, e
 
 	res, err := exec.RunWithOptions(ctx, prep.physical, cfg, prep.ests, exec.Options{
 		BatchSize:     batch,
+		Columnar:      columnar,
 		QueuedNanos:   adm.QueuedNanos,
 		AdmittedBytes: adm.Bytes,
 	})
