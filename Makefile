@@ -38,9 +38,11 @@ bench:
 # the 0.5x ceiling on the *Kernel benchmarks pins the columnar kernels
 # at no more than half the row path's allocations (the baseline records
 # the BenchmarkRowPath* twins' numbers under the kernel names).
+# BenchmarkSummaryBuild (internal/table) gates the partition-summary
+# builder the pruning pass depends on.
 bench-gate:
-	$(GO) test ./internal/exec/ -run '^$$' \
-		-bench 'BenchmarkJoinBroadcast|BenchmarkJoinCoPartitioned|BenchmarkGroupedAgg|BenchmarkWindowPartition|BenchmarkSortPartitions|BenchmarkFilterKernel|BenchmarkProjectKernel|BenchmarkSamplerKernel|BenchmarkPreAggKernel' \
+	$(GO) test ./internal/exec/ ./internal/table/ -run '^$$' \
+		-bench 'BenchmarkJoinBroadcast|BenchmarkJoinCoPartitioned|BenchmarkGroupedAgg|BenchmarkWindowPartition|BenchmarkSortPartitions|BenchmarkFilterKernel|BenchmarkProjectKernel|BenchmarkSamplerKernel|BenchmarkPreAggKernel|BenchmarkSummaryBuild' \
 		-benchmem -benchtime 5x -count 1 | tee bench_micro.txt
 	$(GO) run ./cmd/benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench_micro.txt
 	@rm -f bench_micro.txt

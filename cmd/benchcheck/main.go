@@ -16,11 +16,18 @@
 // counts and result hashes, so any bitwise divergence between the two
 // executors fails the build.
 //
+// With -prune it compares an unpruned report against one produced with
+// partition-selection pruning enabled: the pruned run must actually
+// skip partitions (total partitions_scanned strictly below the
+// unpruned run, at least one query with partitions_pruned > 0), so a
+// regression that silently disables the pass fails the build.
+//
 // Usage:
 //
 //	benchcheck BENCH_SMOKE.json [more.json...]
 //	benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench.txt
 //	benchcheck -oracle row/BENCH_BENCH.json columnar/BENCH_BENCH.json
+//	benchcheck -prune full/BENCH_BENCH.json pruned/BENCH_BENCH.json
 package main
 
 import (
@@ -50,6 +57,7 @@ var metricsFields = []string{
 	"peak_inflight_bytes", "rows_per_sec", "exec_seconds",
 	"queued_seconds", "admitted_bytes", "pool_wait_seconds",
 	"pool_tasks", "pool_stolen",
+	"partitions_scanned", "partitions_pruned",
 }
 
 // concurrencyFields are required on the report's serial-vs-concurrent
@@ -62,11 +70,13 @@ func main() {
 	micro := flag.Bool("micro", false, "gate `go test -bench -benchmem` output against -baseline instead of checking report schemas")
 	baseline := flag.String("baseline", "", "baseline JSON for -micro (committed allocs/op and ns/op ceilings)")
 	oracle := flag.Bool("oracle", false, "compare two reports of the same workload from different executor modes; result hashes must match")
+	prune := flag.Bool("prune", false, "compare an unpruned report against a pruned one; the pruned run must scan strictly fewer partitions")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
 		fmt.Fprintln(os.Stderr, "       benchcheck -micro -baseline baseline.json bench.txt")
 		fmt.Fprintln(os.Stderr, "       benchcheck -oracle row.json columnar.json")
+		fmt.Fprintln(os.Stderr, "       benchcheck -prune full.json pruned.json")
 		os.Exit(2)
 	}
 	if *micro {
@@ -83,6 +93,17 @@ func main() {
 		}
 		if err := checkOracle(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck -oracle:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *prune {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchcheck -prune: need exactly two report files (unpruned, pruned)")
+			os.Exit(2)
+		}
+		if err := checkPrune(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck -prune:", err)
 			os.Exit(1)
 		}
 		return
@@ -325,6 +346,101 @@ func checkOracle(pathA, pathB string) error {
 			len(fails), strings.Join(fails, "\n  "))
 	}
 	fmt.Printf("oracle: %d queries bit-identical across %s and %s\n", len(ids), pathA, pathB)
+	return nil
+}
+
+// pruneEntry is the slice of a query's approx run the prune gate needs.
+type pruneEntry struct {
+	scanned, pruned int64
+}
+
+// loadPrune reads a BENCH report's per-query partition counters.
+func loadPrune(path string) (map[string]pruneEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Queries []struct {
+			ID     string `json:"id"`
+			Approx struct {
+				Metrics struct {
+					Scanned *int64 `json:"partitions_scanned"`
+					Pruned  *int64 `json:"partitions_pruned"`
+				} `json:"metrics"`
+			} `json:"approx"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]pruneEntry{}
+	for _, q := range rep.Queries {
+		m := q.Approx.Metrics
+		if m.Scanned == nil || m.Pruned == nil {
+			return nil, fmt.Errorf("%s: query %s has no partition counters (report predates the pruning fields?)", path, q.ID)
+		}
+		out[q.ID] = pruneEntry{scanned: *m.Scanned, pruned: *m.Pruned}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: report contains no queries", path)
+	}
+	return out, nil
+}
+
+// checkPrune compares an unpruned report against a pruned one of the
+// same workload: over the shared query set, the pruned run must scan
+// strictly fewer partitions in total and prune at least one query, and
+// no query may scan more partitions pruned than unpruned.
+func checkPrune(fullPath, prunedPath string) error {
+	full, err := loadPrune(fullPath)
+	if err != nil {
+		return err
+	}
+	pruned, err := loadPrune(prunedPath)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(full))
+	for id := range full {
+		if _, ok := pruned[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no shared queries between %s and %s", fullPath, prunedPath)
+	}
+	sortStrings(ids)
+	var totalFull, totalPruned, skipped int64
+	queriesPruned := 0
+	var fails []string
+	for _, id := range ids {
+		f, p := full[id], pruned[id]
+		totalFull += f.scanned
+		totalPruned += p.scanned
+		skipped += p.pruned
+		if p.pruned > 0 {
+			queriesPruned++
+		}
+		if f.pruned > 0 {
+			fails = append(fails, fmt.Sprintf("%s: unpruned run reports %d partitions_pruned (pass leaked into the baseline?)", id, f.pruned))
+		}
+		if p.scanned > f.scanned {
+			fails = append(fails, fmt.Sprintf("%s: pruned run scanned %d partitions vs %d unpruned", id, p.scanned, f.scanned))
+		}
+	}
+	if queriesPruned == 0 {
+		fails = append(fails, "no query pruned any partition — the pass never fired")
+	}
+	if totalPruned >= totalFull {
+		fails = append(fails, fmt.Sprintf("pruned run scanned %d total partitions, not below unpruned %d", totalPruned, totalFull))
+	}
+	if len(fails) > 0 {
+		sortStrings(fails)
+		return fmt.Errorf("%d prune gate failure(s):\n  %s", len(fails), strings.Join(fails, "\n  "))
+	}
+	fmt.Printf("prune: %d/%d queries pruned; %d partitions scanned vs %d unpruned (%d skipped)\n",
+		queriesPruned, len(ids), totalPruned, totalFull, skipped)
 	return nil
 }
 

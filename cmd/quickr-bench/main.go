@@ -4,7 +4,7 @@
 // Usage:
 //
 //	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9|SMOKE|BENCH] [-sf 1.0] [-json dir]
-//	             [-batch 0] [-columnar] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	             [-batch 0] [-columnar] [-prune] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // SMOKE runs a tiny per-suite query subset; BENCH runs the full query
 // suites. With -json, both write a machine-readable BENCH_<exp>.json
@@ -30,6 +30,7 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to write BENCH_<exp>.json reports into (SMOKE/BENCH)")
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
 	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
+	prune := flag.Bool("prune", false, "enable the optimizer's partition-selection pruning pass for sampled plans")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 			env = experiments.NewFullEnv(*sf)
 			env.Eng.SetBatchSize(*batch)
 			env.Eng.SetColumnar(*columnar)
+			env.Eng.SetPrune(*prune)
 			if *columnar && *batch >= 0 {
 				fmt.Fprintln(os.Stderr, "warming columnar partition caches...")
 				env.Eng.WarmColumnar()

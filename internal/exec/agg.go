@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"quickr/internal/accuracy"
 	"quickr/internal/lplan"
 	"quickr/internal/table"
 )
@@ -292,6 +293,12 @@ func (r *aggRunner) finishGroup(g *groupAcc) ([]table.Value, []float64) {
 			if uvar > variance {
 				variance = uvar
 			}
+		}
+		if est != nil && est.PartP > 0 && est.PartP < 1 {
+			// Partition pruning cluster-samples the scan: add the
+			// selection variance on the weighted-sum scale (AVG's ÷sumW
+			// below rescales it with the rest).
+			variance += accuracy.PartitionVariance(acc.sumWX, est.PartP, est.PartTail, est.PartTailFrac)
 		}
 		if variance > 0 {
 			errs[j] = math.Sqrt(variance)

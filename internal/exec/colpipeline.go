@@ -39,6 +39,9 @@ type colScanSource struct {
 	cp   *table.ColPartition
 	size int
 	pos  int
+	// inflate multiplies every lane weight (partition-selection HT
+	// factor; 1 for unpruned scans), mirroring scanSource.
+	inflate float64
 
 	st   *cluster.Stage
 	task int
@@ -81,6 +84,10 @@ func (s *colScanSource) Next() (Batch, error) {
 		s.weights = make([]float64, n)
 	}
 	s.weights = s.weights[:n]
+	inflate := s.inflate
+	if inflate <= 0 {
+		inflate = 1
+	}
 	if s.p.WeightIdx >= 0 && s.p.WeightIdx < len(s.wins) {
 		wv := &s.wins[s.p.WeightIdx]
 		for i := 0; i < n; i++ {
@@ -88,11 +95,11 @@ func (s *colScanSource) Next() (Batch, error) {
 			if w <= 0 {
 				w = 1
 			}
-			s.weights[i] = w
+			s.weights[i] = w * inflate
 		}
 	} else {
 		for i := 0; i < n; i++ {
-			s.weights[i] = 1
+			s.weights[i] = inflate
 		}
 	}
 	outBytes := 8 * float64(n)
@@ -491,11 +498,20 @@ func (ex *executor) buildColChain(top PNode) (*colChain, error) {
 	cc := &colChain{ex: ex, scan: scan}
 	if scan != nil {
 		cc.parts = len(scan.Tbl.Partitions)
+		if scan.Prune != nil {
+			cc.parts = len(scan.Prune.Keep)
+		}
 		cc.st = ex.run.NewStage("scan:"+scan.Tbl.Name, cc.parts)
 		cc.st.Extract = true
 		cc.partRaw = make([]float64, cc.parts)
 		cc.scanOp = ex.opFor(scan)
 		cc.scanOp.Grow(cc.parts)
+		if scan.Prune != nil {
+			for i := 0; i < cc.parts; i++ {
+				cc.scanOp.Slot(i).PartsScanned = 1
+			}
+			cc.scanOp.Slot(0).PartsPruned = int64(scan.Prune.Pruned)
+		}
 	} else {
 		s, err := ex.exec(n)
 		if err != nil {
@@ -525,9 +541,15 @@ func (cc *colChain) operatorFor(i int) (colOperator, *colScratch, error) {
 	sc := &colScratch{}
 	var cur colOperator
 	if cc.scan != nil {
+		part, inflate := i, 1.0
+		if cc.scan.Prune != nil {
+			part = cc.scan.Prune.Keep[i]
+			inflate = cc.scan.Prune.Inflate[i]
+		}
 		cur = &colScanSource{
-			p: cc.scan, cp: cc.scan.Tbl.Columnar(i), size: cc.ex.batch,
-			st: cc.st, task: i, slot: cc.scanOp.Slot(i), raw: &cc.partRaw[i],
+			p: cc.scan, cp: cc.scan.Tbl.Columnar(part), size: cc.ex.batch,
+			inflate: inflate,
+			st:      cc.st, task: i, slot: cc.scanOp.Slot(i), raw: &cc.partRaw[i],
 		}
 	} else {
 		cur = &colRowSource{rows: cc.src.parts[i], size: cc.ex.batch}

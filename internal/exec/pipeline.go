@@ -38,6 +38,10 @@ type scanSource struct {
 	src  []table.Row
 	size int
 	pos  int
+	// inflate multiplies every row weight; the optimizer's partition
+	// selection sets it to the kept partition's Horvitz–Thompson factor
+	// (1 for unpruned scans and certainty-stratum partitions).
+	inflate float64
 
 	st   *cluster.Stage
 	task int
@@ -68,6 +72,9 @@ func (s *scanSource) Next() (batch, error) {
 			if w <= 0 {
 				w = 1
 			}
+		}
+		if s.inflate > 0 {
+			w *= s.inflate
 		}
 		if prune {
 			pr := make(table.Row, len(s.p.ColIdx))
@@ -457,6 +464,9 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	var partRaw []float64
 	if scan != nil {
 		parts = len(scan.Tbl.Partitions)
+		if scan.Prune != nil {
+			parts = len(scan.Prune.Keep)
+		}
 		st = ex.run.NewStage("scan:"+scan.Tbl.Name, parts)
 		st.Extract = true
 		partRaw = make([]float64, parts)
@@ -486,6 +496,12 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	if scan != nil {
 		scanOp = ex.opFor(scan)
 		scanOp.Grow(parts)
+		if scan.Prune != nil {
+			for i := 0; i < parts; i++ {
+				scanOp.Slot(i).PartsScanned = 1
+			}
+			scanOp.Slot(0).PartsPruned = int64(scan.Prune.Pruned)
+		}
 	}
 
 	// Sink capacity hint from the optimizer's estimate of the
@@ -502,9 +518,15 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	if err := ex.parallel(parts, func(i int) error {
 		var cur operator
 		if scan != nil {
+			part, inflate := i, 1.0
+			if scan.Prune != nil {
+				part = scan.Prune.Keep[i]
+				inflate = scan.Prune.Inflate[i]
+			}
 			cur = &scanSource{
-				p: scan, src: scan.Tbl.Partitions[i], size: ex.batch,
-				st: st, task: i, slot: scanOp.Slot(i), raw: &partRaw[i],
+				p: scan, src: scan.Tbl.Partitions[part], size: ex.batch,
+				inflate: inflate,
+				st:      st, task: i, slot: scanOp.Slot(i), raw: &partRaw[i],
 			}
 		} else {
 			cur = &rowSource{rows: s.parts[i], size: ex.batch}

@@ -1,0 +1,204 @@
+package experiments
+
+// Pruning-correctness battery: synthetic partition layouts with known
+// ground truth, queried through the engine with the optimizer's
+// partition-selection pass enabled. The pass scans a weighted subset of
+// partitions (certainty stratum at weight 1, Horvitz–Thompson-inflated
+// tail), so its estimates must stay unbiased and its widened CI95 bars
+// (per-row sampling variance + partition-level cluster variance) must
+// cover the truth at near-nominal rates across seeds — on uniform,
+// value-skewed and partition-correlated (heavy-hitter) layouts alike.
+//
+// The battery also pins the off switch: with pruning disabled, results
+// are bit-identical to an engine that never heard of the pass (the
+// committed stats/analyze goldens pin the same property end-to-end).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quickr"
+	"quickr/internal/table"
+)
+
+const (
+	pruneParts   = 16
+	pruneRowsPer = 400
+	pruneKeys    = 4
+	pruneSeeds   = 40
+	// pruneCoverageFloor is looser than the nominal 95% (and the seed
+	// sweep's 90%) because the battery's layouts are adversarial for
+	// cluster sampling and the group count per run is small.
+	pruneCoverageFloor = 0.85
+)
+
+type pruneTruth struct {
+	sum   float64
+	count float64
+}
+
+// buildPruneCase materializes one synthetic layout as a 16-partition
+// fact table with explicit partition placement, returning per-group
+// ground truth for SELECT g, SUM(v), COUNT(*) ... GROUP BY g.
+func buildPruneCase(name string, gen func(r *rand.Rand, part, i int) (int64, float64)) (*table.Table, map[int64]*pruneTruth) {
+	sc := table.NewSchema(
+		table.Column{Name: "g", Kind: table.KindInt},
+		table.Column{Name: "v", Kind: table.KindFloat},
+	)
+	tbl := table.New(name, sc, pruneParts)
+	truth := map[int64]*pruneTruth{}
+	r := rand.New(rand.NewSource(7))
+	for p := 0; p < pruneParts; p++ {
+		for i := 0; i < pruneRowsPer; i++ {
+			g, v := gen(r, p, i)
+			tbl.Append(p, table.Row{table.NewInt(g), table.NewFloat(v)})
+			tr := truth[g]
+			if tr == nil {
+				tr = &pruneTruth{}
+				truth[g] = tr
+			}
+			tr.sum += v
+			tr.count++
+		}
+	}
+	return tbl, truth
+}
+
+// pruneLayouts is the table driving the battery.
+var pruneLayouts = []struct {
+	name string
+	gen  func(r *rand.Rand, part, i int) (int64, float64)
+}{
+	{
+		// Every group spread evenly over every partition, unit-scale
+		// values: the friendliest case for cluster sampling.
+		name: "uniform",
+		gen: func(r *rand.Rand, part, i int) (int64, float64) {
+			return int64(i % pruneKeys), 1 + r.Float64()
+		},
+	},
+	{
+		// Heavy-tailed values (approximately Zipf via inverse-uniform):
+		// per-partition totals vary, so the tail subsample must inflate
+		// genuinely unequal cluster contributions.
+		name: "skewed",
+		gen: func(r *rand.Rand, part, i int) (int64, float64) {
+			return int64(r.Intn(pruneKeys)), 1 / (0.05 + r.Float64())
+		},
+	},
+	{
+		// Partition-correlated: each group's "home" partition (part %
+		// pruneKeys) holds a dominant share of its rows, exercising the
+		// certainty stratum (home partitions must survive at weight 1).
+		name: "heavy-hitter",
+		gen: func(r *rand.Rand, part, i int) (int64, float64) {
+			if i%2 == 0 {
+				return int64(part % pruneKeys), 2 + r.Float64()
+			}
+			return int64(r.Intn(pruneKeys)), 1 + r.Float64()
+		},
+	},
+}
+
+func TestPruneCorrectnessBattery(t *testing.T) {
+	for _, layout := range pruneLayouts {
+		layout := layout
+		t.Run(layout.name, func(t *testing.T) {
+			tbl, truth := buildPruneCase("facts", layout.gen)
+			eng := quickr.New()
+			eng.RegisterStored(tbl)
+			eng.SetPrune(true)
+			sql := `SELECT g, SUM(v) AS total, COUNT(*) AS cnt FROM facts GROUP BY g`
+
+			var pairs, covered, prunedRuns int
+			var relErrSum float64
+			for seed := uint64(1); seed <= pruneSeeds; seed++ {
+				eng.SetSeed(seed)
+				res, err := eng.ExecApprox(sql)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !res.Sampled || res.Unapproximable {
+					t.Fatalf("seed %d: plan did not sample (the battery needs an approximate run)", seed)
+				}
+				if res.PartitionsPruned > 0 {
+					prunedRuns++
+				}
+				for _, g := range res.Estimates {
+					key, ok := g.Key[0].(int64)
+					if !ok {
+						t.Fatalf("seed %d: non-int group key %v", seed, g.Key[0])
+					}
+					tr := truth[key]
+					if tr == nil {
+						t.Fatalf("seed %d: estimate for unknown group %d", seed, key)
+					}
+					want := []float64{tr.sum, tr.count}
+					for i, w := range want {
+						est, isNum := toFloat(g.Values[i])
+						if !isNum || i >= len(g.CI95) || g.CI95[i] <= 0 {
+							continue
+						}
+						pairs++
+						relErrSum += math.Abs(est-w) / w
+						if math.Abs(est-w) <= g.CI95[i] {
+							covered++
+						}
+					}
+				}
+			}
+			if prunedRuns == 0 {
+				t.Fatal("partition pruning never fired; the battery is not exercising the pass")
+			}
+			if pairs == 0 {
+				t.Fatal("no coverage observations")
+			}
+			cov := float64(covered) / float64(pairs)
+			t.Logf("%s: coverage %.3f over %d pairs, mean rel err %.3f, pruned in %d/%d runs",
+				layout.name, cov, pairs, relErrSum/float64(pairs), prunedRuns, pruneSeeds)
+			if cov < pruneCoverageFloor {
+				t.Errorf("CI95 covered truth in %.1f%% of %d observations, want ≥ %.0f%%",
+					100*cov, pairs, 100*pruneCoverageFloor)
+			}
+		})
+	}
+}
+
+// TestPruneOffBitIdentity: an engine that enabled pruning and switched
+// it back off must return results bit-identical (rows, estimates,
+// standard errors, sample support) to an engine that never enabled it.
+func TestPruneOffBitIdentity(t *testing.T) {
+	for _, layout := range pruneLayouts {
+		layout := layout
+		t.Run(layout.name, func(t *testing.T) {
+			tblA, _ := buildPruneCase("facts", layout.gen)
+			tblB, _ := buildPruneCase("facts", layout.gen)
+			toggled := quickr.New()
+			toggled.RegisterStored(tblA)
+			toggled.SetPrune(true)
+			toggled.SetPrune(false)
+			fresh := quickr.New()
+			fresh.RegisterStored(tblB)
+			sql := `SELECT g, SUM(v) AS total, COUNT(*) AS cnt FROM facts GROUP BY g`
+			for seed := uint64(1); seed <= 5; seed++ {
+				toggled.SetSeed(seed)
+				fresh.SetSeed(seed)
+				a, err := toggled.ExecApprox(sql)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				b, err := fresh.ExecApprox(sql)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if a.PartitionsPruned != 0 || b.PartitionsPruned != 0 {
+					t.Fatalf("seed %d: pruning fired with the switch off", seed)
+				}
+				if ha, hb := resultHash(a), resultHash(b); ha != hb {
+					t.Errorf("seed %d: toggled-off result hash %s != fresh engine %s", seed, ha[:12], hb[:12])
+				}
+			}
+		})
+	}
+}

@@ -164,6 +164,86 @@ func pickSweepQueries(t *testing.T, env *Env, want int) []sweepQuery {
 	return picked
 }
 
+// sweepStats accumulates one query's observations over the seed sweep.
+type sweepStats struct {
+	covered, pairs   int     // CI-coverage observations
+	missed, groupObs int     // missed-group observations
+	expectedMissed   float64 // Proposition 4 prediction
+	prunedParts      int64   // partitions skipped by partition selection
+}
+
+// sweepQueryOverSeeds runs one query for every sweep seed and counts
+// CI95 coverage and missed groups against its ground truth.
+func sweepQueryOverSeeds(t *testing.T, env *Env, sq sweepQuery) sweepStats {
+	t.Helper()
+	var st sweepStats
+	for seed := uint64(1); seed <= sweepSeeds; seed++ {
+		env.Eng.SetSeed(seed)
+		approx, err := env.Eng.ExecApprox(sq.q.SQL)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st.prunedParts += approx.PartitionsPruned
+		got := map[string]quickr.GroupEstimate{}
+		for _, g := range approx.Estimates {
+			got[keyString(g.Key, sq.keyCols)] = g
+		}
+		for key, tg := range sq.truth {
+			st.groupObs++
+			// Proposition 4: miss probability for this group's
+			// support under the plan's root-equivalent sampler.
+			// stratCoversGroup=false and |G(C)|=support are the
+			// conservative fallbacks (they never under-predict
+			// misses for uniform/distinct plans).
+			st.expectedMissed += accuracy.MissProbability(sq.sampler, sq.p, tg.support, false, 0)
+			g, ok := got[key]
+			if !ok {
+				st.missed++
+				continue
+			}
+			if float64(g.SampleRows) < minSupport {
+				continue
+			}
+			for i, truthVal := range tg.values {
+				if i >= len(g.Values) || math.IsNaN(truthVal) {
+					continue
+				}
+				est, isNum := toFloat(g.Values[i])
+				if !isNum || i >= len(g.CI95) || g.CI95[i] <= 0 {
+					continue // MIN/MAX/COUNT DISTINCT carry no bars
+				}
+				st.pairs++
+				if math.Abs(est-truthVal) <= g.CI95[i] {
+					st.covered++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// checkSweepStats applies the acceptance bars to one query's sweep.
+func checkSweepStats(t *testing.T, sq sweepQuery, st sweepStats) {
+	t.Helper()
+	if st.pairs == 0 {
+		t.Fatalf("no coverage observations (all groups below support %d?)", minSupport)
+	}
+	cov := float64(st.covered) / float64(st.pairs)
+	t.Logf("%s: coverage %.3f over %d pairs; missed %d/%d groups (Prop 4 expects ≤ %.1f); %d partitions pruned",
+		sq.q.ID, cov, st.pairs, st.missed, st.groupObs, st.expectedMissed, st.prunedParts)
+	if cov < coverageFloor {
+		t.Errorf("CI95 covered truth in %.1f%% of %d observations, want ≥ %.0f%%",
+			100*cov, st.pairs, 100*coverageFloor)
+	}
+	// Missed groups: observed count stays within the Prop 4
+	// prediction plus 4σ binomial slack (variance ≤ mean).
+	bound := st.expectedMissed + 4*math.Sqrt(st.expectedMissed+1) + 2
+	if sq.sampler != lplan.SamplerUniverse && float64(st.missed) > bound {
+		t.Errorf("missed %d groups over %d seeds; Proposition 4 bounds this by %.1f",
+			st.missed, sweepSeeds, bound)
+	}
+}
+
 func TestSeedSweepCoverage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep runs nightly; skipped in -short")
@@ -174,68 +254,40 @@ func TestSeedSweepCoverage(t *testing.T) {
 	for _, sq := range queries {
 		sq := sq
 		t.Run(sq.q.ID, func(t *testing.T) {
-			var covered, pairs int     // CI-coverage observations
-			var missed, groupObs int   // missed-group observations
-			var expectedMissed float64 // Proposition 4 prediction
-			for seed := uint64(1); seed <= sweepSeeds; seed++ {
-				env.Eng.SetSeed(seed)
-				approx, err := env.Eng.ExecApprox(sq.q.SQL)
-				if err != nil {
-					t.Fatalf("seed %d: %v", seed, err)
-				}
-				got := map[string]quickr.GroupEstimate{}
-				for _, g := range approx.Estimates {
-					got[keyString(g.Key, sq.keyCols)] = g
-				}
-				for key, tg := range sq.truth {
-					groupObs++
-					// Proposition 4: miss probability for this group's
-					// support under the plan's root-equivalent sampler.
-					// stratCoversGroup=false and |G(C)|=support are the
-					// conservative fallbacks (they never under-predict
-					// misses for uniform/distinct plans).
-					expectedMissed += accuracy.MissProbability(sq.sampler, sq.p, tg.support, false, 0)
-					g, ok := got[key]
-					if !ok {
-						missed++
-						continue
-					}
-					if float64(g.SampleRows) < minSupport {
-						continue
-					}
-					for i, truthVal := range tg.values {
-						if i >= len(g.Values) || math.IsNaN(truthVal) {
-							continue
-						}
-						est, isNum := toFloat(g.Values[i])
-						if !isNum || i >= len(g.CI95) || g.CI95[i] <= 0 {
-							continue // MIN/MAX/COUNT DISTINCT carry no bars
-						}
-						pairs++
-						if math.Abs(est-truthVal) <= g.CI95[i] {
-							covered++
-						}
-					}
-				}
-			}
-			if pairs == 0 {
-				t.Fatalf("no coverage observations (all groups below support %d?)", minSupport)
-			}
-			cov := float64(covered) / float64(pairs)
-			t.Logf("%s: coverage %.3f over %d pairs; missed %d/%d groups (Prop 4 expects ≤ %.1f)",
-				sq.q.ID, cov, pairs, missed, groupObs, expectedMissed)
-			if cov < coverageFloor {
-				t.Errorf("CI95 covered truth in %.1f%% of %d observations, want ≥ %.0f%%",
-					100*cov, pairs, 100*coverageFloor)
-			}
-			// Missed groups: observed count stays within the Prop 4
-			// prediction plus 4σ binomial slack (variance ≤ mean).
-			bound := expectedMissed + 4*math.Sqrt(expectedMissed+1) + 2
-			if sq.sampler != lplan.SamplerUniverse && float64(missed) > bound {
-				t.Errorf("missed %d groups over %d seeds; Proposition 4 bounds this by %.1f",
-					missed, sweepSeeds, bound)
-			}
+			checkSweepStats(t, sq, sweepQueryOverSeeds(t, env, sq))
 		})
+	}
+	env.Eng.SetSeed(0)
+}
+
+// TestSeedSweepCoveragePruned is the partition-selection variant of the
+// sweep: with pruning enabled, the reported CI95 bars (now including
+// the partition-level cluster-variance term) must still cover the
+// ground truth at the same ≥90% floor, and the pass must actually skip
+// partitions on at least one swept query — otherwise the sweep is not
+// exercising the inflated-weight estimators at all. It runs at a larger
+// scale factor than the base sweep because pruning eligibility needs
+// multi-partition fact tables with a sampler directly over the scan.
+func TestSeedSweepCoveragePruned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep runs nightly; skipped in -short")
+	}
+	env := NewTPCDSEnv(0.2)
+	queries := pickSweepQueries(t, env, 5)
+	env.Eng.SetPrune(true)
+	defer env.Eng.SetPrune(false)
+
+	var totalPruned int64
+	for _, sq := range queries {
+		sq := sq
+		t.Run(sq.q.ID, func(t *testing.T) {
+			st := sweepQueryOverSeeds(t, env, sq)
+			totalPruned += st.prunedParts
+			checkSweepStats(t, sq, st)
+		})
+	}
+	if totalPruned == 0 {
+		t.Error("no swept query pruned any partition; the sweep did not exercise partition selection")
 	}
 	env.Eng.SetSeed(0)
 }

@@ -13,8 +13,8 @@ package metrics
 import "time"
 
 // Slot holds the counters one partition (task) accumulates for one
-// operator. Concurrent partitions must touch only their own slot;
-// padding keeps adjacent slots on separate cache lines so partition
+// operator. Concurrent partitions must touch only their own slot; the
+// struct is kept at exactly 128 bytes (two cache lines) so partition
 // workers do not false-share.
 type Slot struct {
 	RowsIn, RowsOut   int64
@@ -47,8 +47,12 @@ type Slot struct {
 	// fallbacks. Both stay zero in row mode.
 	KernelLanes  int64
 	FallbackRows int64
-
-	_ [16]byte // pad to 128 bytes (two cache lines)
+	// PartsScanned/PartsPruned report a pruned scan's partition
+	// selection: each kept partition's slot records PartsScanned=1, and
+	// the skipped-partition count lands on slot 0. Both stay zero for
+	// unpruned scans.
+	PartsScanned int64
+	PartsPruned  int64
 }
 
 func (s *Slot) add(o *Slot) {
@@ -66,6 +70,8 @@ func (s *Slot) add(o *Slot) {
 	s.WallNanos += o.WallNanos
 	s.KernelLanes += o.KernelLanes
 	s.FallbackRows += o.FallbackRows
+	s.PartsScanned += o.PartsScanned
+	s.PartsPruned += o.PartsPruned
 }
 
 // NoteBatch records one emitted batch of the given byte size, tracking

@@ -27,6 +27,12 @@ type Planner struct {
 	// every emitted physical node (EXPLAIN ANALYZE compares these
 	// against executed counts). Plan initializes it if nil.
 	Ests map[exec.PNode]float64
+	// Prune enables the partition-selection pass (prune.go): sampled
+	// plans whose summaries cover the sampler's columns scan a weighted
+	// partition subset instead of every partition. Off by default;
+	// plans compiled with Prune=false are bit-identical to before the
+	// pass existed.
+	Prune bool
 
 	topAgg     *lplan.Aggregate
 	samplerSeq uint64
@@ -38,7 +44,11 @@ func (pl *Planner) Plan(n lplan.Node) (exec.PNode, error) {
 	if pl.Ests == nil {
 		pl.Ests = map[exec.PNode]float64{}
 	}
-	return pl.compile(n)
+	p, err := pl.compile(n)
+	if err == nil && p != nil && pl.Prune {
+		pl.applyPruning(p)
+	}
+	return p, err
 }
 
 // compile wraps compileNode, tagging the emitted operator with the

@@ -1,0 +1,306 @@
+package opt
+
+// Partition-selection pass (ROADMAP item 2): for pruning-eligible
+// sampled plans, pick a weighted subset of a scan's stored partitions
+// from the per-partition summary statistics (internal/table/summary.go)
+// instead of reading every partition and discarding rows afterwards.
+// The shape follows "Approximate Partition Selection for Big-Data
+// Workloads using Summary Statistics" (Rong, Lu, Kandula et al., VLDB
+// 2020): partitions that are sole or dominant holders of a
+// stratification/group key form a certainty stratum kept with weight 1;
+// the remaining tail is subsampled without replacement and inflated by
+// the inverse inclusion probability, keeping downstream aggregates
+// Horvitz–Thompson-unbiased.
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"quickr/internal/exec"
+	"quickr/internal/lplan"
+)
+
+const (
+	// pruneMinParts is the smallest table (in partitions) worth pruning.
+	pruneMinParts = 4
+	// pruneMaxKeys caps the distinct keys per guarded column: beyond
+	// this the summaries cannot certify the complete key→partition map.
+	pruneMaxKeys = 1024
+	// pruneTailR is the target tail-partition inclusion probability.
+	pruneTailR = 0.3
+)
+
+// pruneCandidate pairs a scan with the nearest real sampler above it in
+// the same streaming chain (only filters between — projections remap
+// ColumnIDs and breakers end the chain).
+type pruneCandidate struct {
+	scan *exec.PScan
+	samp *exec.PSample
+}
+
+// applyPruning decides partition selection for at most one scan of the
+// compiled plan (the widest eligible one) and records the decision on
+// the scan and in the estimator config so the accuracy analysis can
+// charge the added cluster-sampling variance.
+func (pl *Planner) applyPruning(root exec.PNode) {
+	if pl.EstCfg == nil || hasCountDistinct(root) {
+		// Unsampled plans must stay exact; COUNT DISTINCT has no
+		// partition-level HT correction (Table 8 scales by 1/p only).
+		return
+	}
+	cands := collectPruneCandidates(root)
+	var best *pruneCandidate
+	for i := range cands {
+		if len(cands[i].scan.Tbl.Partitions) < pruneMinParts || cands[i].scan.Prune != nil {
+			continue
+		}
+		if best == nil || len(cands[i].scan.Tbl.Partitions) > len(best.scan.Tbl.Partitions) {
+			best = &cands[i]
+		}
+	}
+	if best == nil {
+		return
+	}
+	pr, tailFrac := selectPartitions(best.scan, best.samp, topGroupCols(root), pl.Seed)
+	if pr == nil {
+		return
+	}
+	best.scan.Prune = pr
+	pl.EstCfg.PartP = pr.TailP
+	pl.EstCfg.PartTail = keptTail(pr)
+	pl.EstCfg.PartTailFrac = tailFrac
+}
+
+// keptTail counts the kept tail-stratum partitions (Inflate > 1).
+func keptTail(pr *exec.PrunedScan) int {
+	n := 0
+	for _, f := range pr.Inflate {
+		if f > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// collectPruneCandidates walks the plan pairing scans with the nearest
+// real sampler above them through filter-only chains.
+func collectPruneCandidates(root exec.PNode) []pruneCandidate {
+	var out []pruneCandidate
+	var rec func(n exec.PNode, samp *exec.PSample)
+	rec = func(n exec.PNode, samp *exec.PSample) {
+		switch x := n.(type) {
+		case *exec.PSample:
+			if x.Def.Type != lplan.SamplerPassThrough && x.Def.P > 0 && x.Def.P < 1 {
+				samp = x
+			}
+			rec(x.In, samp)
+		case *exec.PFilter:
+			rec(x.In, samp)
+		case *exec.PScan:
+			if samp != nil {
+				out = append(out, pruneCandidate{scan: x, samp: samp})
+			}
+		default:
+			for _, k := range n.Kids() {
+				rec(k, nil)
+			}
+		}
+	}
+	rec(root, nil)
+	return out
+}
+
+// hasCountDistinct reports whether any aggregate in the plan computes
+// COUNT DISTINCT.
+func hasCountDistinct(root exec.PNode) bool {
+	found := false
+	exec.WalkP(root, func(n exec.PNode) {
+		if a, ok := n.(*exec.PHashAgg); ok {
+			for _, s := range a.Aggs {
+				if s.Kind == lplan.AggCountDistinct {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// topGroupCols returns the group columns of the top aggregate, if any.
+func topGroupCols(root exec.PNode) []lplan.ColumnID {
+	var out []lplan.ColumnID
+	exec.WalkP(root, func(n exec.PNode) {
+		if a, ok := n.(*exec.PHashAgg); ok && a.Top {
+			out = a.GroupCols
+		}
+	})
+	return out
+}
+
+// selectPartitions picks the weighted partition subset for one scan, or
+// nil when the summaries cannot certify eligibility. Also returns the
+// fraction of table rows held by the tail stratum (for the variance
+// model).
+func selectPartitions(scan *exec.PScan, samp *exec.PSample, groupCols []lplan.ColumnID, seed uint64) (*exec.PrunedScan, float64) {
+	tbl := scan.Tbl
+	parts := len(tbl.Partitions)
+	pos := func(id lplan.ColumnID) int {
+		for i, ci := range scan.OutCols {
+			if ci.ID == id {
+				return scan.ColIdx[i]
+			}
+		}
+		return -1
+	}
+	sums := tbl.Summaries()
+	colComplete := func(c int) bool {
+		distinct := map[string]bool{}
+		for _, ps := range sums {
+			cs := &ps.Cols[c]
+			if !cs.Complete {
+				return false
+			}
+			for _, h := range cs.Heavy {
+				distinct[h.Key] = true
+			}
+			if len(distinct) > pruneMaxKeys {
+				return false
+			}
+		}
+		return true
+	}
+	// Sampler stratification/universe columns must be fully covered by
+	// the summaries (strict eligibility, ISSUE C1/C2); the top agg's
+	// group columns are guarded best-effort when they resolve to this
+	// table and stayed exactly countable.
+	var guard []int
+	seenGuard := map[int]bool{}
+	need := append(append([]lplan.ColumnID{}, samp.Def.Cols...), samp.Def.BucketCols...)
+	for _, id := range need {
+		c := pos(id)
+		if c < 0 || !colComplete(c) {
+			return nil, 0
+		}
+		if !seenGuard[c] {
+			seenGuard[c] = true
+			guard = append(guard, c)
+		}
+	}
+	for _, id := range groupCols {
+		if c := pos(id); c >= 0 && !seenGuard[c] && colComplete(c) {
+			seenGuard[c] = true
+			guard = append(guard, c)
+		}
+	}
+	// Certainty stratum: for every guarded key, keep its dominant
+	// partition; keys spread over ≤2 partitions keep every holder (a
+	// rare key must not depend on a tail coin flip for coverage).
+	certain := make([]bool, parts)
+	for _, c := range guard {
+		type loc struct {
+			part int
+			freq int64
+		}
+		byKey := map[string][]loc{}
+		for p, ps := range sums {
+			for _, h := range ps.Cols[c].Heavy {
+				byKey[h.Key] = append(byKey[h.Key], loc{p, h.Freq})
+			}
+		}
+		for _, locs := range byKey {
+			if len(locs) <= 2 {
+				for _, l := range locs {
+					certain[l.part] = true
+				}
+				continue
+			}
+			top := locs[0]
+			for _, l := range locs[1:] {
+				if l.freq > top.freq || (l.freq == top.freq && l.part < top.part) {
+					top = l
+				}
+			}
+			certain[top.part] = true
+		}
+	}
+	var tail []int
+	for p := 0; p < parts; p++ {
+		if !certain[p] {
+			tail = append(tail, p)
+		}
+	}
+	m := len(tail)
+	if m < 2 {
+		// Everything is certainty stratum: nothing to subsample.
+		return nil, 0
+	}
+	// Tail subsample without replacement: order tail partitions by a
+	// deterministic per-(seed, table, partition) hash and keep the k
+	// smallest, so every tail partition has inclusion probability k/m
+	// and at least one survives (no math/rand: runs must replay).
+	k := int(float64(m)*pruneTailR + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	nameH := fnvHash(tbl.Name)
+	order := append([]int{}, tail...)
+	sort.Slice(order, func(i, j int) bool {
+		hi := pruneMix(seed ^ nameH ^ uint64(order[i])*0x9E3779B97F4A7C15)
+		hj := pruneMix(seed ^ nameH ^ uint64(order[j])*0x9E3779B97F4A7C15)
+		if hi != hj {
+			return hi < hj
+		}
+		return order[i] < order[j]
+	})
+	tailP := float64(k) / float64(m)
+	inflate := float64(m) / float64(k)
+	keepSet := map[int]float64{}
+	for p := 0; p < parts; p++ {
+		if certain[p] {
+			keepSet[p] = 1
+		}
+	}
+	for _, p := range order[:k] {
+		keepSet[p] = inflate
+	}
+	pr := &exec.PrunedScan{TailP: tailP, TailTotal: m}
+	for p := 0; p < parts; p++ {
+		if f, ok := keepSet[p]; ok {
+			pr.Keep = append(pr.Keep, p)
+			pr.Inflate = append(pr.Inflate, f)
+		}
+	}
+	pr.Pruned = parts - len(pr.Keep)
+	if pr.Pruned == 0 {
+		return nil, 0
+	}
+	var tailRows, totalRows int64
+	for p, ps := range sums {
+		totalRows += int64(ps.NumRows)
+		if !certain[p] {
+			tailRows += int64(ps.NumRows)
+		}
+	}
+	tailFrac := 0.0
+	if totalRows > 0 {
+		tailFrac = float64(tailRows) / float64(totalRows)
+	}
+	return pr, tailFrac
+}
+
+// pruneMix is a splitmix64 finalizer: the tail draw must avalanche well
+// on consecutive partition indexes.
+func pruneMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

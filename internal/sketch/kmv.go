@@ -39,7 +39,15 @@ func (s *KMV) Add(key string) {
 	}
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	v := mix64(h.Sum64())
+	s.insertHash(mix64(h.Sum64()))
+	if s.exact != nil && len(s.exact) > 4*s.k {
+		s.exact = nil // fall back to the sketch estimate
+	}
+}
+
+// insertHash folds one (already mixed) hash value into the k-minimum
+// set, keeping hashes sorted ascending and capped at k.
+func (s *KMV) insertHash(v uint64) {
 	if s.seen[v] {
 		return
 	}
@@ -59,9 +67,52 @@ func (s *KMV) Add(key string) {
 		delete(s.seen, drop)
 		s.hashes = s.hashes[:len(s.hashes)-1]
 	}
-	if s.exact != nil && len(s.exact) > 4*s.k {
-		s.exact = nil // fall back to the sketch estimate
+}
+
+// Merge folds another sketch into s, as if every value o observed had
+// been Added to s. The merged k-minimum set stays valid because the
+// union's k smallest hashes are a subset of the two inputs' k smallest.
+// When the sketches disagree on k, the merged sketch degrades to the
+// smaller k (beyond o's k-th minimum o carries no information, so the
+// result can only certify min(k) minima). Exact mode survives only
+// while both inputs are exact and the union stays small, matching Add's
+// fallback rule.
+func (s *KMV) Merge(o *KMV) {
+	if o == nil {
+		return
 	}
+	s.n += o.n
+	if s.exact != nil && o.exact != nil {
+		for key := range o.exact {
+			s.exact[key] = true
+		}
+	} else {
+		s.exact = nil
+	}
+	if o.k < s.k {
+		s.k = o.k
+		for len(s.hashes) > s.k {
+			drop := s.hashes[len(s.hashes)-1]
+			delete(s.seen, drop)
+			s.hashes = s.hashes[:len(s.hashes)-1]
+		}
+	}
+	for _, v := range o.hashes {
+		s.insertHash(v)
+	}
+	if s.exact != nil && len(s.exact) > 4*s.k {
+		s.exact = nil
+	}
+}
+
+// ExactCount returns the exact distinct count while the sketch is still
+// in exact mode (small streams), with ok=false once it has fallen back
+// to the k-minimum estimate.
+func (s *KMV) ExactCount() (int, bool) {
+	if s.exact == nil {
+		return 0, false
+	}
+	return len(s.exact), true
 }
 
 // Estimate returns the estimated number of distinct values.

@@ -183,8 +183,8 @@ func colAt(r Row, c int) Value {
 // it on first use. Safe for concurrent use; Append invalidates the
 // affected partition's cache.
 func (t *Table) Columnar(i int) *ColPartition {
-	t.colMu.Lock()
-	defer t.colMu.Unlock()
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
 	if t.colCache == nil {
 		t.colCache = make([]*ColPartition, len(t.Partitions))
 	}
@@ -202,13 +202,4 @@ func (t *Table) EnsureColumnar() {
 	for i := range t.Partitions {
 		t.Columnar(i)
 	}
-}
-
-// invalidateColumnar drops the cached columnar form of partition p.
-func (t *Table) invalidateColumnar(p int) {
-	t.colMu.Lock()
-	if t.colCache != nil {
-		t.colCache[p] = nil
-	}
-	t.colMu.Unlock()
 }

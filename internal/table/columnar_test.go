@@ -155,3 +155,72 @@ func TestTableColumnarConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Appends racing cached scans (run with -race): Append shares one
+// critical section with both cache invalidations, so a reader must
+// never see a columnar form or summary whose row count disagrees with
+// what it was built from — any snapshot it gets is internally
+// consistent even while writes continue.
+func TestTableAppendVsScanConcurrent(t *testing.T) {
+	sc := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "s", Kind: KindString})
+	tbl := New("avs", sc, 4)
+	for i := 0; i < 400; i++ {
+		tbl.Append(i, Row{NewInt(int64(i)), NewString(fmt.Sprintf("v%d", i%10))})
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 400; i < 4400; i++ {
+			tbl.Append(i, Row{NewInt(int64(i)), NewString(fmt.Sprintf("v%d", i%10))})
+		}
+		close(done)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // readers alternate columnar and summary scans
+			defer wg.Done()
+			for {
+				for p := 0; p < 4; p++ {
+					cp := tbl.Columnar(p)
+					var lanes int
+					for c := range cp.Cols {
+						if l := cp.Cols[c].Len(); c == 0 {
+							lanes = l
+						} else if l != lanes {
+							t.Errorf("partition %d: ragged columnar form (%d vs %d lanes)", p, l, lanes)
+							return
+						}
+					}
+					if cp.NumRows != lanes {
+						t.Errorf("partition %d: NumRows=%d but %d lanes", p, cp.NumRows, lanes)
+						return
+					}
+					ps := tbl.Summary(p)
+					if ps.Cols[0].NonNull != int64(ps.NumRows) {
+						t.Errorf("partition %d: summary NonNull=%d over %d rows", p, ps.Cols[0].NonNull, ps.NumRows)
+						return
+					}
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After the writer drains, fresh scans must see every row.
+	total := 0
+	for p := 0; p < 4; p++ {
+		total += tbl.Columnar(p).NumRows
+		if tbl.Summary(p).NumRows != tbl.Columnar(p).NumRows {
+			t.Fatalf("partition %d: summary and columnar disagree post-drain", p)
+		}
+	}
+	if total != 4400 {
+		t.Fatalf("post-drain rows=%d, want 4400", total)
+	}
+}

@@ -84,10 +84,15 @@ type Table struct {
 	Schema     *Schema
 	Partitions [][]Row
 
-	// Lazily-built column-major mirror of each partition, for the
-	// vectorized executor (see columnar.go).
-	colMu    sync.Mutex
+	// Lazily-built per-partition caches: a column-major mirror for the
+	// vectorized executor (columnar.go) and summary statistics for the
+	// optimizer's partition-selection pass (summary.go). One mutex
+	// guards both so Append invalidates them atomically — a scan must
+	// never observe a fresh columnar partition paired with a stale
+	// summary or vice versa.
+	cacheMu  sync.Mutex
 	colCache []*ColPartition
+	sumCache []*PartitionSummary
 }
 
 // New creates a table with the given number of empty partitions.
@@ -99,10 +104,20 @@ func New(name string, schema *Schema, parts int) *Table {
 }
 
 // Append adds a row to partition i%len(partitions) (round-robin helper).
+// The append and the invalidation of both derived caches share one
+// critical section: a concurrent Columnar/Summary call can never pair
+// the new row count with a stale cached form of either kind.
 func (t *Table) Append(i int, r Row) {
 	p := i % len(t.Partitions)
+	t.cacheMu.Lock()
 	t.Partitions[p] = append(t.Partitions[p], r)
-	t.invalidateColumnar(p)
+	if t.colCache != nil {
+		t.colCache[p] = nil
+	}
+	if t.sumCache != nil {
+		t.sumCache[p] = nil
+	}
+	t.cacheMu.Unlock()
 }
 
 // NumRows returns the total number of rows in the table.

@@ -96,6 +96,7 @@ type Engine struct {
 	batchSize  int
 	columnar   bool
 	planChecks bool
+	prune      bool
 	// epoch versions everything a prepared plan depends on: it bumps on
 	// DDL, data loads and every Set* call, invalidating the plan cache.
 	epoch uint64
@@ -227,6 +228,21 @@ func (e *Engine) SetPlanChecks(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.planChecks = on
+	e.bump()
+}
+
+// SetPrune toggles the optimizer's partition-selection pass: when
+// enabled, sampled plans whose partition summaries fully certify the
+// sampler's column needs scan only a weighted subset of partitions
+// (heavy-hitter partitions kept outright, the tail subsampled with
+// Horvitz–Thompson inflation) and the reported confidence intervals
+// widen by the partition-level cluster variance. Off by default;
+// while off, plans and results are bit-identical to an engine without
+// the pass. The CLI flag `quickr -prune` enables the same pass.
+func (e *Engine) SetPrune(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.prune = on
 	e.bump()
 }
 
@@ -439,7 +455,7 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 
 func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, error) {
 	e.mu.RLock()
-	cfg, opts, seed, planChecks := e.cfg, e.opts, e.seed, e.planChecks
+	cfg, opts, seed, planChecks, prune := e.cfg, e.opts, e.seed, e.planChecks, e.prune
 	e.mu.RUnlock()
 	binder := catalog.NewBinder(e.cat)
 	logical, err := binder.Bind(stmt)
@@ -487,7 +503,7 @@ func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, erro
 			return nil, fmt.Errorf("quickr: optimized logical plan is invalid: %w", err)
 		}
 	}
-	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: seed}
+	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: seed, Prune: prune}
 	physical, err := planner.Plan(p.logical)
 	if err != nil {
 		return nil, err

@@ -30,6 +30,12 @@ type RunMetrics struct {
 	// on shared pool workers.
 	PoolTasks  int `json:"pool_tasks"`
 	PoolStolen int `json:"pool_stolen"`
+	// PartitionsScanned and PartitionsPruned count base-table partitions
+	// read and skipped by the partition-selection pass. Always emitted
+	// (schema-checked by benchcheck); both reflect full scans when the
+	// pass is off or ineligible, with PartitionsPruned = 0.
+	PartitionsScanned int64 `json:"partitions_scanned"`
+	PartitionsPruned  int64 `json:"partitions_pruned"`
 }
 
 // RunReport is the machine-readable report of one executed query,
@@ -76,6 +82,8 @@ func (r *Result) RunReport(query string, approx bool) *RunReport {
 			PoolWaitSeconds:   r.PoolWaitSeconds,
 			PoolTasks:         r.PoolTasks,
 			PoolStolen:        r.PoolStolen,
+			PartitionsScanned: r.PartitionsScanned,
+			PartitionsPruned:  r.PartitionsPruned,
 		},
 		Operators: r.Stats.Report(),
 	}

@@ -49,6 +49,12 @@ type Result struct {
 	PeakInFlightBytes float64
 	// RowsProcessed counts base-table rows driven through the plan.
 	RowsProcessed int64
+	// PartitionsScanned and PartitionsPruned count base-table partitions
+	// read and skipped by the optimizer's partition-selection pass
+	// (PartitionsPruned is 0 unless the engine ran with SetPrune(true)
+	// and the plan was pruning-eligible).
+	PartitionsScanned int64
+	PartitionsPruned  int64
 	// ExecSeconds is real wall-clock execution time (not simulated).
 	ExecSeconds float64
 	// QueuedSeconds is the time the query waited at the byte-budget
@@ -102,6 +108,8 @@ func newResult(r *exec.Result, p *prepared) *Result {
 
 		PeakInFlightBytes: r.PeakInFlightBytes,
 		RowsProcessed:     r.RowsProcessed,
+		PartitionsScanned: r.PartitionsScanned,
+		PartitionsPruned:  r.PartitionsPruned,
 		ExecSeconds:       r.ExecSeconds,
 		QueuedSeconds:     float64(r.QueuedNanos) / 1e9,
 		AdmittedBytes:     r.AdmittedBytes,
