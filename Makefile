@@ -56,11 +56,16 @@ smoke-bench:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (see internal/lint and DESIGN.md §8):
-# norawrand, slotdiscipline, weightprop, noprintf. Zero findings
-# required.
+# Project-specific analyzers (see internal/lint and DESIGN.md §8/§13):
+# the syntactic walkers (norawrand, slotdiscipline, weightprop,
+# noprintf), the dataflow analyzers (lockdiscipline, ctxflow, hotalloc,
+# arenasafe) and //lint:ignore hygiene. Zero findings required. The
+# same invocation then proves the optimizer's rewrite registry sound
+# over $(SOUNDNESS_PLANS) generated plans (internal/opt/soundness);
+# nightly CI raises the sweep to 5000.
+SOUNDNESS_PLANS ?= 500
 quickrlint:
-	$(GO) run ./cmd/quickrlint ./...
+	$(GO) run ./cmd/quickrlint -soundness $(SOUNDNESS_PLANS) ./...
 
 # lint = vet + gofmt + quickrlint, plus staticcheck/govulncheck when
 # they are installed (the hermetic dev container has no network, so

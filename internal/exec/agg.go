@@ -127,6 +127,7 @@ func (e colMissingError) Error() string { return "exec: aggregate input column m
 
 func errColMissing(id lplan.ColumnID) error { return colMissingError(id) }
 
+//hot:per-input-row grouped-aggregation accumulate, gated by BenchmarkGroupedAgg and BenchmarkRowPathPreAgg
 func (r *aggRunner) add(row table.Row, w float64) {
 	h := hashRowKey(row, r.groupIdx)
 	gi := r.idx.probe(h, func(i int) bool { return rowKeyEqualValues(r.groups[i].key, row, r.groupIdx) })
@@ -229,6 +230,8 @@ func (r *aggRunner) add(row table.Row, w float64) {
 // reusing the row is safe). The add() call sequence — and therefore
 // every accumulator state — is identical to running add() over the
 // materialized rows. Returns the number of rows folded.
+//
+//hot:per-batch columnar aggregation gather loop
 func (r *aggRunner) addBatch(b *Batch, sc *colScratch) int {
 	row := sc.row(len(b.cols))
 	if b.sel != nil {

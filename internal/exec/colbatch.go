@@ -61,6 +61,8 @@ func liveBytes(cols []Vector, sel []int32) float64 {
 
 // gatherRow materializes physical lane i as an arena-backed row plus
 // its cached size, identical to newWRow(row, w) in row mode.
+//
+//hot:per-lane row materialization at pipeline sinks
 func gatherRow(a *rowArena, cols []Vector, lane int32, w float64) wrow {
 	row := a.alloc(len(cols))
 	sz := 8
@@ -73,6 +75,8 @@ func gatherRow(a *rowArena, cols []Vector, lane int32, w float64) wrow {
 
 // materialize converts the live rows of a batch to []wrow, appending to
 // out. Only pipeline sinks (breaker boundaries) call this.
+//
+//hot:batch sink materialization, gated by the columnar micro benches
 func (b *Batch) materialize(a *rowArena, out []wrow) []wrow {
 	if b.sel != nil {
 		for _, lane := range b.sel {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"quickr/internal/cluster"
@@ -182,6 +183,7 @@ func (s *colRowSource) Next() (Batch, error) {
 // colFilterOp evaluates the predicate kernel and keeps the truthy lanes
 // in the selection, pulling more input until it has survivors.
 type colFilterOp struct {
+	ctx   context.Context
 	child colOperator
 	kern  colKernel
 	sc    *colScratch
@@ -193,6 +195,11 @@ type colFilterOp struct {
 
 func (f *colFilterOp) Next() (Batch, error) {
 	for {
+		// Per-pull cancellation point: a selective kernel can consume
+		// many input batches before the drive loop sees an output batch.
+		if err := ctxErr(f.ctx); err != nil {
+			return Batch{}, err
+		}
 		b, err := f.child.Next()
 		if err != nil || b.Len() == 0 {
 			return Batch{}, err
@@ -316,6 +323,7 @@ func (p *colPassOp) Next() (Batch, error) {
 // lane through a scratch row, admits it, and re-batches its (much
 // smaller) output stream.
 type colSampleOp struct {
+	ctx    context.Context
 	child  colOperator
 	sm     sampler.Sampler
 	unif   *sampler.Uniform
@@ -340,6 +348,10 @@ func (s *colSampleOp) Next() (Batch, error) {
 		return Batch{}, nil
 	}
 	for {
+		// Per-pull cancellation point, mirroring the row-mode sampleOp.
+		if err := ctxErr(s.ctx); err != nil {
+			return Batch{}, err
+		}
 		b, err := s.child.Next()
 		if err != nil {
 			return Batch{}, err
@@ -483,6 +495,7 @@ func (ex *executor) buildColChain(top PNode) (*colChain, error) {
 	var chain []PNode
 	var scan *PScan
 	n := top
+	//lint:ignore ctxflow walk is bounded by plan depth and terminates at a scan or breaker
 	for {
 		if s, ok := n.(*PScan); ok {
 			scan = s
@@ -562,7 +575,7 @@ func (cc *colChain) operatorFor(i int) (colOperator, *colScratch, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			cur = &colFilterOp{child: cur, kern: kern, sc: sc, st: cc.st, task: i, slot: slot}
+			cur = &colFilterOp{ctx: cc.ex.ctx, child: cur, kern: kern, sc: sc, st: cc.st, task: i, slot: slot}
 		case *PProject:
 			cm := buildColMap(x.In.Cols())
 			kerns := make([]colKernel, len(x.Exprs))
@@ -581,7 +594,7 @@ func (cc *colChain) operatorFor(i int) (colOperator, *colScratch, error) {
 			}
 			sm := sp.newSampler(i)
 			op := &colSampleOp{
-				child: cur, sm: sm, colIdx: sp.colIdx,
+				ctx: cc.ex.ctx, child: cur, sm: sm, colIdx: sp.colIdx,
 				st: cc.st, task: i, slot: slot, sc: sc,
 			}
 			switch t := sm.(type) {

@@ -28,6 +28,8 @@ import (
 // into one 64-bit FNV-1a hash, consistent with rowKeyEqualValues /
 // rowKeyEqualRows and with concatenated Value.Key() strings:
 // Key()-equal column tuples hash identically, allocation-free.
+//
+//hot:per-row group/join key hash, gated by BenchmarkGroupedAgg allocs/op
 func hashRowKey(row table.Row, idx []int) uint64 {
 	h := uint64(table.KeyHashSeed)
 	for _, i := range idx {
@@ -38,6 +40,8 @@ func hashRowKey(row table.Row, idx []int) uint64 {
 
 // rowKeyEqualValues compares a stored key tuple against the idx columns
 // of row under Value.Key() equality.
+//
+//hot:per-probe key compare on the grouped-agg path
 func rowKeyEqualValues(key []table.Value, row table.Row, idx []int) bool {
 	for j, i := range idx {
 		if !key[j].KeyEqual(row[i]) {
@@ -49,6 +53,8 @@ func rowKeyEqualValues(key []table.Value, row table.Row, idx []int) bool {
 
 // rowKeyEqualRows compares the idx columns of two rows under
 // Value.Key() equality.
+//
+//hot:per-probe key compare on the join path
 func rowKeyEqualRows(a, b table.Row, idx []int) bool {
 	for _, i := range idx {
 		if !a[i].KeyEqual(b[i]) {
@@ -61,6 +67,8 @@ func rowKeyEqualRows(a, b table.Row, idx []int) bool {
 // appendRowKey appends the legacy concatenated group key (each column's
 // Value.Key() followed by a NUL separator) to b. Group emit order sorts
 // these strings, exactly as the per-row strings.Builder keys used to.
+//
+//hot:per-group key rendering, reuses the caller's byte buffer
 func appendRowKey(b []byte, row table.Row, idx []int) []byte {
 	for _, i := range idx {
 		b = row[i].AppendKey(b)
@@ -101,7 +109,10 @@ func (t *hashIndex) len() int { return len(t.entry) }
 // probe returns the entry index whose hash is h and for which eq
 // reports a true key match, or -1. eq only runs on slots with an exact
 // hash match, so with a sound hash it is rarely called more than once.
+//
+//hot:per-row open-addressing probe, gated by BenchmarkGroupedAgg allocs/op
 func (t *hashIndex) probe(h uint64, eq func(int) bool) int {
+	//lint:ignore ctxflow open-addressing probe; load factor < 1/2 guarantees a vacant slot within one wrap
 	for s := h & t.mask; ; s = (s + 1) & t.mask {
 		e := t.slots[s]
 		if e == 0 {
@@ -121,6 +132,7 @@ func (t *hashIndex) add(h uint64) int {
 	}
 	t.entry = append(t.entry, h)
 	e := len(t.entry) // stored +1
+	//lint:ignore ctxflow open-addressing insert; grow() above keeps a vacant slot reachable
 	for s := h & t.mask; ; s = (s + 1) & t.mask {
 		if t.slots[s] == 0 {
 			t.slots[s] = int32(e)
@@ -137,6 +149,7 @@ func (t *hashIndex) grow() {
 	t.slots = make([]int32, capSlots)
 	t.hash = make([]uint64, capSlots)
 	for i, h := range t.entry {
+		//lint:ignore ctxflow open-addressing reinsert into a freshly doubled (half-empty) directory
 		for s := h & t.mask; ; s = (s + 1) & t.mask {
 			if t.slots[s] == 0 {
 				t.slots[s] = int32(i + 1)
@@ -245,6 +258,7 @@ func buildJoinTable(rows []wrow, keyIdx []int, parallel func(n int, fn func(i in
 			if h&t.shardMask != uint64(si) {
 				continue
 			}
+			//lint:ignore ctxflow open-addressing insert; directory sized 2x entries, vacancy guaranteed
 			for s := (h >> t.shardBits) & sh.mask; ; s = (s + 1) & sh.mask {
 				if sh.head[s] == 0 {
 					sh.hash[s] = h
@@ -275,8 +289,11 @@ func buildJoinTable(rows []wrow, keyIdx []int, parallel func(n int, fn func(i in
 
 // lookup returns the first build-row index whose join-key hash is h, or
 // -1. Follow t.next[i] for the rest of the chain.
+//
+//hot:per-probe-row join lookup, gated by BenchmarkJoin* allocs/op
 func (t *joinTable) lookup(h uint64) int32 {
 	sh := &t.shards[h&t.shardMask]
+	//lint:ignore ctxflow open-addressing probe; load factor < 1/2 guarantees a vacant slot within one wrap
 	for s := (h >> t.shardBits) & sh.mask; ; s = (s + 1) & sh.mask {
 		e := sh.head[s]
 		if e == 0 {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -130,6 +131,7 @@ func (s *rowSource) Next() (batch, error) {
 // filterOp compacts each batch in place, pulling more input until it
 // has survivors or the child is exhausted.
 type filterOp struct {
+	ctx   context.Context
 	child operator
 	pred  evalFunc
 	st    *cluster.Stage
@@ -139,6 +141,13 @@ type filterOp struct {
 
 func (f *filterOp) Next() (batch, error) {
 	for {
+		// The input-pull boundary is a cancellation point of its own: a
+		// selective predicate can consume many input batches before one
+		// output batch reaches the drive loop's check, which would make
+		// cancellation latency O(input) instead of O(batch).
+		if err := ctxErr(f.ctx); err != nil {
+			return batch{}, err
+		}
 		b, err := f.child.Next()
 		if err != nil || len(b.rows) == 0 {
 			return batch{}, err
@@ -224,6 +233,7 @@ func (p *passOp) Next() (batch, error) {
 // batches can make one output batch larger than the current input
 // batch.
 type sampleOp struct {
+	ctx   context.Context
 	child operator
 	sm    sampler.Sampler
 	dist  *sampler.Distinct
@@ -239,6 +249,12 @@ func (s *sampleOp) Next() (batch, error) {
 		return batch{}, nil
 	}
 	for {
+		// Like filterOp: a low-p sampler may swallow whole input batches
+		// without emitting, so check cancellation per pull, not just per
+		// output batch.
+		if err := ctxErr(s.ctx); err != nil {
+			return batch{}, err
+		}
 		b, err := s.child.Next()
 		if err != nil {
 			return batch{}, err
@@ -400,12 +416,14 @@ func (sp *pipeSpec) newSampler(task int) sampler.Sampler {
 	return nil
 }
 
-// instantiate wires the partition-local operator for this spec.
-func (sp *pipeSpec) instantiate(child operator, st *cluster.Stage, task int) operator {
+// instantiate wires the partition-local operator for this spec. ctx is
+// observed by the operators whose Next can pull many input batches per
+// output batch (filter, sample).
+func (sp *pipeSpec) instantiate(ctx context.Context, child operator, st *cluster.Stage, task int) operator {
 	slot := sp.op.Slot(task)
 	switch {
 	case sp.pred != nil:
-		return &filterOp{child: child, pred: sp.pred, st: st, task: task, slot: slot}
+		return &filterOp{ctx: ctx, child: child, pred: sp.pred, st: st, task: task, slot: slot}
 	case sp.fns != nil:
 		return &projectOp{child: child, fns: sp.fns, cost: sp.cost, st: st, task: task, slot: slot}
 	case sp.passthrough:
@@ -413,7 +431,7 @@ func (sp *pipeSpec) instantiate(child operator, st *cluster.Stage, task int) ope
 	default:
 		sm := sp.newSampler(task)
 		dist, _ := sm.(*sampler.Distinct)
-		return &sampleOp{child: child, sm: sm, dist: dist, st: st, task: task, slot: slot}
+		return &sampleOp{ctx: ctx, child: child, sm: sm, dist: dist, st: st, task: task, slot: slot}
 	}
 }
 
@@ -446,6 +464,7 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	var chain []PNode
 	var scan *PScan
 	n := top
+	//lint:ignore ctxflow walk is bounded by plan depth and terminates at a scan or breaker
 	for {
 		if s, ok := n.(*PScan); ok {
 			scan = s
@@ -532,7 +551,7 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 			cur = &rowSource{rows: s.parts[i], size: ex.batch}
 		}
 		for _, sp := range specs {
-			cur = sp.instantiate(cur, st, i)
+			cur = sp.instantiate(ex.ctx, cur, st, i)
 		}
 		out := make([]wrow, 0, hint)
 		for {

@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ArenaSafe enforces the usage contract of the executor's row arena
+// (internal/exec/arena.go). Arena slabs are strictly per-task and the
+// handed-out windows are capacity-capped, which makes exactly three
+// things dangerous, all of which this analyzer flags:
+//
+//  1. sharing: calling alloc on an arena declared OUTSIDE a worker
+//     closure (parallelParts / ex.parallel / pool task bodies) — two
+//     workers carving one slab is a data race the capacity caps do
+//     nothing about;
+//  2. aliasing: `y := append(x, ...)` where x is arena-backed and y is
+//     a different variable — within capacity the append writes the
+//     shared slab tail; past capacity it silently forks a copy, so
+//     either way y's relationship to x is schedule-dependent;
+//  3. escape: storing an arena row somewhere that outlives the task —
+//     a struct field, a package-level variable, a channel send, or a
+//     `go` closure — pins the whole slab (memory bloat) and publishes
+//     unsynchronized per-task memory to other goroutines.
+//
+// Variables are classified arena-backed via reaching definitions: a
+// def whose RHS is `<arenaVar>.alloc(...)` where <arenaVar>'s own
+// defs/declaration are of a type named like an arena ("rowArena", or
+// any `*Arena`/`arena` suffix). One level of copy propagation
+// (`y := x`) is followed.
+var ArenaSafe = &Analyzer{
+	Name: "arenasafe",
+	Doc: "arena-allocated rows must stay task-local: no cross-closure " +
+		"arena sharing, no aliasing appends, no escape via fields, " +
+		"globals, channels or go-closures",
+	Run: runArenaSafe,
+}
+
+// workerSpawners are the call names whose closure argument runs
+// concurrently per task.
+var workerSpawners = map[string]bool{
+	"parallelParts": true,
+	"parallel":      true,
+	"serialFan":     false, // serial: one goroutine, sharing is fine
+	"Run":           true,  // pool.Run(ctx, n, fn)
+}
+
+func runArenaSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkArenaFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isArenaTypeName matches type names that denote a row arena.
+func isArenaTypeName(name string) bool {
+	return name == "rowArena" || strings.HasSuffix(name, "Arena") || strings.HasSuffix(name, "arena")
+}
+
+// arenaVars returns the names of variables in fn (including closure
+// bodies — names are function-unique enough in practice) that denote
+// an arena: declared `var x rowArena`, `x := rowArena{...}` /
+// `&rowArena{...}` / `new(rowArena)`, or a parameter of arena type.
+func arenaVars(fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fn.Recv != nil {
+		for _, fld := range fn.Recv.List {
+			if isArenaTypeName(typeName(fld.Type)) {
+				for _, n := range fld.Names {
+					out[n.Name] = true
+				}
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, fld := range fn.Type.Params.List {
+			if isArenaTypeName(typeName(fld.Type)) {
+				for _, n := range fld.Names {
+					out[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !isArenaTypeName(typeName(vs.Type)) {
+					continue
+				}
+				for _, name := range vs.Names {
+					out[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(x.Rhs) {
+					continue
+				}
+				if isArenaCtor(x.Rhs[i]) {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isArenaCtor(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return isArenaTypeName(typeName(x.Type))
+	case *ast.UnaryExpr:
+		return isArenaCtor(x.X)
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" && len(x.Args) == 1 {
+			return isArenaTypeName(typeName(x.Args[0]))
+		}
+	}
+	return false
+}
+
+// isAllocCall reports whether e is `<arena>.alloc(...)` for a known
+// arena variable, returning the arena variable name.
+func isAllocCall(e ast.Expr, arenas map[string]bool) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "alloc" {
+		return "", false
+	}
+	base := baseIdent(sel.X)
+	if base == "" || !arenas[base] {
+		return "", false
+	}
+	return base, true
+}
+
+func checkArenaFunc(pass *Pass, fn *ast.FuncDecl) {
+	arenas := arenaVars(fn)
+	if len(arenas) == 0 {
+		return
+	}
+
+	// Rule 1: arena declared outside a worker closure must not alloc
+	// inside one. Find worker closures and the arena declarations they
+	// contain; any alloc on an arena not declared within the closure is
+	// shared-slab use.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if !workerSpawners[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			local := map[string]bool{}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.DeclStmt:
+					if gd, ok := x.Decl.(*ast.GenDecl); ok {
+						for _, spec := range gd.Specs {
+							if vs, ok := spec.(*ast.ValueSpec); ok && isArenaTypeName(typeName(vs.Type)) {
+								for _, nm := range vs.Names {
+									local[nm.Name] = true
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range x.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && i < len(x.Rhs) && isArenaCtor(x.Rhs[i]) {
+							local[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if av, ok := isAllocCall(exprOf(m), arenas); ok && !local[av] {
+					pass.Reportf(m.Pos(),
+						"arena %q is declared outside this worker closure: concurrent tasks would "+
+							"carve the same slab (declare the arena inside the per-task function)", av)
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Rules 2 and 3 need to know which variables hold arena rows: use
+	// reaching definitions per graph.
+	graphs := cfgFuncs(fn)
+	for _, g := range graphs {
+		ra := reachingDefs(g)
+		rowVars := arenaRowDefs(ra, arenas)
+		if len(rowVars) == 0 {
+			continue
+		}
+		for _, blk := range g.blocks {
+			for _, s := range blk.stmts {
+				checkArenaStmt(pass, s, ra, rowVars)
+			}
+		}
+	}
+}
+
+func exprOf(n ast.Node) ast.Expr {
+	e, _ := n.(ast.Expr)
+	return e
+}
+
+// arenaRowDefs returns the def ids whose RHS is an arena alloc, plus
+// one level of copy propagation: `y := x` where x's defs include an
+// alloc def.
+func arenaRowDefs(ra *reachAnalysis, arenas map[string]bool) map[int]bool {
+	rows := map[int]bool{}
+	for _, d := range ra.defs {
+		if d.rhs == nil {
+			continue
+		}
+		if _, ok := isAllocCall(d.rhs, arenas); ok {
+			rows[d.id] = true
+		}
+	}
+	// Copy propagation: y := x.
+	for _, d := range ra.defs {
+		if d.rhs == nil {
+			continue
+		}
+		src, ok := d.rhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for _, sd := range ra.defsOf(d.node, src.Name) {
+			if rows[sd.id] {
+				rows[d.id] = true
+			}
+		}
+	}
+	return rows
+}
+
+// isArenaRow reports whether ident e holds an arena row at statement s.
+func isArenaRow(ra *reachAnalysis, rows map[int]bool, s ast.Node, name string) bool {
+	for _, d := range ra.defsOf(s, name) {
+		if rows[d.id] {
+			return true
+		}
+	}
+	return false
+}
+
+func checkArenaStmt(pass *Pass, s ast.Node, ra *reachAnalysis, rows map[int]bool) {
+	// Rule 2: aliasing append.
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			src, ok := call.Args[0].(*ast.Ident)
+			if !ok || !isArenaRow(ra, rows, s, src.Name) {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if dst, ok := as.Lhs[i].(*ast.Ident); ok && dst.Name == src.Name {
+					continue // x = append(x, ...): filling the row in place
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"append aliases arena row %q into a new variable: within capacity both share "+
+					"slab memory, past it they silently diverge; copy explicitly or fill in place", src.Name)
+		}
+	}
+
+	forEachNode(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if id, ok := x.Value.(*ast.Ident); ok && isArenaRow(ra, rows, s, id.Name) {
+				pass.Reportf(x.Pos(),
+					"arena row %q sent on a channel escapes its task: the receiver outlives "+
+						"the arena's task scope and pins the slab", id.Name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				rhsID, ok := x.Rhs[i].(*ast.Ident)
+				if !ok || !isArenaRow(ra, rows, s, rhsID.Name) {
+					continue
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					pass.Reportf(x.Pos(),
+						"arena row %q stored into field %s escapes its task scope; "+
+							"copy the row before publishing it", rhsID.Name, renderPath(sel))
+				}
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if sel, ok := ix.X.(*ast.SelectorExpr); ok {
+						pass.Reportf(x.Pos(),
+							"arena row %q stored into %s escapes its task scope; "+
+								"copy the row before publishing it", rhsID.Name, renderPath(sel))
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && isArenaRow(ra, rows, s, id.Name) {
+						pass.Reportf(id.Pos(),
+							"arena row %q captured by a go-closure escapes its task scope", id.Name)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}

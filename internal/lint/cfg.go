@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from go/ast, the
+// substrate the dataflow analyzers (dataflow.go) run on. The design
+// mirrors golang.org/x/tools/go/cfg at a smaller scale: a function body
+// becomes basic blocks of simple statements connected by successor
+// edges, with structured control flow (if/for/range/switch/select),
+// labeled break/continue, fallthrough and return all lowered to edges.
+//
+// Two deliberate simplifications keep the builder small and the
+// analyses conservative:
+//
+//   - goto is not modeled precisely: a goto ends its block with an edge
+//     to every labeled block (the repo has no gotos; analyses stay
+//     sound-for-our-rules because extra edges only widen the meet).
+//   - panic/os.Exit are not treated as terminators; the spurious
+//     fallthrough edge again only makes analyses more conservative.
+//
+// Function literals are NOT inlined into the enclosing CFG: a closure
+// runs at an unknown time (possibly on another goroutine), so each
+// FuncLit gets its own graph via cfgFuncs.
+
+// cfgBlock is one basic block: a straight-line run of simple statements
+// executed in order, then a jump to one of succs.
+type cfgBlock struct {
+	// stmts holds "simple" statements and control-expression carriers:
+	// ExprStmt, AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt,
+	// DeferStmt, ReturnStmt, plus bare ast.Expr entries for if/for/
+	// switch conditions so transfer functions see every evaluation.
+	stmts []ast.Node
+	succs []*cfgBlock
+	// index is the block's position in cfg.blocks (stable iteration).
+	index int
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // every return/body-end edge lands here; no stmts
+	blocks []*cfgBlock
+}
+
+// buildCFG lowers a function body. A nil body (declaration without a
+// definition) yields a trivial entry→exit graph.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{}}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	cur := b.g.entry
+	if body != nil {
+		cur = b.stmtList(body.List, cur)
+	}
+	b.edge(cur, b.g.exit)
+	return b.g
+}
+
+type loopFrame struct {
+	label          string
+	breakTo        *cfgBlock
+	continueTo     *cfgBlock // nil for switch/select frames
+	isBreakTarget  bool      // switches/selects accept break but not continue
+	labeledBlockTo *cfgBlock // labeled plain blocks accept labeled break
+}
+
+type cfgBuilder struct {
+	g       *cfg
+	frames  []loopFrame
+	labeled map[string]*cfgBlock // goto targets (conservative)
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	for _, s := range list {
+		cur = b.stmt(s, cur, "")
+	}
+	return cur
+}
+
+// stmt lowers one statement, returning the block control falls out
+// into. label is the pending label when the statement was wrapped in a
+// LabeledStmt. A nil return means control cannot fall through (return,
+// break, continue); callers must start a fresh block for any following
+// statements — stmtList handles that by passing nil onward, and edge()
+// tolerates nil.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	if cur == nil {
+		// Unreachable code after a terminator still gets a block so its
+		// statements are visited (with no predecessors, analyses treat
+		// the facts as top).
+		cur = b.newBlock()
+	}
+	switch x := s.(type) {
+	case *ast.LabeledStmt:
+		if b.labeled == nil {
+			b.labeled = map[string]*cfgBlock{}
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		b.labeled[x.Label.Name] = head
+		return b.stmt(x.Stmt, head, x.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmtList(x.List, cur)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur, "")
+		}
+		cur.stmts = append(cur.stmts, x.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		after := b.newBlock()
+		thenEnd := b.stmtList(x.Body.List, thenB)
+		b.edge(thenEnd, after)
+		if x.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd := b.stmt(x.Else, elseB, "")
+			b.edge(elseEnd, after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur, "")
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if x.Cond != nil {
+			head.stmts = append(head.stmts, x.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if x.Cond != nil {
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post, isBreakTarget: true})
+		bodyEnd := b.stmtList(x.Body.List, body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(bodyEnd, post)
+		if x.Post != nil {
+			b.stmt(x.Post, post, "")
+		}
+		b.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		// The range expression and key/value assignment happen at the
+		// head on every iteration.
+		head.stmts = append(head.stmts, x)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after) // empty collection
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head, isBreakTarget: true})
+		bodyEnd := b.stmtList(x.Body.List, body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(bodyEnd, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur, "")
+		}
+		if x.Tag != nil {
+			cur.stmts = append(cur.stmts, x.Tag)
+		}
+		return b.switchBody(x.Body, cur, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			cur = b.stmt(x.Init, cur, "")
+		}
+		cur.stmts = append(cur.stmts, x.Assign)
+		return b.switchBody(x.Body, cur, label, nil)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, isBreakTarget: true})
+		hasDefault := false
+		for _, cl := range x.Body.List {
+			cc := cl.(*ast.CommClause)
+			caseB := b.newBlock()
+			b.edge(cur, caseB)
+			if cc.Comm != nil {
+				caseB = b.stmt(cc.Comm, caseB, "")
+			} else {
+				hasDefault = true
+			}
+			end := b.stmtList(cc.Body, caseB)
+			b.edge(end, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(x.Body.List) == 0 || !hasDefault {
+			// A select with no default can block forever; modeling that
+			// precisely does not matter for our analyses.
+			_ = hasDefault
+		}
+		return after
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				fr := b.frames[i]
+				if !fr.isBreakTarget {
+					continue
+				}
+				if x.Label == nil || fr.label == x.Label.Name {
+					b.edge(cur, fr.breakTo)
+					return nil
+				}
+			}
+			b.edge(cur, b.g.exit)
+			return nil
+		case token.CONTINUE:
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				fr := b.frames[i]
+				if fr.continueTo == nil {
+					continue
+				}
+				if x.Label == nil || fr.label == x.Label.Name {
+					b.edge(cur, fr.continueTo)
+					return nil
+				}
+			}
+			b.edge(cur, b.g.exit)
+			return nil
+		case token.GOTO:
+			// Conservative: edge to the named label if seen, else to
+			// every labeled block and the exit.
+			if tgt, ok := b.labeled[x.Label.Name]; ok {
+				b.edge(cur, tgt)
+			} else {
+				for _, tgt := range b.labeled {
+					b.edge(cur, tgt)
+				}
+				b.edge(cur, b.g.exit)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody via clause ordering;
+			// treat as fallthrough-to-next by returning cur so the edge
+			// is drawn there.
+			return cur
+		}
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, x)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	default:
+		// Simple statements: ExprStmt, AssignStmt, DeclStmt, IncDecStmt,
+		// SendStmt, GoStmt, DeferStmt, EmptyStmt.
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			cur.stmts = append(cur.stmts, s)
+		}
+		return cur
+	}
+}
+
+// switchBody lowers expression/type switch clauses. Each clause starts
+// its own block off the dispatch block; fallthrough chains a clause's
+// end into the next clause's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, dispatch *cfgBlock, label string, _ []*cfgBlock) *cfgBlock {
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, isBreakTarget: true})
+	clauses := body.List
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := caseBlocks[i]
+		for _, e := range cc.List {
+			blk.stmts = append(blk.stmts, e)
+		}
+		end, falls := b.clauseBody(cc.Body, blk)
+		if falls && i+1 < len(clauses) {
+			b.edge(end, caseBlocks[i+1])
+		} else {
+			b.edge(end, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return after
+}
+
+// clauseBody lowers a case clause body, reporting whether it ends in
+// fallthrough.
+func (b *cfgBuilder) clauseBody(list []ast.Stmt, cur *cfgBlock) (*cfgBlock, bool) {
+	for i, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(list)-1 {
+			return cur, true
+		}
+		cur = b.stmt(s, cur, "")
+	}
+	return cur, false
+}
+
+// cfgFuncs returns the CFGs of fn's body and of every function literal
+// nested inside it, each keyed by its syntax node. The enclosing
+// function's graph is keyed by the *ast.FuncDecl; literals by their
+// *ast.FuncLit. Literal bodies are excluded from the enclosing graph's
+// blocks (a closure's statements do not execute where it is defined).
+func cfgFuncs(fn *ast.FuncDecl) map[ast.Node]*cfg {
+	out := map[ast.Node]*cfg{}
+	if fn.Body == nil {
+		out[fn] = buildCFG(nil)
+		return out
+	}
+	out[fn] = buildCFG(stripFuncLits(fn.Body))
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out[lit] = buildCFG(stripFuncLits(lit.Body))
+		}
+		return true
+	})
+	return out
+}
+
+// stripFuncLits returns body unchanged: the CFG builder appends whole
+// statements (which may contain FuncLits) to blocks, and the dataflow
+// walkers are responsible for not descending into nested FuncLits.
+// Kept as a named hook so the contract is explicit at the call sites.
+func stripFuncLits(body *ast.BlockStmt) *ast.BlockStmt { return body }
+
+// forEachNode applies fn to every sub-node of root, NOT descending into
+// nested function literals. This is the traversal the dataflow transfer
+// functions must use so closure bodies don't leak into the enclosing
+// function's facts.
+func forEachNode(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			fn(n) // the literal itself is visible (e.g. for capture checks)
+			return false
+		}
+		return fn(n)
+	})
+}

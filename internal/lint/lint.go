@@ -21,7 +21,11 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // placed on the flagged line or the line directly above it, matching
-// the staticcheck convention.
+// the staticcheck convention. The reason is mandatory: Run reports a
+// bare directive as a finding of its own (ignorehygiene), and a
+// directive that no longer suppresses anything — the analyzer it names
+// ran and did not fire on its lines — is reported as stale, so
+// suppressions cannot outlive the code smell they were written for.
 package lint
 
 import (
@@ -54,7 +58,20 @@ type Pass struct {
 	Path string
 
 	diags   *[]Diagnostic
-	ignores map[string]map[int][]string // filename -> line -> analyzer names
+	ignores ignoreIndex
+}
+
+// ignoreIndex is filename -> line -> the directives written there.
+type ignoreIndex map[string]map[int][]*ignoreDirective
+
+// ignoreDirective is one parsed //lint:ignore comment. used flips when
+// the directive actually suppresses a finding, which is what separates
+// a live suppression from a stale one.
+type ignoreDirective struct {
+	name   string // analyzer name, or "*" for all
+	reason string
+	pos    token.Position
+	used   bool
 }
 
 // A Diagnostic is one finding.
@@ -83,20 +100,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 func (p *Pass) ignored(pos token.Position) bool {
 	byLine := p.ignores[pos.Filename]
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == p.Analyzer.Name || name == "*" {
-				return true
+		for _, d := range byLine[line] {
+			if d.name == p.Analyzer.Name || d.name == "*" {
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
-var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)`)
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)[ \t]*(.*)$`)
 
 // collectIgnores scans a file's comments for //lint:ignore directives.
-func collectIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]string) {
+func collectIgnores(fset *token.FileSet, f *ast.File, into ignoreIndex) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := ignoreRE.FindStringSubmatch(c.Text)
@@ -106,12 +125,52 @@ func collectIgnores(fset *token.FileSet, f *ast.File, into map[string]map[int][]
 			pos := fset.Position(c.Pos())
 			byLine := into[pos.Filename]
 			if byLine == nil {
-				byLine = map[int][]string{}
+				byLine = map[int][]*ignoreDirective{}
 				into[pos.Filename] = byLine
 			}
-			byLine[pos.Line] = append(byLine[pos.Line], m[1])
+			byLine[pos.Line] = append(byLine[pos.Line], &ignoreDirective{
+				name:   m[1],
+				reason: strings.TrimSpace(m[2]),
+				pos:    pos,
+			})
 		}
 	}
+}
+
+// IgnoreHygiene is the pseudo-analyzer name under which Run reports
+// broken //lint:ignore directives (bare or stale). It cannot itself be
+// suppressed: a suppression of the suppression checker would defeat it.
+const IgnoreHygiene = "ignorehygiene"
+
+// checkIgnores audits a package's directives after every analyzer ran:
+// a directive without a reason is an error outright, and a directive
+// whose analyzer ran but fired nothing on its lines suppresses nothing
+// and must be deleted.
+func checkIgnores(ignores ignoreIndex, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{"*": len(analyzers) > 0}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, byLine := range ignores {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				switch {
+				case d.reason == "":
+					out = append(out, Diagnostic{
+						Analyzer: IgnoreHygiene, Pos: d.pos,
+						Message: fmt.Sprintf("bare //lint:ignore %s: a suppression must state its reason", d.name),
+					})
+				case ran[d.name] && !d.used:
+					out = append(out, Diagnostic{
+						Analyzer: IgnoreHygiene, Pos: d.pos,
+						Message: fmt.Sprintf("stale //lint:ignore %s: the analyzer no longer fires here; delete the directive", d.name),
+					})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Run loads the packages matched by patterns (relative to root) and
@@ -125,7 +184,7 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, e
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores := map[string]map[int][]string{}
+		ignores := ignoreIndex{}
 		for _, f := range pkg.Files {
 			collectIgnores(fset, f, ignores)
 		}
@@ -142,6 +201,9 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, e
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		// Directive hygiene runs after the full suite so "unused" is
+		// meaningful: every analyzer a directive could suppress has run.
+		diags = append(diags, checkIgnores(ignores, analyzers)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -156,9 +218,14 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, e
 	return diags, nil
 }
 
-// All returns the full quickrlint analyzer suite.
+// All returns the full quickrlint analyzer suite: the original
+// syntactic walkers plus the dataflow analyzers built on the CFG
+// framework (cfg.go, dataflow.go).
 func All() []*Analyzer {
-	return []*Analyzer{NoRawRand, SlotDiscipline, WeightProp, NoPrintf}
+	return []*Analyzer{
+		NoRawRand, SlotDiscipline, WeightProp, NoPrintf,
+		LockDiscipline, CtxFlow, HotAlloc, ArenaSafe,
+	}
 }
 
 // importName returns the local name the file binds for the package

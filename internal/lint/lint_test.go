@@ -62,7 +62,7 @@ func runFixture(t *testing.T, a *Analyzer) {
 		}
 		pkg.Path = filepath.ToSlash(rel)
 		collectWants(t, fset, pkg, wants)
-		ignores := map[string]map[int][]string{}
+		ignores := ignoreIndex{}
 		for _, f := range pkg.Files {
 			collectIgnores(fset, f, ignores)
 		}
@@ -174,5 +174,98 @@ func f() {
 	}
 	if len(diags) != 1 || diags[0].Pos.Line != 8 {
 		t.Fatalf("want exactly the unsuppressed line-8 finding, got %v", diags)
+	}
+}
+
+// runHygiene lints one source file with NoPrintf and returns only the
+// ignorehygiene findings.
+func runHygiene(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(dir, []string{"."}, []*Analyzer{NoPrintf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == IgnoreHygiene {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestBareIgnoreReported: a directive without a reason is itself a
+// finding, even though it still suppresses.
+func TestBareIgnoreReported(t *testing.T) {
+	diags := runHygiene(t, `package p
+
+import "fmt"
+
+func f() {
+	//lint:ignore noprintf
+	fmt.Println("suppressed but undocumented")
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "bare //lint:ignore") {
+		t.Fatalf("want one bare-ignore finding, got %v", diags)
+	}
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("bare-ignore reported at line %d, want the directive's line 6", diags[0].Pos.Line)
+	}
+}
+
+// TestStaleIgnoreReported: a reasoned directive whose analyzer ran but
+// fired nothing on its lines must be flagged for deletion.
+func TestStaleIgnoreReported(t *testing.T) {
+	diags := runHygiene(t, `package p
+
+func f() int {
+	//lint:ignore noprintf there was a Println here once
+	return 1
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale //lint:ignore") {
+		t.Fatalf("want one stale-ignore finding, got %v", diags)
+	}
+}
+
+// TestLiveIgnoreNotStale: a directive that suppresses a real finding is
+// neither bare nor stale.
+func TestLiveIgnoreNotStale(t *testing.T) {
+	diags := runHygiene(t, `package p
+
+import "fmt"
+
+func f() {
+	//lint:ignore noprintf demo output is intentional
+	fmt.Println("kept")
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("live reasoned directive flagged: %v", diags)
+	}
+}
+
+// TestForeignIgnoreNotStale: a directive naming an analyzer that did
+// not run cannot be judged stale — partial runs (quickrlint with a
+// subset) must not demand deleting directives for the analyzers they
+// skipped.
+func TestForeignIgnoreNotStale(t *testing.T) {
+	diags := runHygiene(t, `package p
+
+func f() int {
+	//lint:ignore ctxflow the loop below terminates by the pigeonhole principle
+	return 1
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("directive for an analyzer outside the run set flagged: %v", diags)
 	}
 }

@@ -3,10 +3,13 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -23,7 +26,10 @@ type Package struct {
 // load expands patterns ("./...", "dir/...", plain directories) into
 // packages under root and parses them. Test files, testdata trees,
 // hidden directories and underscore-prefixed directories are skipped,
-// matching the go tool's package-walking rules.
+// matching the go tool's package-walking rules; files excluded by a
+// //go:build constraint for the linter's own platform are skipped too.
+// Parse errors do not abort the walk: every broken file across every
+// package is collected and reported in one combined error.
 func load(root string, patterns []string) ([]*Package, *token.FileSet, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -50,14 +56,20 @@ func load(root string, patterns []string) ([]*Package, *token.FileSet, error) {
 	}
 	fset := token.NewFileSet()
 	var pkgs []*Package
+	var parseErrs []string
 	for dir := range dirs {
-		pkg, err := parseDir(fset, root, module, dir)
-		if err != nil {
-			return nil, nil, err
+		pkg, errs := parseDir(fset, root, module, dir)
+		for _, e := range errs {
+			parseErrs = append(parseErrs, e.Error())
 		}
 		if pkg != nil {
 			pkgs = append(pkgs, pkg)
 		}
+	}
+	if len(parseErrs) > 0 {
+		sort.Strings(parseErrs)
+		return nil, nil, fmt.Errorf("%d file(s) failed to parse:\n  %s",
+			len(parseErrs), strings.Join(parseErrs, "\n  "))
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
 	return pkgs, fset, nil
@@ -85,32 +97,86 @@ func walkDirs(root, base string, into map[string]bool) error {
 	})
 }
 
-func parseDir(fset *token.FileSet, root, module, dir string) (*Package, error) {
+// parseDir parses one directory's package. Unparseable files are
+// returned as errors (one per scanner error, so a file with several
+// syntax problems reports them all) while the parseable rest of the
+// package is still returned for analysis.
+func parseDir(fset *token.FileSet, root, module, dir string) (*Package, []error) {
 	entries, err := os.ReadDir(filepath.Join(root, dir))
 	if err != nil {
-		return nil, err
+		return nil, []error{err}
 	}
 	var files []*ast.File
+	var errs []error
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
 		full := filepath.Join(root, dir, name)
-		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		src, err := os.ReadFile(full)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
+		}
+		if !buildOK(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			if list, ok := err.(scanner.ErrorList); ok {
+				for _, pe := range list {
+					errs = append(errs, pe)
+				}
+			} else {
+				errs = append(errs, err)
+			}
+			continue
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, nil
+		return nil, errs
 	}
 	path := module
 	if dir != "." {
 		path = module + "/" + filepath.ToSlash(dir)
 	}
-	return &Package{Path: path, Dir: dir, Files: files}, nil
+	return &Package{Path: path, Dir: dir, Files: files}, errs
+}
+
+// buildOK evaluates a file's //go:build constraint (the first one
+// before the package clause, per the spec) against the linter's own
+// build context. Files constrained away — most commonly `//go:build
+// ignore` helper programs and foreign-platform shims — would otherwise
+// be analyzed as if they were part of the package.
+func buildOK(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the parser see the file
+		}
+		return expr.Eval(buildTagOK)
+	}
+	return true
+}
+
+// buildTagOK reports whether one build tag holds for the linter's
+// context: the host OS and architecture, and any Go release tag (the
+// toolchain running the linter is at least as new as the sources it
+// lints).
+func buildTagOK(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // modulePath reads the module path from root's go.mod.

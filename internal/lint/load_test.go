@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a module under a temp dir: keys are slash paths
+// relative to the root, values file contents. A go.mod is always
+// written (load needs the module path).
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module tmp\n"
+	}
+	for rel, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadMultiPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a.go":              "package tmp\n",
+		"inner/one.go":      "package inner\n",
+		"inner/two.go":      "package inner\nvar X = 1\n",
+		"inner/sub/s.go":    "package sub\n",
+		"inner/one_test.go": "package inner\nbroken{", // test files are never parsed
+		"testdata/x.go":     "package broken{{{",      // testdata is skipped
+		"_tools/t.go":       "package broken{{{",      // underscore dirs are skipped
+		".hidden/h.go":      "package broken{{{",      // hidden dirs are skipped
+	})
+	pkgs, _, err := load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range pkgs {
+		got = append(got, fmt.Sprintf("%s(%d)", p.Path, len(p.Files)))
+	}
+	want := "tmp(1), tmp/inner(2), tmp/inner/sub(1)"
+	if strings.Join(got, ", ") != want {
+		t.Errorf("loaded %s, want %s", strings.Join(got, ", "), want)
+	}
+}
+
+func TestLoadDirPattern(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"top.go":         "package tmp\n",
+		"inner/one.go":   "package inner\n",
+		"inner/sub/s.go": "package sub\n",
+	})
+	pkgs, _, err := load(root, []string{"inner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tmp/inner" {
+		t.Fatalf("pattern \"inner\" loaded %+v, want just tmp/inner", pkgs)
+	}
+	pkgs, _, err = load(root, []string{"inner/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("pattern \"inner/...\" loaded %d packages, want 2", len(pkgs))
+	}
+}
+
+// TestLoadBuildConstraints: files constrained away from the linter's
+// platform — `//go:build ignore` helpers above all — must not be
+// analyzed as part of the package, while files whose constraint holds
+// must be.
+func TestLoadBuildConstraints(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"keep.go": "package tmp\n",
+		"gen.go":  "//go:build ignore\n\npackage main\n",
+		"host.go": fmt.Sprintf("//go:build %s\n\npackage tmp\nvar H = 1\n", runtime.GOOS),
+		"not.go":  fmt.Sprintf("//go:build !%s\n\npackage other\n", runtime.GOOS),
+		"rel.go":  "//go:build go1.21\n\npackage tmp\nvar R = 1\n",
+	})
+	pkgs, _, err := load(root, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 3 {
+		t.Errorf("kept %d files, want 3 (keep.go, host.go, rel.go)", n)
+	}
+}
+
+// TestLoadParseErrorsAggregated: every broken file is reported, in one
+// error, with positions — not a panic and not just the first failure.
+func TestLoadParseErrorsAggregated(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"ok.go":       "package tmp\n",
+		"bad1.go":     "package tmp\nfunc f( {\n",
+		"sub/bad2.go": "package sub\nvar x = \n",
+		"sub/good.go": "package sub\n",
+	})
+	_, _, err := load(root, []string{"./..."})
+	if err == nil {
+		t.Fatal("load succeeded despite two unparseable files")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad1.go", "bad2.go"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("combined parse error does not mention %s:\n%s", want, msg)
+		}
+	}
+}
+
+func TestLoadMissingGoMod(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "p.go"), []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := load(root, []string{"."}); err == nil {
+		t.Fatal("load without go.mod succeeded; the module path would be unknowable")
+	}
+}

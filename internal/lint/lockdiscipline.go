@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// LockDiscipline enforces guarded-by annotations. A struct field whose
+// doc or line comment contains
+//
+//	// guarded-by: <mutexField>
+//
+// may only be read or written while <mutexField> of the same receiver
+// is held. The analyzer builds a per-function CFG, runs the lock-held
+// dataflow (dataflow.go: Lock/RLock add a mutex to the held set,
+// Unlock/RUnlock remove it, deferred unlocks keep it held until
+// return, and the meet at join points is intersection so a mutex
+// counts as held only when every path holds it), then checks every
+// access to an annotated field.
+//
+// Accesses are checked through variables whose static type is known
+// syntactically: method receivers and parameters declared with the
+// annotated struct's type (plain or pointer). Helper functions that
+// legitimately run with the lock already held declare it with
+//
+//	// caller-holds: <recv>.<mutexField>
+//
+// in their doc comment, which seeds the entry state of the analysis
+// (the annotation is also a reviewable statement of the contract,
+// mirroring the "...requires p.mu" comments it replaces).
+//
+// Composite-literal construction is exempt: a value still being built
+// is not yet shared. Accesses inside nested function literals are
+// checked with an empty entry state, because a closure may run on
+// another goroutine after the enclosing critical section ended; if the
+// closure genuinely runs synchronously under the lock, hoist the access
+// or suppress with a reasoned //lint:ignore.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "fields annotated `// guarded-by: mu` may only be accessed with " +
+		"the named mutex held (CFG lock-held dataflow; `// caller-holds:` " +
+		"declares a lock inherited from the caller)",
+	Run: runLockDiscipline,
+}
+
+var (
+	guardedByRE   = regexp.MustCompile(`//\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)`)
+	callerHoldsRE = regexp.MustCompile(`//\s*caller-holds:\s*([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// guardedType records one struct's annotated fields.
+type guardedType struct {
+	name   string
+	fields map[string]string // field name -> guarding mutex field name
+}
+
+func runLockDiscipline(pass *Pass) error {
+	types := collectGuardedTypes(pass.Files)
+	if len(types) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockFunc(pass, fn, types)
+		}
+	}
+	return nil
+}
+
+// collectGuardedTypes finds `// guarded-by:` field annotations on
+// struct type declarations across the package files.
+func collectGuardedTypes(files []*ast.File) map[string]*guardedType {
+	out := map[string]*guardedType{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				gt := out[ts.Name.Name]
+				if gt == nil {
+					gt = &guardedType{name: ts.Name.Name, fields: map[string]string{}}
+					out[ts.Name.Name] = gt
+				}
+				for _, name := range fld.Names {
+					gt.fields[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// typedVars maps local variable names to the guarded struct type they
+// are statically declared with (receiver and parameters only — the
+// honest syntactic type information available without go/types).
+func typedVars(fn *ast.FuncDecl, types map[string]*guardedType) map[string]*guardedType {
+	vars := map[string]*guardedType{}
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			tname := typeName(fld.Type)
+			gt := types[tname]
+			if gt == nil {
+				continue
+			}
+			for _, name := range fld.Names {
+				vars[name.Name] = gt
+			}
+		}
+	}
+	bind(fn.Recv)
+	bind(fn.Type.Params)
+	return vars
+}
+
+// typeName unwraps *T, (T) to the base type identifier.
+func typeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return typeName(x.X)
+	case *ast.ParenExpr:
+		return typeName(x.X)
+	}
+	return ""
+}
+
+// callerHolds extracts the // caller-holds: annotations from a doc
+// comment, resolving bare mutex names against the receiver/first typed
+// parameter name.
+func callerHolds(fn *ast.FuncDecl, vars map[string]*guardedType) lockState {
+	st := lockState{}
+	if fn.Doc == nil {
+		return st
+	}
+	var firstVar string
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		firstVar = fn.Recv.List[0].Names[0].Name
+	} else {
+		for name := range vars {
+			if firstVar == "" || name < firstVar {
+				firstVar = name
+			}
+		}
+	}
+	for _, c := range fn.Doc.List {
+		for _, m := range callerHoldsRE.FindAllStringSubmatch(c.Text, -1) {
+			path := m[1]
+			if !strings.Contains(path, ".") && firstVar != "" {
+				path = firstVar + "." + path
+			}
+			st[path] = true
+		}
+	}
+	return st
+}
+
+func checkLockFunc(pass *Pass, fn *ast.FuncDecl, types map[string]*guardedType) {
+	vars := typedVars(fn, types)
+	graphs := cfgFuncs(fn)
+	entry := callerHolds(fn, vars)
+	for node, g := range graphs {
+		st := entry
+		if node != ast.Node(fn) {
+			// Closures: no lock inherited — they may outlive the
+			// critical section.
+			st = lockState{}
+		}
+		la := lockFlow(g, st)
+		for _, blk := range g.blocks {
+			for _, s := range blk.stmts {
+				checkGuardedAccesses(pass, s, la, vars)
+			}
+		}
+	}
+}
+
+// checkGuardedAccesses inspects one CFG statement for accesses to
+// guarded fields of statically-typed variables.
+func checkGuardedAccesses(pass *Pass, s ast.Node, la *lockAnalysis, vars map[string]*guardedType) {
+	forEachNode(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own graph
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		gt := vars[base.Name]
+		if gt == nil {
+			return true
+		}
+		mu, guarded := gt.fields[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		need := base.Name + "." + mu
+		if !la.heldAt(s, need) {
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded-by %s but %s is not held here (lock it, or annotate the function `// caller-holds: %s`)",
+				base.Name, sel.Sel.Name, mu, need, need)
+		}
+		return true
+	})
+}

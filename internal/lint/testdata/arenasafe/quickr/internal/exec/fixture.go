@@ -1,0 +1,95 @@
+// Fixture for the arenasafe analyzer: the three ways arena rows go
+// wrong — cross-worker slab sharing, aliasing appends, and escapes.
+package exec
+
+type rowArena struct{ buf []any }
+
+func (a *rowArena) alloc(n int) []any {
+	if cap(a.buf) < n {
+		a.buf = make([]any, 4096)
+	}
+	out := a.buf[0:0:n]
+	a.buf = a.buf[n:]
+	return out
+}
+
+func parallelParts(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+type sink struct {
+	last []any
+	rows [][]any
+}
+
+// badShared allocates from one slab inside concurrent workers.
+func badShared(n int) {
+	var ar rowArena
+	parallelParts(n, func(i int) {
+		row := ar.alloc(4) // want "declared outside this worker closure"
+		row = append(row, i)
+		_ = row
+	})
+}
+
+// badAlias forks a second variable off an arena row.
+func badAlias(ar *rowArena) {
+	row := ar.alloc(4)
+	row2 := append(row, nil) // want `append aliases arena row "row"`
+	_ = row2
+}
+
+// badCopyAlias does the same through one level of copying.
+func badCopyAlias(ar *rowArena) {
+	row := ar.alloc(4)
+	alias := row
+	more := append(alias, nil) // want `append aliases arena row "alias"`
+	_ = more
+}
+
+// badSend publishes a row to another goroutine.
+func badSend(ar *rowArena, out chan []any) {
+	row := ar.alloc(4)
+	out <- row // want `arena row "row" sent on a channel`
+}
+
+// badStore pins the slab through a longer-lived struct.
+func badStore(ar *rowArena, s *sink) {
+	row := ar.alloc(4)
+	s.last = row // want `arena row "row" stored into field`
+}
+
+// badStoreIndexed pins the slab through an indexed field.
+func badStoreIndexed(ar *rowArena, s *sink) {
+	row := ar.alloc(4)
+	s.rows[0] = row // want `arena row "row" stored into`
+}
+
+// badGo leaks a row into a goroutine that may outlive the task.
+func badGo(ar *rowArena) {
+	row := ar.alloc(4)
+	go func() {
+		_ = row // want `arena row "row" captured by a go-closure`
+	}()
+}
+
+// goodPerTask declares the arena inside the per-task closure.
+func goodPerTask(n int) {
+	parallelParts(n, func(i int) {
+		var ar rowArena
+		row := ar.alloc(4)
+		row = append(row, i)
+		_ = row
+	})
+}
+
+// goodFill fills a row in place — the self-append is the intended use.
+func goodFill(ar *rowArena) []any {
+	row := ar.alloc(0)
+	for i := 0; i < 4; i++ {
+		row = append(row, i)
+	}
+	return row
+}

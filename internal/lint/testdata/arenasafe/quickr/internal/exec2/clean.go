@@ -1,0 +1,39 @@
+// True-negative fixture for arenasafe: the joinRows idiom — one arena
+// per call, rows filled in place, results consumed before the next
+// task starts.
+package exec2
+
+type rowArena struct{ buf []int }
+
+func (a *rowArena) alloc(n int) []int {
+	out := make([]int, 0, n)
+	return out
+}
+
+func serialFan(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func joinLocal(left, right []int) []int {
+	var ar rowArena
+	row := ar.alloc(len(left) + len(right))
+	for _, v := range left {
+		row = append(row, v)
+	}
+	for _, v := range right {
+		row = append(row, v)
+	}
+	return row
+}
+
+// serial fan-out shares no goroutines, so a shared arena is fine.
+func serialShared(n int) {
+	var ar rowArena
+	serialFan(n, func(i int) {
+		row := ar.alloc(2)
+		row = append(row, i)
+		_ = row
+	})
+}

@@ -1,0 +1,85 @@
+// Fixture for the ctxflow analyzer: unbounded loops reachable from
+// Run must observe context cancellation.
+package exec
+
+import "context"
+
+type op struct {
+	ctx   context.Context
+	input chan int
+	total int
+}
+
+// Run seeds the reachability walk.
+func Run(ctx context.Context, o *op) {
+	o.drain()
+	o.drainChecked(ctx)
+	o.drainViaHelper()
+	o.drainIgnored()
+}
+
+// drain pulls until the channel closes, never checking cancellation.
+func (o *op) drain() {
+	for { // want "never observes context cancellation"
+		v, ok := <-o.input
+		if !ok {
+			return
+		}
+		o.total += v
+	}
+}
+
+// drainChecked selects on ctx.Done alongside the input.
+func (o *op) drainChecked(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-o.input:
+			if !ok {
+				return
+			}
+			o.total += v
+		}
+	}
+}
+
+// drainViaHelper observes through a same-package callee.
+func (o *op) drainViaHelper() {
+	for {
+		if o.ctxErr() != nil {
+			return
+		}
+		v, ok := <-o.input
+		if !ok {
+			return
+		}
+		o.total += v
+	}
+}
+
+func (o *op) ctxErr() error {
+	return o.ctx.Err()
+}
+
+// drainIgnored is structurally bounded by its caller's contract; the
+// reasoned suppression keeps it out of the findings.
+func (o *op) drainIgnored() {
+	//lint:ignore ctxflow drains a pre-closed staging channel; bounded by construction
+	for {
+		_, ok := <-o.input
+		if !ok {
+			return
+		}
+	}
+}
+
+// notReachable is never called from an entry point, so its loop is
+// not flagged even though it never checks cancellation.
+func notReachable(c chan int) {
+	for {
+		if _, ok := <-c; !ok {
+			return
+		}
+	}
+}

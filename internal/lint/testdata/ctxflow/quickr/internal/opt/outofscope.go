@@ -1,0 +1,12 @@
+// ctxflow is scoped to internal/exec and internal/service; this
+// optimizer package may loop however it likes.
+package opt
+
+func RunFixpoint(steps chan func() bool) {
+	for {
+		step, ok := <-steps
+		if !ok || !step() {
+			return
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// True-negative fixture for ctxflow: a service-layer package whose
+// unbounded loops all observe cancellation.
+package service
+
+import "context"
+
+type server struct {
+	ctx  context.Context
+	work chan func()
+}
+
+func (s *server) ServeHTTP() {
+	s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case fn, ok := <-s.work:
+			if !ok {
+				return
+			}
+			fn()
+		}
+	}
+}
+
+// bounded loops (a condition) are out of scope entirely.
+func (s *server) boundedRetry(n int) {
+	for i := 0; i < n; i++ {
+		fn, ok := <-s.work
+		if !ok {
+			return
+		}
+		fn()
+	}
+}

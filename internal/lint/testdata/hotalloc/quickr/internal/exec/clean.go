@@ -1,0 +1,28 @@
+// True-negative fixture for hotalloc: a //hot: function whose loops
+// use the allocation-free idioms the analyzer is steering toward.
+package exec
+
+import "strconv"
+
+//hot:verified allocation-free kernel loop
+func goodKernel(rows []int, buf []byte) ([]int, []byte) {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r*2)                     // preallocated: fine
+		buf = strconv.AppendInt(buf, int64(r), 10) // no fmt, no concat
+	}
+	return out, buf
+}
+
+//hot:buffer-reuse loop
+func goodReuse(batches [][]int, scratch []int) int {
+	n := 0
+	for _, b := range batches {
+		scratch = scratch[:0]
+		for _, v := range b {
+			scratch = append(scratch, v)
+		}
+		n += len(scratch)
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+// Fixture for the hotalloc analyzer: allocating constructs inside
+// loops of //hot:-marked functions.
+package exec
+
+import "fmt"
+
+//hot:per-row formatting path (seeded violation)
+func badFmt(rows []int) int {
+	n := 0
+	for _, r := range rows {
+		s := fmt.Sprintf("%d", r) // want "fmt.Sprintf in a //hot: loop"
+		n += len(s)
+	}
+	return n
+}
+
+//hot:group-key construction path (seeded violation)
+func badConcat(keys []string) int {
+	h := 0
+	for _, k := range keys {
+		key := "g:" + k // want "string concatenation in a //hot: loop"
+		h += len(key)
+	}
+	return h
+}
+
+//hot:result accumulation path (seeded violation)
+func badAppend(rows []int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r) // want `append grows "out" inside a //hot: loop`
+	}
+	return out
+}
+
+//hot:interface boxing path (seeded violation)
+func badBox(vals []int) int {
+	n := 0
+	for _, v := range vals {
+		x := any(v) // want `any\(...\) conversion in a //hot: loop`
+		if x != nil {
+			n++
+		}
+		args := []any{v} // want `\[\]any literal in a //hot: loop`
+		n += len(args)
+	}
+	return n
+}
+
+//hot:loop inside a closure is still hot
+func badClosure(rows []int) func() []int {
+	return func() []int {
+		var out []int
+		for _, r := range rows {
+			out = append(out, r) // want `append grows "out" inside a //hot: loop`
+		}
+		return out
+	}
+}
+
+// coldPath has no //hot: marker: the same constructs are legal.
+func coldPath(rows []int) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%d", r))
+	}
+	return out
+}

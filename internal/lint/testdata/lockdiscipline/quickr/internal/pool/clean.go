@@ -1,0 +1,29 @@
+// True-negative fixture for lockdiscipline: a package that uses
+// guarded-by annotations correctly everywhere must produce no
+// findings.
+package pool
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	// guarded-by: mu
+	val int64
+}
+
+func (g *gauge) Add(d int64) {
+	g.mu.Lock()
+	g.val += d
+	g.mu.Unlock()
+}
+
+func (g *gauge) Load() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// caller-holds: mu
+func (g *gauge) addLocked(d int64) {
+	g.val += d
+}

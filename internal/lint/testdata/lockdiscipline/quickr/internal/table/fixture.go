@@ -1,0 +1,81 @@
+// Fixture for the lockdiscipline analyzer: seeded violations of
+// guarded-by annotations, checked through receiver- and
+// parameter-typed variables.
+package table
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	// guarded-by: mu
+	entries map[string]int
+	hits    int // guarded-by: mu
+	name    string
+}
+
+func (c *cache) bad() int {
+	return c.entries["k"] // want "guarded-by mu"
+}
+
+func (c *cache) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries["k"]
+}
+
+func (c *cache) goodExplicit() int {
+	c.mu.Lock()
+	n := c.hits
+	c.mu.Unlock()
+	return n
+}
+
+// branchy locks on only one path, so the meet at the join point must
+// drop the mutex from the held set.
+func (c *cache) branchy(cond bool) {
+	if cond {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.hits++ // want "guarded-by mu"
+}
+
+// unlockEarly releases before the second access.
+func (c *cache) unlockEarly() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	c.entries["k"] = 1 // want "guarded-by mu"
+}
+
+// hitsLocked runs with the lock already held by its caller.
+// caller-holds: mu
+func (c *cache) hitsLocked() int {
+	return c.hits // ok: caller-holds annotation seeds the entry state
+}
+
+// closureEscape hands out a closure that may run after the critical
+// section ends; closures are analyzed with an empty entry state.
+func (c *cache) closureEscape() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.hits // want "guarded-by mu"
+	}
+}
+
+// reset goes through a parameter, not a receiver.
+func reset(c *cache) {
+	c.entries = nil // want "guarded-by mu"
+}
+
+func resetLocked(c *cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+}
+
+// unguarded fields need no lock.
+func (c *cache) title() string {
+	return c.name
+}

@@ -8,11 +8,15 @@ import (
 // splitting and pushing selection predicates toward the scans, pruning
 // unused columns out of scans and projections, and ordering inner-join
 // inputs so the smaller side is the build side. Both the Baseline plans
-// and Quickr plans share this pass.
+// and Quickr plans share this pass. The rewrite sequence is the logical
+// half of the rule registry (rules.go), so the soundness prover checks
+// exactly the composition that runs here.
 func Normalize(n lplan.Node, est *Estimator) lplan.Node {
-	n = pushSelections(n)
-	n = pruneColumns(n)
-	n = orderJoinInputs(n, est)
+	for _, r := range Rules() {
+		if r.Kind == LogicalRule {
+			n = r.Logical(n, est)
+		}
+	}
 	return n
 }
 
@@ -223,6 +227,11 @@ func pruneNode(n lplan.Node, required lplan.ColSet) lplan.Node {
 			Union(lplan.NewColSet(x.State.Univ.Sorted()...))
 		if x.Def != nil {
 			need = need.Union(lplan.NewColSet(x.Def.Cols...))
+			// Bucket-stratification columns (§4.1.2) are sampler inputs
+			// just like Cols: pruning one out from under a costed
+			// distinct sampler would leave the sampler unable to compute
+			// its ⌈col/width⌉ stratum. Found by the soundness prover.
+			need = need.Union(lplan.NewColSet(x.Def.BucketCols...))
 		}
 		return x.WithChildren([]lplan.Node{pruneNode(x.Input, need)})
 	default:

@@ -1,0 +1,97 @@
+package soundness
+
+// Symbolic weight algebra. Every Quickr estimate is a Horvitz–Thompson
+// sum: each row reaching an aggregate carries the product of the
+// inverse inclusion probabilities of the weight sources below it — real
+// samplers (1/p per §4.1) and apriori-weighted scans (the stored
+// BlinkDB-style weight column). A rewrite is weight-sound iff it
+// preserves, for every aggregate, the multiset of weight sources
+// feeding it: moving a sampler out of an aggregate's subtree, dropping
+// a scan's weight column, or retyping a sampler all change the symbolic
+// product and therefore the expectation of the estimate, even when the
+// plan stays plancheck-clean.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quickr/internal/lplan"
+)
+
+// topKey is the signature key for weight sources not under any
+// aggregate (plancheck flags those separately; the algebra still tracks
+// them so a rewrite cannot silently move a source out from under its
+// aggregate without changing some signature entry).
+const topKey = "⊤"
+
+// weightSig maps each aggregate in the plan — keyed by its rewrite-
+// stable identity — to the sorted multiset of weight-source tokens in
+// its subtree. Sampler tokens render the full SamplerDef (type,
+// probability, columns, delta, buckets, seed), so any tampering with
+// the sampling design shows up, not just adding/removing samplers.
+func weightSig(root lplan.Node) map[string][]string {
+	sig := map[string][]string{}
+	var rec func(n lplan.Node, agg string)
+	rec = func(n lplan.Node, agg string) {
+		switch x := n.(type) {
+		case *lplan.Aggregate:
+			agg = aggKey(x)
+			if _, ok := sig[agg]; !ok {
+				sig[agg] = []string{}
+			}
+		case *lplan.Sample:
+			if x.Def != nil && x.Def.Type != lplan.SamplerPassThrough {
+				sig[agg] = append(sig[agg], "Γ "+x.Def.String())
+			}
+		case *lplan.Scan:
+			if x.WeightColumn != "" {
+				sig[agg] = append(sig[agg], "W "+x.Table+"."+x.WeightColumn)
+			}
+		}
+		for _, ch := range n.Children() {
+			rec(ch, agg)
+		}
+	}
+	rec(root, topKey)
+	for k := range sig {
+		sort.Strings(sig[k])
+	}
+	return sig
+}
+
+// aggKey identifies an aggregate across rewrites: normalization rules
+// rebuild Aggregate nodes via WithChildren but never renumber group
+// columns or aggregate outputs, so the column IDs are a stable name.
+func aggKey(a *lplan.Aggregate) string {
+	var b strings.Builder
+	b.WriteString("agg")
+	for _, id := range a.GroupCols {
+		fmt.Fprintf(&b, " g#%d", id)
+	}
+	for _, s := range a.Aggs {
+		fmt.Fprintf(&b, " %s#%d", s.Kind, s.Out.ID)
+	}
+	return b.String()
+}
+
+// sigDiff describes the first difference between two weight signatures,
+// or "" when they are equal.
+func sigDiff(before, after map[string][]string) string {
+	for k, bs := range before {
+		as, ok := after[k]
+		if !ok {
+			return fmt.Sprintf("aggregate [%s] disappeared", k)
+		}
+		if strings.Join(bs, "; ") != strings.Join(as, "; ") {
+			return fmt.Sprintf("aggregate [%s]: weight sources [%s] became [%s]",
+				k, strings.Join(bs, "; "), strings.Join(as, "; "))
+		}
+	}
+	for k := range after {
+		if _, ok := before[k]; !ok {
+			return fmt.Sprintf("aggregate [%s] appeared", k)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,349 @@
+// Package soundness proves the optimizer's rewrite rules sound over
+// seeded randomized plans. For every registered rule (opt.Rules) it
+// generates legal-by-construction logical plans, applies the rule, and
+// checks that the rewrite preserved
+//
+//   - the plan's root schema (same columns, same order),
+//   - the symbolic per-aggregate weight algebra (algebra.go): the
+//     multiset of samplers and weighted scans feeding each aggregate,
+//     which determines the Horvitz–Thompson expectation,
+//   - every plancheck invariant (sampler defs, dominance, universe
+//     pairing, weight propagation), and
+//   - idempotence: a normalization rule must be a no-op on its own
+//     output, or Normalize's single pass leaves plans half-rewritten.
+//
+// Physical rules are checked on the compiled plan with plancheck's
+// physical suite plus an exact re-derivation of the partition-prune
+// algebra: inflation factors must be exactly {1, m/k}, the tail mass
+// must sum back to the tail partition count (the HT unbiasedness
+// identity), the estimator config must match the scan's decision, and
+// the decision must replay bit-identically from the same seed.
+//
+// The prover is wired into `quickrlint -soundness N`, `make lint`, and
+// CI (500 plans per push, 5000 nightly); soundness_test.go additionally
+// proves completeness (every rewrite function in normalize.go/prune.go
+// is registered) and sensitivity (planted unsound rules are caught).
+package soundness
+
+import (
+	"fmt"
+	"math"
+
+	"quickr/internal/cluster"
+	"quickr/internal/exec"
+	"quickr/internal/lplan"
+	"quickr/internal/opt"
+	"quickr/internal/plancheck"
+)
+
+// DefaultPlans is the per-rule sweep size CI runs on every push; the
+// nightly job raises it via QUICKR_SOUNDNESS_PLANS.
+const DefaultPlans = 500
+
+// tailR mirrors the optimizer's target tail inclusion probability. It
+// is re-declared rather than imported so the prover re-derives the
+// expected tail size independently (the plancheck philosophy: a bug in
+// prune.go cannot hide inside a shared constant).
+const tailR = 0.3
+
+// Problem is one soundness violation found during a sweep.
+type Problem struct {
+	// Seed regenerates the offending plan via the same generator.
+	Seed uint64
+	// Rule is the registry name of the rule that broke the invariant
+	// ("generator" / "compile" for failures outside any rule).
+	Rule string
+	// Detail states the broken invariant.
+	Detail string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("seed %d: rule %s: %s", p.Seed, p.Rule, p.Detail)
+}
+
+// Stats aggregates a sweep, including the non-vacuity counters the
+// tests assert on: a rule that never fires on any generated plan is
+// not being proven sound, only left unexercised.
+type Stats struct {
+	Plans    int
+	Sampled  int // plans carrying a real sampler
+	Weighted int // plans with an apriori-weighted scan
+	Pruned   int // plans where partition-prune actually fired
+	// RuleChanged counts, per registry rule, the plans the rule
+	// rewrote (logical: plan text changed; physical: a scan was pruned).
+	RuleChanged map[string]int
+	Problems    []Problem
+}
+
+// Summary renders the sweep counters on one line.
+func (s Stats) Summary() string {
+	per := ""
+	for _, r := range opt.Rules() {
+		per += fmt.Sprintf(" %s=%d", r.Name, s.RuleChanged[r.Name])
+	}
+	return fmt.Sprintf("%d plans (%d sampled, %d weighted, %d pruned), %d problem(s); rewrites:%s",
+		s.Plans, s.Sampled, s.Weighted, s.Pruned, len(s.Problems), per)
+}
+
+// Sweep proves every registered rule over n seeded plans starting at
+// base. Sequential seeds are deliberate: a reported seed replays with
+// CheckSeed(seed, ...) and nothing else.
+func Sweep(n int, base uint64) Stats {
+	st := Stats{RuleChanged: map[string]int{}}
+	for i := 0; i < n; i++ {
+		CheckSeed(base+uint64(i), &st)
+	}
+	return st
+}
+
+// CheckSeed generates the plan for one seed and proves every registered
+// rule on it, appending problems and counters to st.
+func CheckSeed(seed uint64, st *Stats) {
+	if st.RuleChanged == nil {
+		st.RuleChanged = map[string]int{}
+	}
+	report := func(rule, format string, args ...any) {
+		st.Problems = append(st.Problems, Problem{Seed: seed, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+	}
+	root, info := genPlan(seed)
+	st.Plans++
+	if info.samplerP > 0 {
+		st.Sampled++
+	}
+	if info.weighted {
+		st.Weighted++
+	}
+	ck := plancheck.New()
+	if vs := ck.CheckLogical(root); len(vs) > 0 {
+		// A dirty input would misattribute every later violation, so a
+		// generator bug fails loudly and skips the rules.
+		report("generator", "generated plan not clean: %s", vs[0])
+		return
+	}
+
+	est := opt.NewEstimator(sharedCatalog())
+	cur := root
+	for _, r := range opt.Rules() {
+		if r.Kind != opt.LogicalRule {
+			continue
+		}
+		rule := r // capture
+		after, probs := CheckLogicalRewrite(cur, func(n lplan.Node) lplan.Node {
+			return rule.Logical(n, est)
+		})
+		for _, p := range probs {
+			report(r.Name, "%s", p)
+		}
+		if len(probs) > 0 {
+			return // downstream rules would inherit the broken plan
+		}
+		if lplan.Format(after) != lplan.Format(cur) {
+			st.RuleChanged[r.Name]++
+		}
+		cur = after
+	}
+
+	// Physical half: compile the normalized plan, prove it clean, apply
+	// each physical rule, and re-derive the prune algebra exactly.
+	compile := func() (*opt.Planner, exec.PNode, error) {
+		cm := opt.NewCostModel(est, cluster.DefaultConfig())
+		pl := &opt.Planner{CM: cm, EstCfg: estCfg(info), Seed: seed}
+		p, err := pl.Plan(cur)
+		return pl, p, err
+	}
+	pl, proot, err := compile()
+	if err != nil {
+		report("compile", "physical compilation failed: %v", err)
+		return
+	}
+	if vs := ck.CheckPhysical(proot); len(vs) > 0 {
+		report("compile", "compiled plan not clean before physical rules: %s", vs[0])
+		return
+	}
+	for _, r := range opt.Rules() {
+		if r.Kind != opt.PhysicalRule {
+			continue
+		}
+		r.Physical(pl, proot)
+		for _, v := range ck.CheckPhysical(proot) {
+			report(r.Name, "invariant broken: %s", v)
+		}
+		if len(prunedScans(proot)) > 0 {
+			st.RuleChanged[r.Name]++
+		}
+	}
+	for _, p := range CheckPrunedPlan(proot, pl.EstCfg) {
+		report("partition-prune", "%s", p)
+	}
+	if len(prunedScans(proot)) > 0 {
+		st.Pruned++
+		// Determinism: the same seed must reproduce the same decision —
+		// partition selection feeds error bars, so a replay that prunes
+		// differently makes reported confidence intervals unfalsifiable.
+		pl2, proot2, err2 := compile()
+		if err2 != nil {
+			report("partition-prune", "replay compilation failed: %v", err2)
+			return
+		}
+		for _, r := range opt.Rules() {
+			if r.Kind == opt.PhysicalRule {
+				r.Physical(pl2, proot2)
+			}
+		}
+		if d := pruneDiff(proot, proot2); d != "" {
+			report("partition-prune", "decision not deterministic: %s", d)
+		}
+	}
+}
+
+// CheckLogicalRewrite applies one logical rewrite to a plancheck-clean
+// plan and returns the rewritten plan plus the soundness invariants it
+// broke. It is exported so the mutation tests can prove the prover
+// catches deliberately unsound rules.
+func CheckLogicalRewrite(before lplan.Node, apply func(lplan.Node) lplan.Node) (lplan.Node, []string) {
+	var probs []string
+	after := apply(before)
+	if after == nil {
+		return before, []string{"rewrite returned a nil plan"}
+	}
+	bc, ac := before.Columns(), after.Columns()
+	if len(bc) != len(ac) {
+		probs = append(probs, fmt.Sprintf("root schema changed: %d columns became %d", len(bc), len(ac)))
+	} else {
+		for i := range bc {
+			if bc[i].ID != ac[i].ID {
+				probs = append(probs, fmt.Sprintf("root column %d changed: #%d became #%d", i, bc[i].ID, ac[i].ID))
+				break
+			}
+		}
+	}
+	if d := sigDiff(weightSig(before), weightSig(after)); d != "" {
+		probs = append(probs, "weight algebra changed: "+d)
+	}
+	for _, v := range plancheck.New().CheckLogical(after) {
+		probs = append(probs, "invariant broken: "+v.String())
+	}
+	again := apply(after)
+	if again == nil || lplan.Format(again) != lplan.Format(after) {
+		probs = append(probs, "not idempotent: second application rewrote the plan again")
+	}
+	return after, probs
+}
+
+// CheckPrunedPlan re-derives the partition-prune algebra on a compiled
+// plan, independently of prune.go's own arithmetic: at most one scan
+// pruned; inflation factors exactly {1, m/k}; the inflated tail mass
+// summing back to the tail count m (the Horvitz–Thompson unbiasedness
+// identity Σ 1/π over kept tail = m); the tail size matching the
+// configured inclusion rate; and the estimator config carrying the
+// same design. Exported for the mutation tests.
+func CheckPrunedPlan(root exec.PNode, cfg *exec.EstimatorConfig) []string {
+	var probs []string
+	scans := prunedScans(root)
+	if len(scans) > 1 {
+		return []string{fmt.Sprintf("%d scans pruned; the pass must prune at most one", len(scans))}
+	}
+	if len(scans) == 0 {
+		if cfg != nil && cfg.PartP != 0 {
+			probs = append(probs, fmt.Sprintf("estimator claims tail probability %g but no scan is pruned", cfg.PartP))
+		}
+		return probs
+	}
+	pr := scans[0].Prune
+	m := pr.TailTotal
+	if m < 2 {
+		probs = append(probs, fmt.Sprintf("tail of %d partitions: a tail this small must not be subsampled", m))
+		return probs
+	}
+	kTail := 0
+	tailMass := 0.0
+	for i, f := range pr.Inflate {
+		switch {
+		case f == 1:
+		case f > 1:
+			kTail++
+			tailMass += f
+		default:
+			probs = append(probs, fmt.Sprintf("inflation %g < 1 on kept partition %d", f, pr.Keep[i]))
+		}
+	}
+	if kTail == 0 {
+		probs = append(probs, "no tail partitions kept: every tail row would have inclusion probability 0")
+		return probs
+	}
+	wantK := int(float64(m)*tailR + 0.5)
+	if wantK < 1 {
+		wantK = 1
+	}
+	if kTail != wantK {
+		probs = append(probs, fmt.Sprintf("kept %d tail partitions of %d, want %d at inclusion rate %g", kTail, m, wantK, tailR))
+	}
+	wantInflate := float64(m) / float64(kTail)
+	for i, f := range pr.Inflate {
+		if f > 1 && f != wantInflate {
+			probs = append(probs, fmt.Sprintf("tail inflation %g on partition %d, want exactly m/k = %g", f, pr.Keep[i], wantInflate))
+		}
+	}
+	if math.Abs(tailMass-float64(m)) > 1e-9 {
+		probs = append(probs, fmt.Sprintf("inflated tail mass %g does not restore the tail count %d: estimates would be biased", tailMass, m))
+	}
+	if got, want := pr.TailP, float64(kTail)/float64(m); got != want {
+		probs = append(probs, fmt.Sprintf("TailP=%g but k/m=%g", got, want))
+	}
+	switch {
+	case cfg == nil:
+		probs = append(probs, "scan pruned with no estimator config: the added variance would never be charged")
+	case cfg.PartP != pr.TailP:
+		probs = append(probs, fmt.Sprintf("estimator PartP=%g disagrees with the scan's TailP=%g", cfg.PartP, pr.TailP))
+	case cfg.PartTail != kTail:
+		probs = append(probs, fmt.Sprintf("estimator PartTail=%d disagrees with the %d kept tail partitions", cfg.PartTail, kTail))
+	}
+	return probs
+}
+
+// estCfg builds the estimator config the optimizer would hand the
+// physical planner for the generated plan: nil for unsampled plans.
+func estCfg(info *genInfo) *exec.EstimatorConfig {
+	if info.samplerP <= 0 {
+		return nil
+	}
+	return &exec.EstimatorConfig{
+		Type:         info.samplerType,
+		P:            info.samplerP,
+		UniverseCols: append([]lplan.ColumnID{}, info.universeCols...),
+	}
+}
+
+// prunedScans returns the scans carrying a pruning decision.
+func prunedScans(root exec.PNode) []*exec.PScan {
+	var out []*exec.PScan
+	exec.WalkP(root, func(n exec.PNode) {
+		if s, ok := n.(*exec.PScan); ok && s.Prune != nil {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// pruneDiff compares the pruning decisions of two compilations of the
+// same plan, returning the first difference or "".
+func pruneDiff(a, b exec.PNode) string {
+	sa, sb := prunedScans(a), prunedScans(b)
+	if len(sa) != len(sb) {
+		return fmt.Sprintf("%d pruned scans vs %d on replay", len(sa), len(sb))
+	}
+	for i := range sa {
+		pa, pb := sa[i].Prune, sb[i].Prune
+		if pa.TailP != pb.TailP || pa.TailTotal != pb.TailTotal || pa.Pruned != pb.Pruned ||
+			len(pa.Keep) != len(pb.Keep) {
+			return fmt.Sprintf("decision shape differs: %+v vs %+v", pa, pb)
+		}
+		for j := range pa.Keep {
+			if pa.Keep[j] != pb.Keep[j] || pa.Inflate[j] != pb.Inflate[j] {
+				return fmt.Sprintf("kept set differs at %d: partition %d×%g vs %d×%g",
+					j, pa.Keep[j], pa.Inflate[j], pb.Keep[j], pb.Inflate[j])
+			}
+		}
+	}
+	return ""
+}

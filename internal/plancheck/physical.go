@@ -32,7 +32,25 @@ func (c *Checker) CheckPhysical(root exec.PNode) []Violation {
 	vs = append(vs, checkPWeightReachesAggregate(root)...)
 	vs = append(vs, checkPPruning(root)...)
 	vs = append(vs, checkPruneInflation(root)...)
-	return vs
+	return annotatePaths(vs, physicalPaths(root))
+}
+
+// physicalPaths mirrors logicalPaths on the compiled plan: every node
+// mapped to its root→node Describe() chain.
+func physicalPaths(root exec.PNode) map[any]string {
+	paths := map[any]string{}
+	var rec func(n exec.PNode, prefix string)
+	rec = func(n exec.PNode, prefix string) {
+		p := prefix + n.Describe()
+		if _, seen := paths[n]; !seen {
+			paths[n] = p
+		}
+		for _, k := range n.Kids() {
+			rec(k, p+" > ")
+		}
+	}
+	rec(root, "")
+	return paths
 }
 
 // isRealP reports whether p is a non-pass-through physical sampler.
@@ -68,6 +86,7 @@ func (c *Checker) checkPSamplers(root exec.PNode) []Violation {
 			vs = append(vs, Violation{
 				Rule: "p-sampler-p", Node: s.Describe(),
 				Detail: fmt.Sprintf("probability %g outside (0, %g] (§4.2.6)", s.Def.P, c.maxP()),
+				node:   s,
 			})
 		}
 		in := colIDs(s.In)
@@ -76,6 +95,7 @@ func (c *Checker) checkPSamplers(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-sampler-support", Node: s.Describe(),
 					Detail: fmt.Sprintf("sampler column #%d not produced by input", id),
+					node:   s,
 				})
 			}
 		}
@@ -83,6 +103,7 @@ func (c *Checker) checkPSamplers(root exec.PNode) []Violation {
 			vs = append(vs, Violation{
 				Rule: "p-sampler-def", Node: s.Describe(),
 				Detail: "universe sampler with zero subspace seed",
+				node:   s,
 			})
 		}
 	}
@@ -100,6 +121,7 @@ func checkPNestedSamplers(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-nested-sampler", Node: s.Describe(),
 					Detail: fmt.Sprintf("nested under %s (§A)", above.Describe()),
+					node:   s,
 				})
 			}
 			above = s
@@ -128,7 +150,7 @@ func gatherExchange(n exec.PNode) bool {
 func checkBreakerPlacement(root exec.PNode) []Violation {
 	var vs []Violation
 	bad := func(n exec.PNode, format string, args ...any) {
-		vs = append(vs, Violation{Rule: "p-breaker", Node: n.Describe(), Detail: fmt.Sprintf(format, args...)})
+		vs = append(vs, Violation{Rule: "p-breaker", Node: n.Describe(), Detail: fmt.Sprintf(format, args...), node: n})
 	}
 	exec.WalkP(root, func(n exec.PNode) {
 		if len(n.Kids()) > 1 && !n.Breaker() {
@@ -215,6 +237,7 @@ func checkExchanges(root exec.PNode) []Violation {
 			vs = append(vs, Violation{
 				Rule: "p-exchange", Node: n.Describe(),
 				Detail: fmt.Sprintf("partition count %d < 1", x.Parts),
+				node:   n,
 			})
 		}
 		in := colIDs(x.In)
@@ -223,6 +246,7 @@ func checkExchanges(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-exchange", Node: n.Describe(),
 					Detail: fmt.Sprintf("hash key #%d not produced by input", k),
+					node:   n,
 				})
 			}
 		}
@@ -247,6 +271,7 @@ func checkEstimatorConfig(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-estimator", Node: n.Describe(),
 					Detail: "more than one Top aggregate: result estimates would be ambiguous",
+					node:   n,
 				})
 			}
 		}
@@ -255,12 +280,14 @@ func checkEstimatorConfig(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-estimator", Node: n.Describe(),
 					Detail: "estimator config on a non-Top aggregate (dominance analysis applies at the root only, §4.3)",
+					node:   n,
 				})
 			}
 			if a.Est.P <= 0 || a.Est.P > 1 {
 				vs = append(vs, Violation{
 					Rule: "p-estimator", Node: n.Describe(),
 					Detail: fmt.Sprintf("effective probability %g outside (0, 1]", a.Est.P),
+					node:   n,
 				})
 			}
 		}
@@ -286,6 +313,7 @@ func checkPUniverseGroups(root exec.PNode) []Violation {
 				vs = append(vs, Violation{
 					Rule: "p-universe-group", Node: m.Describe(),
 					Detail: fmt.Sprintf("disagrees with paired sampler %s (same seed %d must share fraction and column count, §A)", first.Describe(), m.Def.Seed),
+					node:   m,
 				})
 			}
 		}
@@ -323,6 +351,7 @@ func checkSharedUniverse(root exec.PNode) []Violation {
 			vs = append(vs, Violation{
 				Rule: "p-shared-universe", Node: j.Describe(),
 				Detail: fmt.Sprintf("SharedUniverseP=%g but paired universe samplers imply %g (weight correction §4.1.3)", j.SharedUniverseP, shared),
+				node:   j,
 			})
 		}
 	})
@@ -339,7 +368,7 @@ func checkSharedUniverse(root exec.PNode) []Violation {
 func checkPPruning(root exec.PNode) []Violation {
 	var vs []Violation
 	bad := func(n exec.PNode, format string, args ...any) {
-		vs = append(vs, Violation{Rule: "p-prune", Node: n.Describe(), Detail: fmt.Sprintf(format, args...)})
+		vs = append(vs, Violation{Rule: "p-prune", Node: n.Describe(), Detail: fmt.Sprintf(format, args...), node: n})
 	}
 	var rec func(n exec.PNode, samp *exec.PSample)
 	rec = func(n exec.PNode, samp *exec.PSample) {
@@ -424,7 +453,7 @@ func checkPPruning(root exec.PNode) []Violation {
 func checkPruneInflation(root exec.PNode) []Violation {
 	var vs []Violation
 	bad := func(n exec.PNode, format string, args ...any) {
-		vs = append(vs, Violation{Rule: "p-prune-inflation", Node: n.Describe(), Detail: fmt.Sprintf(format, args...)})
+		vs = append(vs, Violation{Rule: "p-prune-inflation", Node: n.Describe(), Detail: fmt.Sprintf(format, args...), node: n})
 	}
 	var rec func(n exec.PNode, est *exec.EstimatorConfig, blocked string)
 	rec = func(n exec.PNode, est *exec.EstimatorConfig, blocked string) {
@@ -493,7 +522,7 @@ func checkPWeightReachesAggregate(root exec.PNode) []Violation {
 			if blocked != "" {
 				detail = fmt.Sprintf("%s between %s and its aggregation reorders or truncates the weighted stream before estimation", blocked, weighted)
 			}
-			vs = append(vs, Violation{Rule: "p-weight-propagation", Node: n.Describe(), Detail: detail})
+			vs = append(vs, Violation{Rule: "p-weight-propagation", Node: n.Describe(), Detail: detail, node: n})
 		}
 		for _, k := range n.Kids() {
 			rec(k, blocked)

@@ -33,12 +33,57 @@ type Violation struct {
 	Rule string
 	// Node is the Describe() text of the offending operator.
 	Node string
+	// Path is the root→node operator chain (Describe() texts joined
+	// with " > "), filled in by CheckLogical / CheckPhysical when the
+	// offending operator is part of the checked tree. In a plan with
+	// several look-alike operators (two scans of the same table, say)
+	// the path is what tells them apart.
+	Path string
 	// Detail explains what was expected and what was found.
 	Detail string
+
+	// node is the offending operator object, recorded at the
+	// construction site so the path annotation can key on identity
+	// rather than on Describe() text.
+	node any
 }
 
 func (v Violation) String() string {
+	if v.Path != "" {
+		return fmt.Sprintf("%s: %s: %s (path: %s)", v.Rule, v.Node, v.Detail, v.Path)
+	}
 	return fmt.Sprintf("%s: %s: %s", v.Rule, v.Node, v.Detail)
+}
+
+// annotatePaths fills each violation's Path from the node recorded at
+// its construction site. Violations whose node is not in the map (or
+// was never recorded) keep an empty Path.
+func annotatePaths(vs []Violation, paths map[any]string) []Violation {
+	for i := range vs {
+		if p, ok := paths[vs[i].node]; ok {
+			vs[i].Path = p
+		}
+	}
+	return vs
+}
+
+// logicalPaths maps every node of a logical plan to its root→node
+// chain. If the same node object appears twice (a shared subtree), the
+// first — leftmost, outermost — path wins.
+func logicalPaths(root lplan.Node) map[any]string {
+	paths := map[any]string{}
+	var rec func(n lplan.Node, prefix string)
+	rec = func(n lplan.Node, prefix string) {
+		p := prefix + n.Describe()
+		if _, seen := paths[n]; !seen {
+			paths[n] = p
+		}
+		for _, ch := range n.Children() {
+			rec(ch, p+" > ")
+		}
+	}
+	rec(root, "")
+	return paths
 }
 
 // Checker verifies plans. The zero value uses the paper's parameters.
@@ -86,7 +131,7 @@ func (c *Checker) CheckLogical(root lplan.Node) []Violation {
 	vs = append(vs, checkUniverseGroups(root)...)
 	vs = append(vs, checkUniversePairs(root)...)
 	vs = append(vs, checkWeightReachesAggregate(root)...)
-	return vs
+	return annotatePaths(vs, logicalPaths(root))
 }
 
 // isReal reports whether s is a materialized, non-pass-through sampler.
@@ -102,7 +147,7 @@ func isReal(s *lplan.Sample) bool {
 func (c *Checker) checkSamplerDefs(root lplan.Node) []Violation {
 	var vs []Violation
 	bad := func(s *lplan.Sample, rule, format string, args ...any) {
-		vs = append(vs, Violation{Rule: rule, Node: s.Describe(), Detail: fmt.Sprintf(format, args...)})
+		vs = append(vs, Violation{Rule: rule, Node: s.Describe(), Detail: fmt.Sprintf(format, args...), node: s})
 	}
 	for _, s := range lplan.FindSamplers(root) {
 		if s.Def == nil {
@@ -172,6 +217,7 @@ func checkNestedSamplers(root lplan.Node) []Violation {
 				vs = append(vs, Violation{
 					Rule: "nested-sampler", Node: s.Describe(),
 					Detail: fmt.Sprintf("nested under %s (§A forbids nested samplers)", above.Describe()),
+					node:   s,
 				})
 			}
 			above = s
@@ -208,6 +254,7 @@ func checkSamplerDominance(root lplan.Node) []Violation {
 				vs = append(vs, Violation{
 					Rule: "sampler-dominance", Node: s.Describe(),
 					Detail: "no Aggregate above the sampler: sample weights would never reach an estimator",
+					node:   s,
 				})
 			} else {
 				for _, anc := range path[agg+1:] {
@@ -222,6 +269,7 @@ func checkSamplerDominance(root lplan.Node) []Violation {
 						vs = append(vs, Violation{
 							Rule: "sampler-dominance", Node: s.Describe(),
 							Detail: fmt.Sprintf("%s between sampler and its aggregate (Props 7–9 cover only select/project/join)", anc.Describe()),
+							node:   s,
 						})
 					}
 				}
@@ -257,6 +305,7 @@ func checkUniversePropagation(root lplan.Node) []Violation {
 						vs = append(vs, Violation{
 							Rule: "universe-propagation", Node: s.Describe(),
 							Detail: fmt.Sprintf("universe column #%d dropped by %s before reaching the aggregate (§B.1)", id, path[i].Describe()),
+							node:   s,
 						})
 					}
 				}
@@ -300,12 +349,14 @@ func checkUniverseGroups(root lplan.Node) []Violation {
 				vs = append(vs, Violation{
 					Rule: "universe-group", Node: m.Describe(),
 					Detail: fmt.Sprintf("probability %g differs from paired sampler's %g (same seed %d must sample the same subspace fraction, §A)", m.Def.P, first.Def.P, m.Def.Seed),
+					node:   m,
 				})
 			}
 			if len(m.Def.Cols) != len(first.Def.Cols) {
 				vs = append(vs, Violation{
 					Rule: "universe-group", Node: m.Describe(),
 					Detail: fmt.Sprintf("%d universe columns vs paired sampler's %d (seed %d): subspaces cannot line up", len(m.Def.Cols), len(first.Def.Cols), m.Def.Seed),
+					node:   m,
 				})
 			}
 		}
@@ -356,6 +407,7 @@ func checkUniversePairs(root lplan.Node) []Violation {
 				vs = append(vs, Violation{
 					Rule: "universe-pair", Node: j.Describe(),
 					Detail: fmt.Sprintf("paired universe samplers (seed %d) sample %v on the left and %v on the right, which the join keys do not identify (§A)", rs.Def.Seed, ls.Def.Cols, rs.Def.Cols),
+					node:   j,
 				})
 			}
 		}
@@ -376,6 +428,7 @@ func checkWeightReachesAggregate(root lplan.Node) []Violation {
 			vs = append(vs, Violation{
 				Rule: "weight-propagation", Node: s.Describe(),
 				Detail: fmt.Sprintf("weight column %q has no Aggregate above it: sampling weights would be dropped, biasing the answer", s.WeightColumn),
+				node:   s,
 			})
 		}
 		if _, ok := n.(*lplan.Aggregate); ok {

@@ -366,4 +366,41 @@ func TestViolationFormatting(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "r: n: d") {
 		t.Fatalf("asError formatting: %v", err)
 	}
+	withPath := Violation{Rule: "r", Node: "n", Detail: "d", Path: "Root > n"}
+	if got := withPath.String(); got != "r: n: d (path: Root > n)" {
+		t.Fatalf("path formatting: %q", got)
+	}
+}
+
+// TestLogicalViolationPath: a violation reported deep in the plan
+// carries the full root→node operator chain, so two look-alike
+// operators in different branches are distinguishable.
+func TestLogicalViolationPath(t *testing.T) {
+	base := scan(col(1, "a"))
+	s := uniform(base, 0.5) // probability above the cap
+	plan := agg(s, 1)
+	vs := New().CheckLogical(plan)
+	expectRules(t, vs, "sampler-p")
+	wantPath := plan.Describe() + " > " + s.Describe()
+	if vs[0].Path != wantPath {
+		t.Errorf("violation path %q, want %q", vs[0].Path, wantPath)
+	}
+	if !strings.Contains(vs[0].String(), "(path: "+wantPath+")") {
+		t.Errorf("String() does not include the path: %s", vs[0])
+	}
+}
+
+// TestPhysicalViolationPath: same contract on the compiled plan.
+func TestPhysicalViolationPath(t *testing.T) {
+	src := pscan(col(1, "a"))
+	samp := &exec.PSample{In: src, Def: lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.5}, Seed: 1}
+	ex := &exec.PExchange{In: samp, Keys: []lplan.ColumnID{1}, Parts: 4}
+	plan := pagg(ex, true, 1)
+	plan.Est = &exec.EstimatorConfig{Type: lplan.SamplerUniform, P: 0.05}
+	vs := New().CheckPhysical(plan)
+	expectRules(t, vs, "p-sampler-p")
+	wantPath := strings.Join([]string{plan.Describe(), ex.Describe(), samp.Describe()}, " > ")
+	if vs[0].Path != wantPath {
+		t.Errorf("violation path %q, want %q", vs[0].Path, wantPath)
+	}
 }

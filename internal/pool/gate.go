@@ -15,9 +15,11 @@ import (
 // clamped to it, so it eventually runs alone rather than queueing
 // forever.
 type Gate struct {
-	mu      sync.Mutex
-	budget  int64
-	used    int64
+	mu     sync.Mutex
+	budget int64
+	// guarded-by: mu
+	used int64
+	// guarded-by: mu
 	waiters []*waiter // FIFO
 }
 
@@ -116,6 +118,7 @@ func (g *Gate) Release(a Admission) {
 
 // grantLocked admits waiting queries from the queue head while they
 // fit.
+// caller-holds: g.mu
 func (g *Gate) grantLocked() {
 	for len(g.waiters) > 0 {
 		w := g.waiters[0]

@@ -29,9 +29,11 @@ type Pool struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// jobs holds jobs that still have unclaimed tasks, oldest first.
+	// guarded-by: mu
 	jobs    []*job
 	workers int
-	closed  bool
+	// guarded-by: mu
+	closed bool
 }
 
 // New creates a pool with the given number of persistent workers
@@ -113,8 +115,8 @@ type job struct {
 }
 
 // claimLocked hands out the next task index, or ok=false when the job
-// is exhausted, a task failed, or the job's context is done. Callers
-// hold p.mu.
+// is exhausted, a task failed, or the job's context is done.
+// caller-holds: j.p.mu
 func (j *job) claimLocked(stolen bool) (int, bool) {
 	if j.next >= j.n || j.err != nil {
 		j.delistLocked()
@@ -142,6 +144,7 @@ func (j *job) claimLocked(stolen bool) (int, bool) {
 }
 
 // delistLocked removes the job from the pool's steal list.
+// caller-holds: j.p.mu
 func (j *job) delistLocked() {
 	if !j.listed {
 		return
@@ -158,6 +161,7 @@ func (j *job) delistLocked() {
 
 // finishLocked records a task completion and signals waiters when the
 // job has fully drained (no unclaimed and no in-flight tasks).
+// caller-holds: j.p.mu
 func (j *job) finishLocked(err error) {
 	j.inflight--
 	if err != nil && j.err == nil {

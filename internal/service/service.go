@@ -39,8 +39,10 @@ import (
 type Server struct {
 	eng *quickr.Engine
 
-	mu      sync.Mutex
-	nextID  uint64
+	mu sync.Mutex
+	// guarded-by: mu
+	nextID uint64
+	// guarded-by: mu
 	queries map[string]*query
 }
 
@@ -51,12 +53,16 @@ type query struct {
 	approx bool
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	status    string // "running" | "done" | "error" | "canceled"
-	res       *quickr.Result
+	mu sync.Mutex
+	// guarded-by: mu
+	status string // "running" | "done" | "error" | "canceled"
+	// guarded-by: mu
+	res *quickr.Result
+	// guarded-by: mu
 	err       error
 	submitted time.Time
-	finished  time.Time
+	// guarded-by: mu
+	finished time.Time
 
 	done chan struct{}
 }

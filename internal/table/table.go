@@ -90,8 +90,10 @@ type Table struct {
 	// guards both so Append invalidates them atomically — a scan must
 	// never observe a fresh columnar partition paired with a stale
 	// summary or vice versa.
-	cacheMu  sync.Mutex
+	cacheMu sync.Mutex
+	// guarded-by: cacheMu
 	colCache []*ColPartition
+	// guarded-by: cacheMu
 	sumCache []*PartitionSummary
 }
 

@@ -26,8 +26,10 @@ type planKey struct {
 // per-run samplers and metrics), so one cached plan may back any number
 // of concurrent executions.
 type planCache struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// guarded-by: mu
 	items map[planKey]*list.Element
+	// guarded-by: mu
 	order *list.List // front = most recently used
 }
 
