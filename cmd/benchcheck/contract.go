@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// contractFields are required on every run's contract block. Fields
+// with omitempty semantics (error_target, the rel-err triple,
+// deadline_seconds) are legitimately absent on some runs and are not
+// listed.
+var contractFields = []string{
+	"confidence", "chosen_p", "attempts", "escalations",
+	"plan_cache_hits", "satisfied", "exact", "history_hit",
+}
+
+// contractRun mirrors the fields of one CONTRACT_*.json run entry the
+// gate reasons about.
+type contractRun struct {
+	ID       string `json:"id"`
+	Pass     string `json:"pass"`
+	Contract *struct {
+		Attempts      int  `json:"attempts"`
+		Escalations   int  `json:"escalations"`
+		PlanCacheHits int  `json:"plan_cache_hits"`
+		Satisfied     bool `json:"satisfied"`
+	} `json:"contract"`
+}
+
+// checkContract gates a CONTRACT_<exp>.json report: zero contract
+// violations, the escalation path actually exercised, escalation
+// retries served from the plan cache (the warm pass replays the cold
+// pass's rung walk against cached plans), and warm escalations no worse
+// than cold — the learned correction loop must not regress.
+func checkContract(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var top struct {
+		Experiment string            `json:"experiment"`
+		Runs       []json.RawMessage `json:"runs"`
+		Violations *int              `json:"violations"`
+	}
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return fmt.Errorf("not a contract report: %w", err)
+	}
+	if top.Violations == nil {
+		return fmt.Errorf("missing top-level field %q", "violations")
+	}
+	if len(top.Runs) == 0 {
+		return fmt.Errorf("report contains no contract runs")
+	}
+	if *top.Violations > 0 {
+		return fmt.Errorf("%d contract violations", *top.Violations)
+	}
+
+	var coldEsc, warmEsc, warmHits, totalEsc int
+	for i, rawRun := range top.Runs {
+		// Schema first: a refactor that drops a counter dashboards (or
+		// this gate) consumes must fail loudly, not read as zero.
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(rawRun, &fields); err != nil {
+			return fmt.Errorf("runs[%d]: not an object: %w", i, err)
+		}
+		var cblock map[string]json.RawMessage
+		if c, ok := fields["contract"]; !ok {
+			return fmt.Errorf("runs[%d]: missing contract block", i)
+		} else if err := json.Unmarshal(c, &cblock); err != nil {
+			return fmt.Errorf("runs[%d]: contract is not an object: %w", i, err)
+		}
+		for _, k := range contractFields {
+			if _, ok := cblock[k]; !ok {
+				return fmt.Errorf("runs[%d]: contract missing %q", i, k)
+			}
+		}
+
+		var r contractRun
+		if err := json.Unmarshal(rawRun, &r); err != nil {
+			return fmt.Errorf("runs[%d]: %w", i, err)
+		}
+		if !r.Contract.Satisfied {
+			return fmt.Errorf("%s (%s): contract unsatisfied", r.ID, r.Pass)
+		}
+		totalEsc += r.Contract.Escalations
+		switch r.Pass {
+		case "cold":
+			coldEsc += r.Contract.Escalations
+		case "warm":
+			warmEsc += r.Contract.Escalations
+			warmHits += r.Contract.PlanCacheHits
+		default:
+			return fmt.Errorf("%s: unknown pass %q", r.ID, r.Pass)
+		}
+	}
+	if totalEsc == 0 {
+		return fmt.Errorf("no run escalated: the suite no longer exercises the escalation path")
+	}
+	if warmHits == 0 {
+		return fmt.Errorf("warm pass had zero plan-cache hits: contract retries are re-planning from scratch")
+	}
+	if warmEsc > coldEsc {
+		return fmt.Errorf("warm escalations (%d) exceed cold (%d): learned corrections regressed", warmEsc, coldEsc)
+	}
+	fmt.Printf("%s: ok (%d runs, cold escalations %d, warm %d, warm cache hits %d)\n",
+		path, len(top.Runs), coldEsc, warmEsc, warmHits)
+	return nil
+}

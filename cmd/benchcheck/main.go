@@ -22,12 +22,19 @@
 // unpruned run, at least one query with partitions_pruned > 0), so a
 // regression that silently disables the pass fails the build.
 //
+// With -contract it gates the CONTRACT_*.json report the contract
+// suite writes: zero contract violations, the escalation path actually
+// exercised, warm-pass retries served from the plan cache, and warm
+// escalations no worse than cold (the learned correction loop must not
+// regress).
+//
 // Usage:
 //
 //	benchcheck BENCH_SMOKE.json [more.json...]
 //	benchcheck -micro -baseline internal/exec/testdata/bench_baseline.json bench.txt
 //	benchcheck -oracle row/BENCH_BENCH.json columnar/BENCH_BENCH.json
 //	benchcheck -prune full/BENCH_BENCH.json pruned/BENCH_BENCH.json
+//	benchcheck -contract CONTRACT_SMOKE.json
 package main
 
 import (
@@ -71,12 +78,14 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON for -micro (committed allocs/op and ns/op ceilings)")
 	oracle := flag.Bool("oracle", false, "compare two reports of the same workload from different executor modes; result hashes must match")
 	prune := flag.Bool("prune", false, "compare an unpruned report against a pruned one; the pruned run must scan strictly fewer partitions")
+	contract := flag.Bool("contract", false, "gate a CONTRACT_<exp>.json report: zero violations, escalation retries served from the plan cache")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
 		fmt.Fprintln(os.Stderr, "       benchcheck -micro -baseline baseline.json bench.txt")
 		fmt.Fprintln(os.Stderr, "       benchcheck -oracle row.json columnar.json")
 		fmt.Fprintln(os.Stderr, "       benchcheck -prune full.json pruned.json")
+		fmt.Fprintln(os.Stderr, "       benchcheck -contract CONTRACT_<exp>.json")
 		os.Exit(2)
 	}
 	if *micro {
@@ -104,6 +113,19 @@ func main() {
 		}
 		if err := checkPrune(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck -prune:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *contract {
+		bad := 0
+		for _, path := range flag.Args() {
+			if err := checkContract(path); err != nil {
+				bad++
+				fmt.Fprintf(os.Stderr, "benchcheck -contract: %s: %v\n", path, err)
+			}
+		}
+		if bad > 0 {
 			os.Exit(1)
 		}
 		return

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9|SMOKE|BENCH] [-sf 1.0] [-json dir]
-//	             [-batch 0] [-columnar] [-prune] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	             [-batch 0] [-columnar] [-prune] [-contract] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // SMOKE runs a tiny per-suite query subset; BENCH runs the full query
 // suites. With -json, both write a machine-readable BENCH_<exp>.json
@@ -31,6 +31,7 @@ func main() {
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
 	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
 	prune := flag.Bool("prune", false, "enable the optimizer's partition-selection pruning pass for sampled plans")
+	contract := flag.Bool("contract", false, "also run the error-contract suite (cold+warm) and write CONTRACT_<exp>.json (SMOKE/BENCH)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
@@ -73,6 +74,34 @@ func main() {
 	// SMOKE/BENCH emit machine-readable run reports; they are opt-in
 	// (not part of 'all', which regenerates the paper's human-readable
 	// tables and figures).
+	contractDone := false
+	runContract := func(id string) {
+		if !*contract || contractDone {
+			return
+		}
+		contractDone = true
+		crep, err := experiments.BuildContractReport(getEnv(), id, *sf)
+		if err != nil {
+			fail(id, err)
+		}
+		esc, hits := 0, 0
+		for _, r := range crep.Runs {
+			esc += r.Contract.Escalations
+			hits += r.Contract.PlanCacheHits
+		}
+		fmt.Printf("%s: %d contract runs, %d violations, %d escalations, %d plan-cache hits\n",
+			id, len(crep.Runs), crep.Violations, esc, hits)
+		if *jsonDir != "" {
+			path, err := crep.Write(*jsonDir)
+			if err != nil {
+				fail(id, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if crep.Violations > 0 {
+			fail(id, fmt.Errorf("%d contract violations", crep.Violations))
+		}
+	}
 	runReport := func(id string, queries []workload.Query) {
 		rep, err := experiments.BuildBenchReport(getEnv(), queries, id, *sf)
 		if err != nil {
@@ -100,6 +129,7 @@ func main() {
 	}
 	if want["SMOKE"] {
 		runReport("SMOKE", experiments.SmokeQueries())
+		runContract("SMOKE")
 	}
 	if want["BENCH"] {
 		var all []workload.Query
@@ -107,6 +137,7 @@ func main() {
 		all = append(all, workload.TPCHQueries()...)
 		all = append(all, workload.OtherQueries()...)
 		runReport("BENCH", all)
+		runContract("BENCH")
 	}
 	if (want["SMOKE"] || want["BENCH"]) && len(want) == 1 {
 		return

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-seed 0] [-batch 1024] [-columnar] [-check] [-prune] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-batch 1024] [-columnar] [-check] [-prune] [-history h.json] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //	quickr [-sf 1] -serve :8080  # HTTP/JSON query service (see internal/service)
 //
@@ -48,6 +48,7 @@ func main() {
 	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
 	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	prune := flag.Bool("prune", false, "enable partition-selection pruning: sampled plans whose partition summaries certify the sampler's columns scan a weighted partition subset")
+	history := flag.String("history", "", "load the learned query history from this JSON file before running and save it back after (created if missing)")
 	interactive := flag.Bool("i", false, "interactive mode")
 	serve := flag.String("serve", "", "serve the HTTP/JSON query API on this address (e.g. :8080) instead of running a query")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -67,6 +68,10 @@ func main() {
 	eng.SetColumnar(*columnar)
 	eng.SetPlanChecks(*check)
 	eng.SetPrune(*prune)
+	if *history != "" {
+		loadHistory(eng, *history)
+		defer saveHistory(eng, *history)
+	}
 
 	if *serve != "" {
 		srv := service.New(eng)
@@ -107,6 +112,63 @@ func buildEngine(sf float64, seed uint64) *quickr.Engine {
 		eng.RegisterStored(t, ds.PKs[name]...)
 	}
 	return eng
+}
+
+// loadHistory primes the engine's learned query history from path; a
+// missing file simply starts cold (corrupt files degrade to cold inside
+// LoadHistory).
+func loadHistory(eng *quickr.Engine, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "history:", err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := eng.LoadHistory(f); err != nil {
+		fmt.Fprintln(os.Stderr, "history:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "loaded query history (%d fingerprints) from %s\n", eng.HistoryLen(), path)
+}
+
+// saveHistory persists the engine's learned query history to path.
+func saveHistory(eng *quickr.Engine, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "history:", err)
+		return
+	}
+	defer f.Close()
+	if err := eng.SaveHistory(f); err != nil {
+		fmt.Fprintln(os.Stderr, "history:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "saved query history (%d fingerprints) to %s\n", eng.HistoryLen(), path)
+}
+
+// printContract reports the contract outcome for contract-bearing
+// queries.
+func printContract(res *quickr.Result) {
+	c := res.Contract
+	if c == nil {
+		return
+	}
+	verdict := "satisfied"
+	if !c.Satisfied {
+		verdict = "MISSED"
+	}
+	how := fmt.Sprintf("p=%.4g", c.ChosenP)
+	if c.Exact {
+		how = "exact plan"
+	}
+	fmt.Printf("-- contract %s via %s: attempts=%d escalations=%d cache-hits=%d history-hit=%v\n",
+		verdict, how, c.Attempts, c.Escalations, c.PlanCacheHits, c.HistoryHit)
+	if c.RealizedRelErr > 0 {
+		fmt.Printf("-- contract error: predicted=%.4g corrected=%.4g realized=%.4g (target %.4g @ %.0f%%)\n",
+			c.PredictedRelErr, c.CorrectedRelErr, c.RealizedRelErr, c.ErrorTarget, 100*c.Confidence)
+	}
 }
 
 func execOnce(eng *quickr.Engine, query string, approx bool) *quickr.Result {
@@ -156,6 +218,7 @@ func runQuery(eng *quickr.Engine, query string, approx, metrics bool, stats stri
 			fmt.Printf("-- sampled with %v\n", res.Samplers)
 		}
 	}
+	printContract(res)
 	if metrics {
 		m := res.Metrics
 		fmt.Printf("-- machine-time=%.0f runtime=%.0f passes=%.2f shuffled=%.0fB intermediate=%.0fB tasks=%d\n",
@@ -177,6 +240,7 @@ func doAnalyze(eng *quickr.Engine, query string, approx bool, stats string) {
 	if approx && res.Unapproximable {
 		fmt.Println("-- ASALQA declared the query unapproximable; exact plan ran")
 	}
+	printContract(res)
 	fmt.Print(res.StageReport)
 	writeStats(res, query, approx, stats)
 }

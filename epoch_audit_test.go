@@ -1,0 +1,99 @@
+package quickr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSetterEpochAudit enumerates every Engine.Set* method by
+// reflection and asserts each one bumps the plan-cache epoch: a setter
+// that forgets to bump serves stale cached plans after a configuration
+// change. New knobs (contract/history included) are covered
+// automatically as they are added.
+func TestSetterEpochAudit(t *testing.T) {
+	eng := New()
+	typ := reflect.TypeOf(eng)
+	audited := 0
+	for i := 0; i < typ.NumMethod(); i++ {
+		m := typ.Method(i)
+		if !strings.HasPrefix(m.Name, "Set") {
+			continue
+		}
+		audited++
+		eng.mu.RLock()
+		before := eng.epoch
+		eng.mu.RUnlock()
+
+		// Call with zero values for every parameter (variadic tails
+		// omitted); zero arguments are always accepted by setters.
+		mv := reflect.ValueOf(eng).MethodByName(m.Name)
+		mt := mv.Type()
+		numIn := mt.NumIn()
+		if mt.IsVariadic() {
+			numIn--
+		}
+		args := make([]reflect.Value, numIn)
+		for j := 0; j < numIn; j++ {
+			args[j] = reflect.Zero(mt.In(j))
+		}
+		mv.Call(args)
+
+		eng.mu.RLock()
+		after := eng.epoch
+		eng.mu.RUnlock()
+		if after <= before {
+			t.Errorf("%s did not bump the plan-cache epoch (%d -> %d): stale cached plans would be served",
+				m.Name, before, after)
+		}
+	}
+	// The audit must actually cover the engine's knob surface; if the
+	// count shrinks someone renamed setters away from the Set* pattern
+	// and this audit silently stopped guarding them.
+	if audited < 9 {
+		t.Fatalf("audited only %d Set* methods, expected at least 9", audited)
+	}
+}
+
+// TestContractKnobsInvalidateCache pins the audit's purpose end to end:
+// a cached contract plan must not survive a contract-knob change.
+func TestContractKnobsInvalidateCache(t *testing.T) {
+	eng := New()
+	if err := eng.CreateTable("t", []Column{{Name: "g", Type: Int}, {Name: "v", Type: Float}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]any, 0, 400)
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []any{i % 4, float64(i%7) + 1})
+	}
+	if err := eng.Insert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT g, SUM(v) FROM t GROUP BY g"
+	if _, err := eng.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlanCached {
+		t.Fatal("second identical run should be a plan-cache hit")
+	}
+	eng.SetContractMaxEscalations(5)
+	res, err = eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCached {
+		t.Fatal("SetContractMaxEscalations must invalidate cached plans")
+	}
+	eng.SetHistoryLearning(false)
+	res, err = eng.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanCached {
+		t.Fatal("SetHistoryLearning must invalidate cached plans")
+	}
+}

@@ -115,6 +115,43 @@ func TestGoldenExplainAnalyzePrune(t *testing.T) {
 	checkGolden(t, "stats_prune.golden", append(b, '\n'))
 }
 
+// TestGoldenContract pins the contract-facing text surfaces: the
+// EXPLAIN ANALYZE "corrected=" annotations the learned history adds to
+// operator estimates, and the run report's contract block (chosen p,
+// attempts, cache hits, predicted/corrected/realized error). The query
+// runs twice on one engine; the second (warm) run is the golden — it
+// must show history_hit and a corrected prediction.
+const goldenContractSQL = `
+	SELECT ss_store_sk, SUM(ss_sales_price) AS total
+	FROM store_sales
+	GROUP BY ss_store_sk ERROR WITHIN 10% CONFIDENCE 95%`
+
+func TestGoldenContract(t *testing.T) {
+	eng := newTPCDSEngine(t, 1)
+	eng.SetBatchSize(256)
+	eng.SetSeed(1)
+
+	if _, err := eng.ExecApprox(goldenContractSQL); err != nil {
+		t.Fatal(err) // cold run primes the history store
+	}
+	res, err := eng.ExecApprox(goldenContractSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contract == nil || !res.Contract.HistoryHit {
+		t.Fatalf("warm run must hit the history store, got %+v", res.Contract)
+	}
+	checkGolden(t, "analyze_contract.golden", []byte(scrubAnalyze(res.AnalyzedPlan)))
+
+	rep := res.RunReport(goldenContractSQL, true)
+	scrubReport(rep)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stats_contract.golden", append(b, '\n'))
+}
+
 func TestGoldenExplainAnalyzeAndStats(t *testing.T) {
 	eng := newTPCDSEngine(t, 0.01)
 	eng.SetBatchSize(256)

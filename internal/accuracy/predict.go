@@ -1,0 +1,44 @@
+package accuracy
+
+import "math"
+
+// ZScore returns the two-sided normal z value for a confidence level
+// given as a fraction (0.95 -> 1.960). Levels between table entries
+// round down to the nearest supported level; out-of-range input gets
+// the 95% default, which keeps contract handling conservative.
+func ZScore(confidence float64) float64 {
+	switch {
+	case confidence >= 0.99:
+		return 2.576
+	case confidence >= 0.95:
+		return 1.960
+	case confidence >= 0.90:
+		return 1.645
+	case confidence >= 0.80:
+		return 1.282
+	default:
+		return 1.960
+	}
+}
+
+// PredictRelCI predicts the relative half-width of the confidence
+// interval for a Horvitz-Thompson SUM/COUNT estimate over a uniform
+// sample with probability p, per-group support rows, and squared
+// coefficient of variation cv2 of the aggregated value:
+//
+//	rel = z * sqrt((1-p)/(p*support)) * sqrt(1+cv2)
+//
+// This is the binomial-thinning variance of the HT estimator divided
+// by the estimate itself; cv2 = Var(x)/Avg(x)^2 accounts for value
+// dispersion in SUM aggregates (cv2 = 0 reduces to pure COUNT).
+// Returns 0 when p is out of (0,1) or support is non-positive, meaning
+// "no sampling error to predict" (exact plan or empty group).
+func PredictRelCI(confidence, p, support, cv2 float64) float64 {
+	if p <= 0 || p >= 1 || support <= 0 {
+		return 0
+	}
+	if cv2 < 0 {
+		cv2 = 0
+	}
+	return ZScore(confidence) * math.Sqrt((1-p)/(p*support)) * math.Sqrt(1+cv2)
+}

@@ -1,0 +1,58 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZScore(t *testing.T) {
+	cases := []struct{ conf, want float64 }{
+		{0.99, 2.576}, {0.995, 2.576},
+		{0.95, 1.960}, {0.97, 1.960},
+		{0.90, 1.645}, {0.80, 1.282},
+		{0.50, 1.960}, // out of table -> conservative default
+		{0, 1.960},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.conf); got != c.want {
+			t.Errorf("ZScore(%g) = %g, want %g", c.conf, got, c.want)
+		}
+	}
+}
+
+func TestPredictRelCI(t *testing.T) {
+	// Pure COUNT (cv2=0): rel = z*sqrt((1-p)/(p*n)).
+	got := PredictRelCI(0.95, 0.1, 1000, 0)
+	want := 1.960 * math.Sqrt(0.9/(0.1*1000))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PredictRelCI = %g, want %g", got, want)
+	}
+	// cv2 widens the interval.
+	if a, b := PredictRelCI(0.95, 0.1, 1000, 0), PredictRelCI(0.95, 0.1, 1000, 2); b <= a {
+		t.Fatalf("cv2 should widen CI: %g vs %g", a, b)
+	}
+	// Monotone: larger p -> narrower interval.
+	prev := math.Inf(1)
+	for _, p := range []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.9} {
+		r := PredictRelCI(0.95, p, 500, 1)
+		if r >= prev {
+			t.Fatalf("not monotone at p=%g: %g >= %g", p, r, prev)
+		}
+		prev = r
+	}
+	// Degenerate inputs predict zero error.
+	for _, r := range []float64{
+		PredictRelCI(0.95, 0, 100, 0),
+		PredictRelCI(0.95, 1, 100, 0),
+		PredictRelCI(0.95, 1.5, 100, 0),
+		PredictRelCI(0.95, 0.1, 0, 0),
+	} {
+		if r != 0 {
+			t.Fatalf("degenerate input should predict 0, got %g", r)
+		}
+	}
+	// Negative cv2 is clamped, not amplified.
+	if PredictRelCI(0.95, 0.1, 100, -5) != PredictRelCI(0.95, 0.1, 100, 0) {
+		t.Fatal("negative cv2 should clamp to 0")
+	}
+}

@@ -48,6 +48,11 @@ type Options struct {
 	// MaxP is the largest allowed sampling probability (paper: 0.1,
 	// "to ensure that the performance gains are high").
 	MaxP float64
+	// MinP, when >0, floors the sampling probability of every placed
+	// sampler. Error contracts use it to force a ladder rung without
+	// disturbing ASALQA's own choice when that choice is already
+	// higher.
+	MinP float64
 	// BeamWidth caps alternatives kept per subtree during exploration.
 	BeamWidth int
 	// MaxSubsetKeys caps the join-key subsets enumerated in

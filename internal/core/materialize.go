@@ -97,6 +97,12 @@ func (a *Asalqa) chooseSampler(input lplan.Node, st samplerState) lplan.SamplerD
 		// few hundred rows per group.
 		p = 0.01
 	}
+	if p < a.Opts.MinP {
+		// Contract-imposed floor: escalation rungs raise p above the
+		// coverage-driven choice (callers raise MaxP alongside, so the
+		// floor never flips C1 on its own).
+		p = a.Opts.MinP
+	}
 	c1 := p <= a.Opts.MaxP
 	c2 := len(st.Univ) == 0
 	if p > a.Opts.MaxP {

@@ -25,6 +25,9 @@ func FormatAnalyze(n PNode, qm *metrics.Query) string {
 			if op.EstRows >= 0 {
 				fmt.Fprintf(&b, "est=%.4g rows, ", op.EstRows)
 			}
+			if op.CorrRows >= 0 {
+				fmt.Fprintf(&b, "corrected=%.4g rows, ", op.CorrRows)
+			}
 			fmt.Fprintf(&b, "actual=%d rows", t.RowsOut)
 			if t.RowsIn != t.RowsOut {
 				fmt.Fprintf(&b, ", in=%d", t.RowsIn)

@@ -35,6 +35,10 @@ type Options struct {
 	// the run's own pool telemetry.
 	QueuedNanos   int64
 	AdmittedBytes int64
+	// CorrRows carries history-corrected cardinality estimates keyed by
+	// plan-node identity (nil when no learned correction applied);
+	// EXPLAIN ANALYZE shows them as `corrected=` next to `est=`.
+	CorrRows map[PNode]float64
 }
 
 // resolveBatch maps the Options knob onto an effective batch size.

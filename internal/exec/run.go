@@ -108,7 +108,7 @@ func RunWithOptions(ctx context.Context, p PNode, cfg cluster.Config, estRows ma
 		ctx = context.Background()
 	}
 	qm := metrics.NewQuery()
-	registerOps(qm, p, estRows)
+	registerOps(qm, p, estRows, opts.CorrRows)
 	pl := opts.Pool
 	if pl == nil {
 		pl = pool.Default()
@@ -175,7 +175,7 @@ func RunWithOptions(ctx context.Context, p PNode, cfg cluster.Config, estRows ma
 // registerOps creates one collector per plan node, in pre-order (the
 // same order FormatPlan prints), recording sampler configuration so
 // pass-rate invariants can be checked against the configured p.
-func registerOps(qm *metrics.Query, root PNode, estRows map[PNode]float64) {
+func registerOps(qm *metrics.Query, root PNode, estRows, corrRows map[PNode]float64) {
 	var rec func(n PNode, depth int)
 	rec = func(n PNode, depth int) {
 		est := -1.0
@@ -183,6 +183,9 @@ func registerOps(qm *metrics.Query, root PNode, estRows map[PNode]float64) {
 			est = v
 		}
 		op := qm.Register(n, opKind(n), n.Describe(), depth, est)
+		if v, ok := corrRows[n]; ok {
+			op.CorrRows = v
+		}
 		if ps, ok := n.(*PSample); ok && ps.Def.Type != lplan.SamplerPassThrough {
 			op.SamplerType = ps.Def.Type.String()
 			op.SamplerP = ps.Def.P

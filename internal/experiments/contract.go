@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"quickr"
+)
+
+// Contract bench: a small deterministic suite of contract-bearing
+// queries run twice — cold (empty history) and warm (history retained
+// from the cold pass) — so CI can gate the whole contract path: rung
+// selection, escalation, exact fallback, plan-cache reuse on retries,
+// and the learned correction loop. The suite runs over its own spike
+// table (registered into the bench engine) so outcomes do not depend on
+// the scale factor of the surrounding benchmark datasets.
+
+// ContractRun is one pass of one contract query in the report.
+type ContractRun struct {
+	ID       string                 `json:"id"`
+	SQL      string                 `json:"sql"`
+	Pass     string                 `json:"pass"` // "cold" | "warm"
+	Contract *quickr.ContractReport `json:"contract"`
+}
+
+// ContractBenchReport is the CONTRACT_<experiment>.json payload,
+// validated by `benchcheck -contract`.
+type ContractBenchReport struct {
+	Experiment  string        `json:"experiment"`
+	ScaleFactor float64       `json:"scale_factor"`
+	Runs        []ContractRun `json:"runs"`
+	// Violations counts runs whose contract went unsatisfied; the
+	// escalation fallback to the exact plan makes the invariant zero.
+	Violations int `json:"violations"`
+}
+
+// contractBenchQueries is the fixed suite: a cold-under-predicted
+// escalator (computed aggregate argument, cv² fallback), two directly
+// satisfiable error contracts, and a deadline contract.
+var contractBenchQueries = []struct{ id, sql string }{
+	{"ladder-sum-sq", "SELECT g, SUM(v * v) FROM contract_spike GROUP BY g ERROR WITHIN 6% CONFIDENCE 95%"},
+	{"direct-sum", "SELECT g, SUM(v) FROM contract_spike GROUP BY g ERROR WITHIN 15% CONFIDENCE 95%"},
+	{"direct-count", "SELECT g, COUNT(*) FROM contract_spike GROUP BY g ERROR WITHIN 5% CONFIDENCE 95%"},
+	{"deadline", "SELECT g, SUM(v) FROM contract_spike GROUP BY g WITHIN 10s"},
+}
+
+// registerContractSpike adds the suite's table: v spikes to 20 on every
+// 61st row (else 1), giving SUM(v*v) a true cv² around 45 versus the
+// optimizer's cv²=1 fallback — the cold pass must escalate.
+func registerContractSpike(eng *quickr.Engine) error {
+	err := eng.CreateTable("contract_spike", []quickr.Column{
+		{Name: "g", Type: quickr.Int},
+		{Name: "v", Type: quickr.Float},
+	}, 4)
+	if err != nil {
+		return err
+	}
+	const n = 40000
+	rows := make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i%61 == 0 {
+			v = 20.0
+		}
+		rows = append(rows, []any{i % 8, v})
+	}
+	return eng.Insert("contract_spike", rows)
+}
+
+// BuildContractReport runs the contract suite cold then warm on the
+// environment's engine and collects the per-run contract outcomes.
+func BuildContractReport(env *Env, id string, sf float64) (*ContractBenchReport, error) {
+	eng := env.Eng
+	if err := registerContractSpike(eng); err != nil {
+		return nil, fmt.Errorf("contract suite table: %w", err)
+	}
+	rep := &ContractBenchReport{Experiment: id, ScaleFactor: sf}
+	eng.ResetHistory()
+	// No engine knob changes between the passes: the warm pass must
+	// replay against the cold pass's cached plans.
+	for _, pass := range []string{"cold", "warm"} {
+		for _, q := range contractBenchQueries {
+			res, err := eng.ExecApprox(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("%s (%s): %w", q.id, pass, err)
+			}
+			cr := res.ContractReport()
+			if cr == nil {
+				return nil, fmt.Errorf("%s (%s): no contract outcome on a contract query", q.id, pass)
+			}
+			if !cr.Satisfied {
+				rep.Violations++
+			}
+			rep.Runs = append(rep.Runs, ContractRun{ID: q.id, SQL: q.sql, Pass: pass, Contract: cr})
+		}
+	}
+	return rep, nil
+}
+
+// Write serializes the report as CONTRACT_<experiment>.json under dir
+// and returns the path.
+func (r *ContractBenchReport) Write(dir string) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, fmt.Sprintf("CONTRACT_%s.json", r.Experiment))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

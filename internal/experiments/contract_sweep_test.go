@@ -1,0 +1,301 @@
+package experiments
+
+// Contract-satisfaction sweep: over many sampler seeds, queries carrying
+// an ERROR WITHIN ... CONFIDENCE 95% contract must realize a relative
+// error against the reference evaluator's exact answer that stays within
+// the stated bound in at least 90% of observations — the contract is a
+// 95% guarantee, and 90% leaves the same estimated-variance slack as the
+// CI95 coverage sweep. Three workload shapes stress different parts of
+// the contract path: a uniform value column (faithful prediction, low
+// rung), a heavy-spike column (high cv², high rung), and an FK join
+// (sampler pushed below the join). A second test asserts the learned
+// correction loop pays off: warm history must reduce the mean escalation
+// count versus cold history on the same workload.
+
+import (
+	"math"
+	"testing"
+
+	"quickr"
+	"quickr/internal/refimpl"
+	"quickr/internal/table"
+)
+
+// contractFloor is the acceptance bar for the realized-error sweep.
+const contractFloor = 0.90
+
+// newSpikeEngine builds an engine over sk(g, v): v carries a
+// deterministic heavy spike (20 on every 61st row, 1 otherwise), giving
+// SUM(v) a squared coefficient of variation around 3.4 and SUM(v*v)
+// around 45 — the latter far above the optimizer's cv²=1 fallback for
+// computed aggregate arguments.
+func newSpikeEngine(tb testing.TB, n, groups int) *quickr.Engine {
+	tb.Helper()
+	eng := quickr.New()
+	if err := eng.CreateTable("sk", []quickr.Column{
+		{Name: "g", Type: quickr.Int},
+		{Name: "v", Type: quickr.Float},
+	}, 4); err != nil {
+		tb.Fatal(err)
+	}
+	rows := make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i%61 == 0 {
+			v = 20.0
+		}
+		rows = append(rows, []any{i % groups, v})
+	}
+	if err := eng.Insert("sk", rows); err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// newUniformEngine builds an engine over u(g, v) with v pseudo-uniform
+// in [50, 151) from a fixed multiplicative hash (no math/rand: the data
+// must be identical on every run).
+func newUniformEngine(tb testing.TB, n, groups int) *quickr.Engine {
+	tb.Helper()
+	eng := quickr.New()
+	if err := eng.CreateTable("u", []quickr.Column{
+		{Name: "g", Type: quickr.Int},
+		{Name: "v", Type: quickr.Float},
+	}, 4); err != nil {
+		tb.Fatal(err)
+	}
+	rows := make([][]any, 0, n)
+	for i := 0; i < n; i++ {
+		h := (uint64(i) * 2654435761) % 1009
+		rows = append(rows, []any{i % groups, 50 + float64(h)/10})
+	}
+	if err := eng.Insert("u", rows); err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// contractTruth computes the reference evaluator's exact answer for the
+// contract-free form of the query, keyed like the engine's estimates.
+func contractTruth(t *testing.T, eng *quickr.Engine, bareSQL string, keyCols int) map[string][]float64 {
+	t.Helper()
+	plan, err := eng.BoundPlan(bareSQL)
+	if err != nil {
+		t.Fatalf("bind %q: %v", bareSQL, err)
+	}
+	refRows, err := refimpl.Run(eng.Catalog(), plan)
+	if err != nil {
+		t.Fatalf("refimpl %q: %v", bareSQL, err)
+	}
+	truth := map[string][]float64{}
+	for _, r := range refRows {
+		anyRow := make([]any, len(r))
+		for i, v := range r {
+			switch v.Kind() {
+			case table.KindNull:
+				anyRow[i] = nil
+			case table.KindInt:
+				anyRow[i] = v.Int()
+			case table.KindFloat:
+				anyRow[i] = v.Float()
+			case table.KindString:
+				anyRow[i] = v.Str()
+			case table.KindBool:
+				anyRow[i] = v.Bool()
+			}
+		}
+		vals := make([]float64, 0, len(anyRow)-keyCols)
+		for _, v := range anyRow[keyCols:] {
+			f, isNum := toFloat(v)
+			if !isNum {
+				f = math.NaN()
+			}
+			vals = append(vals, f)
+		}
+		truth[keyString(anyRow[:keyCols], keyCols)] = vals
+	}
+	return truth
+}
+
+// contractSweepCase is one workload in the satisfaction sweep.
+type contractSweepCase struct {
+	name    string
+	eng     *quickr.Engine
+	sql     string // contract-bearing query
+	bareSQL string // same query without the contract clause
+	keyCols int
+	target  float64 // the contract's relative-error bound
+}
+
+// sweepContractCase runs the contract query over every sweep seed and
+// checks realized error against ground truth.
+func sweepContractCase(t *testing.T, c contractSweepCase) {
+	t.Helper()
+	truth := contractTruth(t, c.eng, c.bareSQL, c.keyCols)
+	if len(truth) == 0 {
+		t.Fatal("no ground-truth groups")
+	}
+	var within, trials, sampledRuns, escalations int
+	for seed := uint64(1); seed <= sweepSeeds; seed++ {
+		c.eng.SetSeed(seed)
+		res, err := c.eng.ExecApprox(c.sql)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ci := res.Contract
+		if ci == nil {
+			t.Fatalf("seed %d: contract query returned no ContractInfo", seed)
+		}
+		if !ci.Satisfied {
+			t.Fatalf("seed %d: engine reported contract unsatisfied: %+v", seed, ci)
+		}
+		escalations += ci.Escalations
+		if res.Sampled {
+			sampledRuns++
+		}
+		for _, g := range res.Estimates {
+			if g.SampleRows < minSupport {
+				continue
+			}
+			tg, ok := truth[keyString(g.Key, c.keyCols)]
+			if !ok {
+				continue // group-miss coverage is the seed sweep's job
+			}
+			for i, tv := range tg {
+				if i >= len(g.Values) || math.IsNaN(tv) || tv == 0 {
+					continue
+				}
+				est, isNum := toFloat(g.Values[i])
+				if !isNum {
+					continue
+				}
+				trials++
+				if math.Abs(est-tv) <= c.target*math.Abs(tv) {
+					within++
+				}
+			}
+		}
+	}
+	c.eng.SetSeed(0)
+	if trials == 0 {
+		t.Fatal("no contract observations (all groups below support?)")
+	}
+	// The sweep must actually exercise sampling: a workload where every
+	// seed degrades to the exact plan asserts nothing about contracts.
+	if sampledRuns < sweepSeeds/2 {
+		t.Fatalf("only %d/%d runs sampled; workload does not exercise the contract path", sampledRuns, sweepSeeds)
+	}
+	frac := float64(within) / float64(trials)
+	t.Logf("%s: realized error within %.0f%% bound in %.3f of %d observations (%d/%d sampled runs, %d escalations)",
+		c.name, 100*c.target, frac, trials, sampledRuns, sweepSeeds, escalations)
+	if frac < contractFloor {
+		t.Errorf("contract held in %.1f%% of %d observations, want >= %.0f%%",
+			100*frac, trials, 100*contractFloor)
+	}
+}
+
+// TestContractSweepSatisfaction is the statistical acceptance gate for
+// error contracts, run nightly alongside the CI95 seed sweep.
+func TestContractSweepSatisfaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contract sweep runs nightly; skipped in -short")
+	}
+	uniform := contractSweepCase{
+		name:    "uniform",
+		eng:     newUniformEngine(t, 40000, 8),
+		sql:     "SELECT g, SUM(v), COUNT(*) FROM u GROUP BY g ERROR WITHIN 10% CONFIDENCE 95%",
+		bareSQL: "SELECT g, SUM(v), COUNT(*) FROM u GROUP BY g",
+		keyCols: 1,
+		target:  0.10,
+	}
+	skewed := contractSweepCase{
+		name:    "skewed",
+		eng:     newSpikeEngine(t, 40000, 8),
+		sql:     "SELECT g, SUM(v) FROM sk GROUP BY g ERROR WITHIN 15% CONFIDENCE 95%",
+		bareSQL: "SELECT g, SUM(v) FROM sk GROUP BY g",
+		keyCols: 1,
+		target:  0.15,
+	}
+	join := contractSweepCase{
+		name: "fk-join",
+		eng:  NewTPCDSEnv(1).Eng,
+		sql: "SELECT d_year, SUM(ss_sales_price) FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk " +
+			"GROUP BY d_year ERROR WITHIN 10% CONFIDENCE 95%",
+		bareSQL: "SELECT d_year, SUM(ss_sales_price) FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk " +
+			"GROUP BY d_year",
+		keyCols: 1,
+		target:  0.10,
+	}
+	for _, c := range []contractSweepCase{uniform, skewed, join} {
+		c := c
+		t.Run(c.name, func(t *testing.T) { sweepContractCase(t, c) })
+	}
+}
+
+// TestContractSweepWarmHistory asserts the learned correction loop pays
+// off: on a workload whose cold cv² fallback badly under-predicts
+// (SUM(v*v) over the spike column), warm history must reduce the mean
+// escalation count versus cold history on the same seeds — the
+// corrected model either starts at a rung that holds or goes straight
+// to the exact plan instead of climbing the ladder every time.
+func TestContractSweepWarmHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contract sweep runs nightly; skipped in -short")
+	}
+	const (
+		warmSeeds = 40
+		query     = "SELECT g, SUM(v * v) FROM sk GROUP BY g ERROR WITHIN 6% CONFIDENCE 95%"
+	)
+	eng := newSpikeEngine(t, 40000, 8)
+
+	var coldEsc int
+	for seed := uint64(1); seed <= warmSeeds; seed++ {
+		eng.ResetHistory() // every seed starts from cold estimates
+		eng.SetSeed(seed)
+		res, err := eng.ExecApprox(query)
+		if err != nil {
+			t.Fatalf("cold seed %d: %v", seed, err)
+		}
+		if res.Contract == nil || !res.Contract.Satisfied {
+			t.Fatalf("cold seed %d: %+v", seed, res.Contract)
+		}
+		coldEsc += res.Contract.Escalations
+	}
+
+	// Warm: prime once, then keep the history across seeds.
+	eng.ResetHistory()
+	eng.SetSeed(9999)
+	if _, err := eng.ExecApprox(query); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	var warmEsc, historyHits int
+	for seed := uint64(1); seed <= warmSeeds; seed++ {
+		eng.SetSeed(seed)
+		res, err := eng.ExecApprox(query)
+		if err != nil {
+			t.Fatalf("warm seed %d: %v", seed, err)
+		}
+		if res.Contract == nil || !res.Contract.Satisfied {
+			t.Fatalf("warm seed %d: %+v", seed, res.Contract)
+		}
+		warmEsc += res.Contract.Escalations
+		if res.Contract.HistoryHit {
+			historyHits++
+		}
+	}
+	eng.SetSeed(0)
+
+	coldMean := float64(coldEsc) / warmSeeds
+	warmMean := float64(warmEsc) / warmSeeds
+	t.Logf("mean escalations: cold %.2f, warm %.2f (%d/%d warm runs used history)",
+		coldMean, warmMean, historyHits, warmSeeds)
+	if coldEsc == 0 {
+		t.Fatal("cold runs never escalated; the workload does not exercise the correction loop")
+	}
+	if historyHits != warmSeeds {
+		t.Fatalf("only %d/%d warm runs hit the history store", historyHits, warmSeeds)
+	}
+	if warmMean >= coldMean {
+		t.Errorf("warm history did not reduce mean escalations: cold %.2f, warm %.2f", coldMean, warmMean)
+	}
+}

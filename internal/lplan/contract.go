@@ -1,0 +1,41 @@
+package lplan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Contract is the normalized form of a query's accuracy/latency demand
+// (sql.Contract carries the as-written percentages; this carries
+// fractions ready for the optimizer and the accuracy layer).
+type Contract struct {
+	// MaxRelErr is the maximum tolerated relative error as a fraction
+	// (0.02 for `ERROR WITHIN 2%`); 0 means no error clause.
+	MaxRelErr float64
+	// Confidence is the confidence level as a fraction (0.95 for
+	// `CONFIDENCE 95%`). Defaults to 0.95 when the clause is absent.
+	Confidence float64
+	// Deadline is the latency budget; 0 means no deadline clause.
+	Deadline time.Duration
+}
+
+// String renders the contract for plan notes and diagnostics.
+func (c *Contract) String() string {
+	if c == nil {
+		return "none"
+	}
+	s := ""
+	if c.MaxRelErr > 0 {
+		s = fmt.Sprintf("err<=%.4g%%@%.4g%%", c.MaxRelErr*100, c.Confidence*100)
+	}
+	if c.Deadline > 0 {
+		if s != "" {
+			s += " "
+		}
+		s += "within " + c.Deadline.String()
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

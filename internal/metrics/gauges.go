@@ -30,6 +30,18 @@ var (
 	// ActiveQueries is the number of queries between admission and
 	// completion.
 	ActiveQueries atomic.Int64
+
+	// ContractEscalations counts contract misses that escalated p one
+	// ladder rung and re-ran.
+	ContractEscalations atomic.Int64
+	// ContractViolations counts contract queries whose FINAL answer
+	// still missed the bound (the exact fallback makes this zero in a
+	// healthy system; benchcheck -contract gates on it).
+	ContractViolations atomic.Int64
+	// HistoryHits counts runs that found learned corrections for their
+	// plan fingerprint; HistoryRecords counts observations written.
+	HistoryHits    atomic.Int64
+	HistoryRecords atomic.Int64
 )
 
 // GaugeSnapshot is a point-in-time copy of the process gauges.
@@ -43,6 +55,11 @@ type GaugeSnapshot struct {
 	PlanCacheHits      int64 `json:"plan_cache_hits"`
 	PlanCacheMisses    int64 `json:"plan_cache_misses"`
 	ActiveQueries      int64 `json:"active_queries"`
+
+	ContractEscalations int64 `json:"contract_escalations"`
+	ContractViolations  int64 `json:"contract_violations"`
+	HistoryHits         int64 `json:"history_hits"`
+	HistoryRecords      int64 `json:"history_records"`
 }
 
 // Gauges snapshots the process-wide service gauges.
@@ -57,5 +74,10 @@ func Gauges() GaugeSnapshot {
 		PlanCacheHits:      PlanCacheHits.Load(),
 		PlanCacheMisses:    PlanCacheMisses.Load(),
 		ActiveQueries:      ActiveQueries.Load(),
+
+		ContractEscalations: ContractEscalations.Load(),
+		ContractViolations:  ContractViolations.Load(),
+		HistoryHits:         HistoryHits.Load(),
+		HistoryRecords:      HistoryRecords.Load(),
 	}
 }

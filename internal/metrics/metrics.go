@@ -96,6 +96,10 @@ type Op struct {
 	// EstRows is the optimizer's estimated output cardinality, or -1
 	// when no estimate was attached.
 	EstRows float64
+	// CorrRows is the history-corrected cardinality estimate, or -1
+	// when no learned correction applied (cold history or learning
+	// disabled). Shown by EXPLAIN ANALYZE as `corrected=`.
+	CorrRows float64
 	// SamplerType and SamplerP describe a sampler operator's
 	// configuration ("" / 0 for everything else).
 	SamplerType string
@@ -176,7 +180,7 @@ func NewQuery() *Query {
 // identity, so the same physical plan can later be walked to look its
 // operators up again.
 func (q *Query) Register(node any, kind, detail string, depth int, estRows float64) *Op {
-	op := &Op{ID: len(q.ops), Kind: kind, Detail: detail, Depth: depth, EstRows: estRows}
+	op := &Op{ID: len(q.ops), Kind: kind, Detail: detail, Depth: depth, EstRows: estRows, CorrRows: -1}
 	q.ops = append(q.ops, op)
 	q.byNode[node] = op
 	return op

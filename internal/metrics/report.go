@@ -10,6 +10,9 @@ type OpReport struct {
 	Detail  string  `json:"detail"`
 	Depth   int     `json:"depth"`
 	EstRows float64 `json:"est_rows"` // -1 when no optimizer estimate
+	// CorrRows is the history-corrected estimate; omitted when no
+	// learned correction applied.
+	CorrRows float64 `json:"corrected_rows,omitempty"`
 
 	Partitions int     `json:"partitions"`
 	RowsIn     int64   `json:"rows_in"`
@@ -59,6 +62,7 @@ func (q *Query) Report() []OpReport {
 			Detail:        op.Detail,
 			Depth:         op.Depth,
 			EstRows:       op.EstRows,
+			CorrRows:      corrOrZero(op.CorrRows),
 			Partitions:    op.Partitions(),
 			RowsIn:        t.RowsIn,
 			RowsOut:       t.RowsOut,
@@ -85,4 +89,13 @@ func (q *Query) Report() []OpReport {
 		out = append(out, r)
 	}
 	return out
+}
+
+// corrOrZero maps the "no correction" sentinel (-1) to the JSON zero
+// value so corrected_rows is omitted for uncorrected operators.
+func corrOrZero(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }

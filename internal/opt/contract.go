@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"time"
+
+	"quickr/internal/accuracy"
+	"quickr/internal/lplan"
+)
+
+// ContractLadder is the bounded escalation ladder of sampling
+// probabilities tried for error contracts, in ascending order. A
+// contract run starts at the smallest rung whose predicted CI fits the
+// target and climbs one rung per miss; past the last rung the engine
+// falls back to an exact plan.
+var ContractLadder = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.33, 0.5}
+
+// ContractFacts are the cardinality facts that drive contract p
+// selection, extracted from the logical plan before physical planning.
+type ContractFacts struct {
+	// InputRows is the estimated row count flowing into the top
+	// aggregate (post-filter, post-join).
+	InputRows float64
+	// Groups is the estimated number of output groups (1 when
+	// ungrouped).
+	Groups float64
+	// Support is the estimated per-group input rows
+	// (InputRows/Groups).
+	Support float64
+	// CV2 is the worst squared coefficient of variation Var/Avg^2
+	// across SUM/AVG aggregate arguments, from catalog column stats;
+	// 1.0 when no stats are available (a deliberately middling default
+	// that the learned history correction refines).
+	CV2 float64
+}
+
+// ContractFactsFor derives ContractFacts from the first Aggregate in
+// the bound+normalized logical plan. Returns ok=false for plans
+// without an aggregate (contracts degenerate to exact execution).
+func ContractFactsFor(est *Estimator, root lplan.Node) (ContractFacts, bool) {
+	var agg *lplan.Aggregate
+	lplan.Walk(root, func(n lplan.Node) {
+		if a, isAgg := n.(*lplan.Aggregate); isAgg && agg == nil {
+			agg = a
+		}
+	})
+	if agg == nil {
+		return ContractFacts{}, false
+	}
+	rows := est.Props(agg.Input).Rows
+	if rows < 1 {
+		rows = 1
+	}
+	groups := 1.0
+	if len(agg.GroupCols) > 0 {
+		groups = est.NDV(agg.Input, agg.GroupCols)
+		if groups < 1 {
+			groups = 1
+		}
+		if groups > rows {
+			groups = rows
+		}
+	}
+	cv2 := 0.0
+	haveStats := false
+	for i := range agg.Aggs {
+		a := &agg.Aggs[i]
+		if a.Kind != lplan.AggSum && a.Kind != lplan.AggAvg && a.Kind != lplan.AggSumIf {
+			continue
+		}
+		if a.Arg == lplan.NoColumn {
+			continue
+		}
+		cs := est.originStats(agg.Input, &lplan.ColRef{ID: a.Arg})
+		if cs == nil || cs.Avg == 0 {
+			// No usable stats for this argument: fall back to the
+			// middling default below.
+			continue
+		}
+		haveStats = true
+		if v := cs.Var / (cs.Avg * cs.Avg); v > cv2 {
+			cv2 = v
+		}
+	}
+	if !haveStats {
+		for i := range agg.Aggs {
+			a := &agg.Aggs[i]
+			if a.Kind == lplan.AggSum || a.Kind == lplan.AggAvg || a.Kind == lplan.AggSumIf {
+				cv2 = 1.0
+				break
+			}
+		}
+	}
+	return ContractFacts{
+		InputRows: rows,
+		Groups:    groups,
+		Support:   rows / groups,
+		CV2:       cv2,
+	}, true
+}
+
+// ChooseContractP picks the smallest ladder rung whose predicted
+// relative CI (scaled by corr, the learned realized/predicted ratio;
+// pass 1 with no history) fits maxRelErr at the given confidence.
+// Returns ok=false when no rung qualifies, meaning the engine should
+// plan exact. minIdx skips rungs below a warm-start floor.
+func ChooseContractP(f ContractFacts, maxRelErr, confidence, corr float64, minIdx int) (p float64, idx int, ok bool) {
+	if corr <= 0 {
+		corr = 1
+	}
+	if minIdx < 0 {
+		minIdx = 0
+	}
+	for i := minIdx; i < len(ContractLadder); i++ {
+		rung := ContractLadder[i]
+		pred := accuracy.PredictRelCI(confidence, rung, f.Support, f.CV2) * corr
+		if pred <= maxRelErr {
+			return rung, i, true
+		}
+	}
+	return 0, len(ContractLadder), false
+}
+
+// PredictedRelErr is the predicted relative CI at rung p for the facts,
+// scaled by the learned correction ratio.
+func PredictedRelErr(f ContractFacts, confidence, p, corr float64) float64 {
+	if corr <= 0 {
+		corr = 1
+	}
+	return accuracy.PredictRelCI(confidence, p, f.Support, f.CV2) * corr
+}
+
+// ChooseDeadlineP picks the largest ladder rung whose predicted wall
+// time fits the deadline, using measured rows/sec from history (pass
+// rowsPerSec<=0 for the cold default). The cost model is a scan of all
+// InputRows plus downstream work proportional to the pass rate:
+// t(p) = rows*(0.5+0.5p)/rps. Returns ok=false when even the smallest
+// rung is predicted to blow the budget (the engine still runs it — a
+// deadline is best-effort — but flags the contract).
+func ChooseDeadlineP(f ContractFacts, deadline time.Duration, rowsPerSec float64) (p float64, ok bool) {
+	if rowsPerSec <= 0 {
+		rowsPerSec = 2e6 // cold default: ~2M rows/sec single-node
+	}
+	budget := deadline.Seconds()
+	for i := len(ContractLadder) - 1; i >= 0; i-- {
+		rung := ContractLadder[i]
+		t := f.InputRows * (0.5 + 0.5*rung) / rowsPerSec
+		if t <= budget {
+			return rung, true
+		}
+	}
+	return ContractLadder[0], false
+}

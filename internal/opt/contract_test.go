@@ -1,0 +1,88 @@
+package opt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestContractLadderSorted(t *testing.T) {
+	for i := 1; i < len(ContractLadder); i++ {
+		if ContractLadder[i] <= ContractLadder[i-1] {
+			t.Fatalf("ladder not strictly ascending at %d: %v", i, ContractLadder)
+		}
+	}
+	if ContractLadder[0] <= 0 || ContractLadder[len(ContractLadder)-1] >= 1 {
+		t.Fatalf("ladder rungs must lie in (0,1): %v", ContractLadder)
+	}
+}
+
+func TestChooseContractPMonotone(t *testing.T) {
+	f := ContractFacts{InputRows: 1e6, Groups: 100, Support: 1e4, CV2: 1}
+	// Tighter error targets must pick non-decreasing p.
+	prevIdx := -1
+	for _, target := range []float64{0.50, 0.20, 0.10, 0.05, 0.02} {
+		_, idx, ok := ChooseContractP(f, target, 0.95, 1, 0)
+		if !ok {
+			// Once a target is unsatisfiable, all tighter ones are too.
+			prevIdx = len(ContractLadder)
+			continue
+		}
+		if idx < prevIdx {
+			t.Fatalf("target %g chose rung %d below previous %d", target, idx, prevIdx)
+		}
+		prevIdx = idx
+	}
+}
+
+func TestChooseContractPUnsatisfiable(t *testing.T) {
+	// Tiny support: even the top rung cannot hit 1%.
+	f := ContractFacts{InputRows: 50, Groups: 50, Support: 1, CV2: 1}
+	if _, _, ok := ChooseContractP(f, 0.01, 0.95, 1, 0); ok {
+		t.Fatal("expected no qualifying rung for support=1, target=1%")
+	}
+}
+
+func TestChooseContractPCorrection(t *testing.T) {
+	f := ContractFacts{InputRows: 1e6, Groups: 10, Support: 1e5, CV2: 1}
+	_, coldIdx, ok := ChooseContractP(f, 0.05, 0.95, 1, 0)
+	if !ok {
+		t.Fatal("cold choice should qualify")
+	}
+	// A learned corr > 1 (realized CIs wider than predicted) must pick
+	// an equal-or-higher rung.
+	_, corrIdx, ok := ChooseContractP(f, 0.05, 0.95, 4, 0)
+	if !ok {
+		t.Fatal("corrected choice should still qualify")
+	}
+	if corrIdx < coldIdx {
+		t.Fatalf("corr=4 picked rung %d below cold rung %d", corrIdx, coldIdx)
+	}
+	// minIdx floors the search (warm-start above a known-bad rung).
+	p, idx, ok := ChooseContractP(f, 0.5, 0.95, 1, 3)
+	if !ok || idx < 3 || p != ContractLadder[idx] {
+		t.Fatalf("minIdx floor ignored: p=%g idx=%d ok=%v", p, idx, ok)
+	}
+}
+
+func TestChooseDeadlineP(t *testing.T) {
+	f := ContractFacts{InputRows: 2e6}
+	// Generous budget -> largest rung.
+	p, ok := ChooseDeadlineP(f, 10*time.Second, 2e6)
+	if !ok || p != ContractLadder[len(ContractLadder)-1] {
+		t.Fatalf("generous budget picked %g ok=%v", p, ok)
+	}
+	// Tight budget -> smaller rung, and monotone in budget.
+	prev := 2.0
+	for _, d := range []time.Duration{10 * time.Second, time.Second, 600 * time.Millisecond, 520 * time.Millisecond} {
+		p, _ := ChooseDeadlineP(f, d, 2e6)
+		if p > prev {
+			t.Fatalf("deadline %v picked p=%g above %g", d, p, prev)
+		}
+		prev = p
+	}
+	// Impossible budget: flags !ok but still returns the floor rung.
+	p, ok = ChooseDeadlineP(f, time.Microsecond, 2e6)
+	if ok || p != ContractLadder[0] {
+		t.Fatalf("impossible budget: p=%g ok=%v", p, ok)
+	}
+}

@@ -1,0 +1,73 @@
+package plancheck
+
+import (
+	"strings"
+	"testing"
+
+	"quickr/internal/exec"
+	"quickr/internal/lplan"
+)
+
+func contractPlan(p float64, est *exec.EstimatorConfig) exec.PNode {
+	var in exec.PNode = pscan(col(1, "a"))
+	if p > 0 {
+		in = &exec.PSample{
+			In:   in,
+			Def:  lplan.SamplerDef{Type: lplan.SamplerUniform, P: p},
+			Seed: 1,
+		}
+	}
+	a := pagg(&exec.PExchange{In: in, Keys: []lplan.ColumnID{1}, Parts: 2}, true, 1)
+	a.Est = est
+	return a
+}
+
+func TestCheckContractSampledNeedsEstimator(t *testing.T) {
+	c := New()
+	// Sampled plan without estimator: violation.
+	vs := c.CheckContract(contractPlan(0.1, nil))
+	if len(vs) != 1 || vs[0].Rule != "contract-estimator" {
+		t.Fatalf("want one contract-estimator violation, got %v", vs)
+	}
+	if err := c.ContractError(contractPlan(0.1, nil)); err == nil ||
+		!strings.Contains(err.Error(), "contract-estimator") {
+		t.Fatalf("ContractError = %v", err)
+	}
+	// Sampled plan with estimator: clean.
+	if vs := c.CheckContract(contractPlan(0.1, &exec.EstimatorConfig{P: 0.1})); len(vs) != 0 {
+		t.Fatalf("estimator-bearing plan flagged: %v", vs)
+	}
+	// Exact plan needs no estimator.
+	if vs := c.CheckContract(contractPlan(0, nil)); len(vs) != 0 {
+		t.Fatalf("exact plan flagged: %v", vs)
+	}
+	if vs := c.CheckContract(nil); len(vs) != 0 {
+		t.Fatalf("nil plan flagged: %v", vs)
+	}
+}
+
+func TestCheckerErrorWrappers(t *testing.T) {
+	// A checker with a raised cap accepts ladder rungs above 0.1 that
+	// the default checker rejects.
+	plan := contractPlan(0.33, &exec.EstimatorConfig{P: 0.33})
+	if err := New().PhysicalError(plan); err == nil {
+		t.Fatal("default cap should reject p=0.33")
+	}
+	raised := &Checker{MaxP: 0.5}
+	if err := raised.PhysicalError(plan); err != nil {
+		t.Fatalf("raised cap rejected p=0.33: %v", err)
+	}
+	// Logical wrapper mirrors package-level Logical.
+	sampled := &lplan.Aggregate{
+		Input: &lplan.Sample{
+			Input: &lplan.Scan{Table: "t"},
+			Def:   &lplan.SamplerDef{Type: lplan.SamplerUniform, P: 0.33},
+		},
+	}
+	if err := New().LogicalError(sampled); err == nil {
+		t.Fatal("default cap should reject logical p=0.33")
+	}
+	if err := raised.LogicalError(sampled); err != nil {
+		t.Fatalf("raised cap rejected logical p=0.33: %v", err)
+	}
+}

@@ -115,6 +115,9 @@ type resultJSON struct {
 	Rows      [][]any           `json:"rows"`
 	Estimates []estimateJSON    `json:"estimates,omitempty"`
 	Report    *quickr.RunReport `json:"report"`
+	// Contract is the accuracy/latency contract outcome, present only
+	// for contract-bearing queries.
+	Contract *quickr.ContractReport `json:"contract,omitempty"`
 }
 
 // statusResponse is the GET /query/{id} (and cancel) reply.
@@ -237,9 +240,10 @@ func (s *Server) writeStatus(w http.ResponseWriter, q *query) {
 	}
 	if q.status == "done" && q.res != nil {
 		rj := &resultJSON{
-			Columns: q.res.Columns,
-			Rows:    q.res.Rows,
-			Report:  q.res.RunReport(q.sql, q.approx),
+			Columns:  q.res.Columns,
+			Rows:     q.res.Rows,
+			Report:   q.res.RunReport(q.sql, q.approx),
+			Contract: q.res.ContractReport(),
 		}
 		for _, g := range q.res.Estimates {
 			rj.Estimates = append(rj.Estimates, estimateJSON{

@@ -8,6 +8,7 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"quickr/internal/table"
 )
@@ -31,8 +32,60 @@ type SelectStmt struct {
 	Having   Expr
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
+	// Contract is the query's optional accuracy/latency contract
+	// (BlinkDB-style `ERROR WITHIN 2% CONFIDENCE 95%` / `WITHIN 500ms`).
+	Contract *Contract
 	// UnionAll chains additional SELECTs whose output is concatenated.
 	UnionAll []*SelectStmt
+}
+
+// Contract is an accuracy and/or latency demand attached to a SELECT.
+// Percentages are stored as written (2.5 for `2.5%`) so the canonical
+// rendering round-trips bit-exactly through the parser; downstream
+// layers convert to fractions.
+type Contract struct {
+	// ErrPct is the maximum relative error in percent (`ERROR WITHIN
+	// <ErrPct>%`); 0 means no error clause.
+	ErrPct float64
+	// ConfPct is the confidence level in percent (`CONFIDENCE
+	// <ConfPct>%`); 0 means the clause was absent (defaults to 95
+	// downstream).
+	ConfPct float64
+	// Deadline is the latency budget (`WITHIN <duration>`); 0 means no
+	// deadline clause.
+	Deadline time.Duration
+}
+
+// clause renders the contract in its canonical trailing-clause form,
+// with a leading space (empty for a zero contract).
+func (c *Contract) clause() string {
+	var b strings.Builder
+	if c.ErrPct > 0 {
+		fmt.Fprintf(&b, " ERROR WITHIN %g%%", c.ErrPct)
+		if c.ConfPct > 0 {
+			fmt.Fprintf(&b, " CONFIDENCE %g%%", c.ConfPct)
+		}
+	}
+	if c.Deadline > 0 {
+		b.WriteString(" WITHIN " + formatDeadline(c.Deadline))
+	}
+	return b.String()
+}
+
+// formatDeadline renders a duration as <integer><unit> using the
+// largest unit that divides it evenly, so parsing the rendering yields
+// the identical duration (time.Duration.String's composite forms like
+// "1m30s" would not re-parse under the number+unit grammar).
+func formatDeadline(d time.Duration) string {
+	switch {
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	case d%time.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	case d%time.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/time.Microsecond)
+	}
+	return fmt.Sprintf("%dns", d.Nanoseconds())
 }
 
 func (*SelectStmt) stmt() {}
@@ -292,6 +345,9 @@ func (s *SelectStmt) String() string {
 	}
 	if s.Limit >= 0 {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Contract != nil {
+		b.WriteString(s.Contract.clause())
 	}
 	for _, u := range s.UnionAll {
 		b.WriteString(" UNION ALL " + u.String())

@@ -34,6 +34,7 @@ var keywords = map[string]bool{
 	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
 	"END": true, "UNION": true, "ALL": true, "ASC": true, "DESC": true,
 	"TRUE": true, "FALSE": true, "CROSS": true, "OVER": true, "PARTITION": true,
+	"ERROR": true, "WITHIN": true, "CONFIDENCE": true,
 }
 
 // lexer turns SQL text into tokens.

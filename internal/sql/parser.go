@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"quickr/internal/table"
 )
@@ -148,6 +149,9 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 		s.Limit = n
 	}
+	if err := p.parseContract(s); err != nil {
+		return nil, err
+	}
 	for p.accept(tokKeyword, "UNION") {
 		if _, err := p.expect(tokKeyword, "ALL"); err != nil {
 			return nil, p.errorf("only UNION ALL is supported")
@@ -161,6 +165,109 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		u.UnionAll = nil
 	}
 	return s, nil
+}
+
+// parseContract parses the optional trailing contract clauses, in any
+// order and at most once each:
+//
+//	ERROR WITHIN <pct> % [CONFIDENCE <pct> %]
+//	WITHIN <number> <unit>          (unit: s, ms, us, ns)
+func (p *parser) parseContract(s *SelectStmt) error {
+	for {
+		switch {
+		case p.accept(tokKeyword, "ERROR"):
+			if s.Contract != nil && s.Contract.ErrPct > 0 {
+				return p.errorf("duplicate ERROR WITHIN clause")
+			}
+			if _, err := p.expect(tokKeyword, "WITHIN"); err != nil {
+				return err
+			}
+			v, err := p.parsePercent("ERROR WITHIN")
+			if err != nil {
+				return err
+			}
+			if s.Contract == nil {
+				s.Contract = &Contract{}
+			}
+			s.Contract.ErrPct = v
+			if p.accept(tokKeyword, "CONFIDENCE") {
+				c, err := p.parsePercent("CONFIDENCE")
+				if err != nil {
+					return err
+				}
+				if c >= 100 {
+					return p.errorf("CONFIDENCE must be below 100%%, got %g%%", c)
+				}
+				s.Contract.ConfPct = c
+			}
+		case p.accept(tokKeyword, "WITHIN"):
+			if s.Contract != nil && s.Contract.Deadline > 0 {
+				return p.errorf("duplicate WITHIN deadline clause")
+			}
+			d, err := p.parseDuration()
+			if err != nil {
+				return err
+			}
+			if s.Contract == nil {
+				s.Contract = &Contract{}
+			}
+			s.Contract.Deadline = d
+		default:
+			return nil
+		}
+	}
+}
+
+// parsePercent parses `<number> %` and returns the number (which must
+// be positive).
+func (p *parser) parsePercent(clause string) (float64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || v <= 0 {
+		return 0, p.errorf("%s needs a positive percentage, got %q", clause, t.text)
+	}
+	if _, err := p.expect(tokOp, "%"); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseDuration parses `<number><unit>` (the lexer splits "500ms" into
+// a number and an identifier).
+func (p *parser) parseDuration() (time.Duration, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || v <= 0 {
+		return 0, p.errorf("WITHIN needs a positive duration, got %q", t.text)
+	}
+	u, err := p.expect(tokIdent, "")
+	if err != nil {
+		return 0, p.errorf("WITHIN duration needs a unit (s, ms, us, ns)")
+	}
+	var unit time.Duration
+	switch strings.ToLower(u.text) {
+	case "s":
+		unit = time.Second
+	case "ms":
+		unit = time.Millisecond
+	case "us":
+		unit = time.Microsecond
+	case "ns":
+		unit = time.Nanosecond
+	default:
+		return 0, p.errorf("unknown duration unit %q (want s, ms, us, ns)", u.text)
+	}
+	d := time.Duration(v * float64(unit))
+	if d <= 0 {
+		return 0, p.errorf("WITHIN duration %q rounds to zero", t.text+u.text)
+	}
+	return d, nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {

@@ -15,10 +15,14 @@ const planCacheCap = 128
 // one canonical rendering), the execution mode, and the engine's config
 // epoch — any DDL or engine setting change bumps the epoch, so stale
 // plans can never be served.
+// Contract escalation retries the same statement with a forced minimum
+// sampling probability; minP keys each ladder rung separately so every
+// retry of a given rung is a cache hit (0 for ordinary queries).
 type planKey struct {
 	sql    string
 	approx bool
 	epoch  uint64
+	minP   float64
 }
 
 // planCache is a small thread-safe LRU of prepared plans. Prepared

@@ -39,6 +39,7 @@ import (
 	"quickr/internal/plancheck"
 	"quickr/internal/pool"
 	"quickr/internal/sql"
+	"quickr/internal/stats"
 	"quickr/internal/table"
 )
 
@@ -100,20 +101,36 @@ type Engine struct {
 	// epoch versions everything a prepared plan depends on: it bumps on
 	// DDL, data loads and every Set* call, invalidating the plan cache.
 	epoch uint64
+	// historyOn enables the learned estimate-correction loop (query
+	// history feeding p selection and EXPLAIN ANALYZE `corrected=`).
+	// guarded-by: mu
+	historyOn bool
+	// contractMaxEsc bounds contract escalation retries before the
+	// exact fallback.
+	// guarded-by: mu
+	contractMaxEsc int
 
 	cache *planCache
 	gate  *pool.Gate
+	// history is the per-engine query-history store; it is internally
+	// synchronized and is deliberately NOT epoch-versioned — learned
+	// corrections survive settings changes (they describe the data and
+	// plan shape, not the engine configuration).
+	history *stats.History
 }
 
 // New creates an engine with default cluster-simulation and ASALQA
 // parameters.
 func New() *Engine {
 	return &Engine{
-		cat:   catalog.New(),
-		cfg:   cluster.DefaultConfig(),
-		opts:  core.DefaultOptions(),
-		cache: newPlanCache(),
-		gate:  pool.NewGate(DefaultMemoryBudget),
+		cat:            catalog.New(),
+		cfg:            cluster.DefaultConfig(),
+		opts:           core.DefaultOptions(),
+		cache:          newPlanCache(),
+		gate:           pool.NewGate(DefaultMemoryBudget),
+		history:        stats.NewHistory(),
+		historyOn:      true,
+		contractMaxEsc: DefaultContractMaxEscalations,
 	}
 }
 
@@ -246,6 +263,32 @@ func (e *Engine) SetPrune(on bool) {
 	e.bump()
 }
 
+// SetHistoryLearning toggles the learned estimate-correction loop:
+// when on (the default), every run records its actuals into the
+// query-history store and later runs of the same plan fingerprint blend
+// the learned corrections into contract p selection and EXPLAIN ANALYZE
+// (`corrected=`). Turning it off freezes the store (existing entries
+// are kept but neither consulted nor updated).
+func (e *Engine) SetHistoryLearning(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.historyOn = on
+	e.bump()
+}
+
+// SetContractMaxEscalations bounds how many times a missed error
+// contract escalates p along the ladder before falling back to the
+// exact plan (values < 0 select the default).
+func (e *Engine) SetContractMaxEscalations(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = DefaultContractMaxEscalations
+	}
+	e.contractMaxEsc = n
+	e.bump()
+}
+
 // CreateTable registers an empty table with the given columns, split
 // into parts partitions.
 func (e *Engine) CreateTable(name string, cols []Column, parts int) error {
@@ -374,7 +417,24 @@ func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	prep, cached, err := e.prepareCached(query, approx)
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Contract != nil {
+		return e.runContract(ctx, stmt, approx)
+	}
+	return e.runStmt(ctx, stmt, approx, 0)
+}
+
+// runStmt executes one parsed statement at one configuration point.
+// minP > 0 forces a contract ladder rung (a floor on every sampler's
+// probability); 0 leaves ASALQA's own choice. Every successful run
+// feeds its actuals into the query-history store, and runs whose
+// fingerprint already has history get corrected cardinality estimates
+// in EXPLAIN ANALYZE.
+func (e *Engine) runStmt(ctx context.Context, stmt *sql.SelectStmt, approx bool, minP float64) (*Result, error) {
+	prep, cached, err := e.prepareCachedStmt(stmt, approx, minP)
 	if err != nil {
 		return nil, err
 	}
@@ -382,8 +442,19 @@ func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, e
 	// Snapshot the execution configuration and gate once, so a
 	// concurrent Set* call cannot tear this run's view.
 	e.mu.RLock()
-	cfg, batch, columnar, gate := e.cfg, e.batchSize, e.columnar, e.gate
+	cfg, batch, columnar, gate, historyOn := e.cfg, e.batchSize, e.columnar, e.gate, e.historyOn
 	e.mu.RUnlock()
+
+	// Learned corrections: when this plan fingerprint has history, show
+	// the corrected cardinalities next to the optimizer's estimates.
+	fp := planFingerprint(stmt, approx)
+	var corr map[exec.PNode]float64
+	if historyOn {
+		if qh, ok := e.history.Lookup(fp); ok {
+			metrics.HistoryHits.Add(1)
+			corr = correctedRows(prep, qh)
+		}
+	}
 
 	// Admission control: reserve the plan's estimated in-flight bytes,
 	// queueing (FIFO) while concurrent queries hold the budget.
@@ -400,36 +471,126 @@ func (e *Engine) run(ctx context.Context, query string, approx bool) (*Result, e
 		Columnar:      columnar,
 		QueuedNanos:   adm.QueuedNanos,
 		AdmittedBytes: adm.Bytes,
+		CorrRows:      corr,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if historyOn {
+		e.recordHistory(fp, prep, res)
 	}
 	out := newResult(res, prep)
 	out.PlanCached = cached
 	return out, nil
 }
 
-// prepareCached parses the query, normalizes it through the AST's
-// canonical rendering, and returns the cached prepared plan for
-// (normalized SQL, mode, epoch) — optimizing and caching on miss.
-func (e *Engine) prepareCached(query string, approx bool) (*prepared, bool, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, false, err
-	}
+// prepareCachedStmt returns the cached prepared plan for the normalized
+// statement at (mode, epoch, minP) — optimizing and caching on miss.
+// The contract clause is part of the normalized text, so contract and
+// non-contract renderings of the same query cache separately.
+func (e *Engine) prepareCachedStmt(stmt *sql.SelectStmt, approx bool, minP float64) (*prepared, bool, error) {
 	e.mu.RLock()
 	epoch := e.epoch
 	e.mu.RUnlock()
-	key := planKey{sql: stmt.String(), approx: approx, epoch: epoch}
+	key := planKey{sql: stmt.String(), approx: approx, epoch: epoch, minP: minP}
 	if prep, ok := e.cache.get(key); ok {
 		return prep, true, nil
 	}
-	prep, err := e.prepareStmt(stmt, approx)
+	prep, err := e.prepareStmt(stmt, approx, minP)
 	if err != nil {
 		return nil, false, err
 	}
 	e.cache.put(key, prep)
 	return prep, false, nil
+}
+
+// planFingerprint keys the query-history store: the contract-stripped
+// canonical statement text, scoped by execution mode so exact actuals
+// never correct approximate estimates (their plans differ).
+func planFingerprint(stmt *sql.SelectStmt, approx bool) string {
+	bare := *stmt
+	bare.Contract = nil
+	mode := "exact|"
+	if approx {
+		mode = "approx|"
+	}
+	return stats.Fingerprint(mode + bare.String())
+}
+
+// correctedRows builds the history-corrected cardinality map for the
+// plan's top aggregate (group count) and its input (selectivity) from
+// the learned actual/estimated ratios.
+func correctedRows(prep *prepared, qh stats.QueryHistory) map[exec.PNode]float64 {
+	agg := topAggOf(prep.physical)
+	if agg == nil {
+		return nil
+	}
+	corr := map[exec.PNode]float64{}
+	if qh.GroupRatio > 0 {
+		if est, ok := prep.ests[exec.PNode(agg)]; ok {
+			corr[agg] = est * qh.GroupRatio
+		}
+	}
+	if qh.SelRatio > 0 {
+		if est, ok := prep.ests[agg.In]; ok {
+			corr[agg.In] = est * qh.SelRatio
+		}
+	}
+	if len(corr) == 0 {
+		return nil
+	}
+	return corr
+}
+
+// topAggOf returns the plan's Top hash aggregate, or nil.
+func topAggOf(root exec.PNode) *exec.PHashAgg {
+	var top *exec.PHashAgg
+	exec.WalkP(root, func(n exec.PNode) {
+		if a, ok := n.(*exec.PHashAgg); ok && a.Top && top == nil {
+			top = a
+		}
+	})
+	return top
+}
+
+// recordHistory folds one successful run's actuals into the history
+// store: processing rate, selectivity and group-count estimate ratios
+// at the top aggregate, and sampler pass-rate ratio.
+func (e *Engine) recordHistory(fp string, prep *prepared, res *exec.Result) {
+	obs := stats.Observation{}
+	if res.ExecSeconds > 0 && res.RowsProcessed > 0 {
+		obs.RowsPerSec = float64(res.RowsProcessed) / res.ExecSeconds
+	}
+	if agg := topAggOf(prep.physical); agg != nil && res.Stats != nil {
+		if op := res.Stats.Op(agg.In); op != nil {
+			if est, ok := prep.ests[agg.In]; ok && est > 0 {
+				if actual := op.Total().RowsOut; actual > 0 {
+					obs.SelRatio = float64(actual) / est
+				}
+			}
+		}
+		if op := res.Stats.Op(exec.PNode(agg)); op != nil {
+			if est, ok := prep.ests[exec.PNode(agg)]; ok && est > 0 {
+				if actual := op.Total().RowsOut; actual > 0 {
+					obs.GroupRatio = float64(actual) / est
+				}
+			}
+		}
+	}
+	if res.Stats != nil {
+		for _, op := range res.Stats.Ops() {
+			if op.SamplerP <= 0 {
+				continue
+			}
+			t := op.Total()
+			if t.SamplerSeen > 0 {
+				obs.PassRate = (float64(t.SamplerPassed) / float64(t.SamplerSeen)) / op.SamplerP
+				break
+			}
+		}
+	}
+	e.history.Record(fp, obs)
+	metrics.HistoryRecords.Add(1)
 }
 
 // prepared carries everything Plan/Exec produce before execution.
@@ -450,13 +611,27 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.prepareStmt(stmt, approx)
+	return e.prepareStmt(stmt, approx, 0)
 }
 
-func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, error) {
+// prepareStmt optimizes one statement. minP > 0 floors every sampler's
+// probability at a contract ladder rung; MaxP and the plan checker's
+// cap are raised alongside so a rung above the paper's 0.1 default
+// still plans and verifies.
+func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool, minP float64) (*prepared, error) {
 	e.mu.RLock()
 	cfg, opts, seed, planChecks, prune := e.cfg, e.opts, e.seed, e.planChecks, e.prune
 	e.mu.RUnlock()
+	checker := plancheck.New()
+	if minP > 0 {
+		opts.MinP = minP
+		if opts.MaxP < minP {
+			opts.MaxP = minP
+		}
+		if checker.MaxP < minP {
+			checker.MaxP = minP
+		}
+	}
 	binder := catalog.NewBinder(e.cat)
 	logical, err := binder.Bind(stmt)
 	if err != nil {
@@ -499,7 +674,7 @@ func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, erro
 		}
 	}
 	if planChecks {
-		if err := plancheck.Logical(p.logical); err != nil {
+		if err := checker.LogicalError(p.logical); err != nil {
 			return nil, fmt.Errorf("quickr: optimized logical plan is invalid: %w", err)
 		}
 	}
@@ -509,8 +684,16 @@ func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool) (*prepared, erro
 		return nil, err
 	}
 	if planChecks {
-		if err := plancheck.Physical(physical); err != nil {
+		if err := checker.PhysicalError(physical); err != nil {
 			return nil, fmt.Errorf("quickr: compiled physical plan is invalid: %w", err)
+		}
+	}
+	if stmt.Contract != nil && stmt.Contract.ErrPct > 0 {
+		// Contract-bearing sampled plans must carry an estimator — the
+		// realized-CI check is meaningless without one. Always enforced,
+		// independent of SetPlanChecks.
+		if err := checker.ContractError(physical); err != nil {
+			return nil, fmt.Errorf("quickr: contract plan is invalid: %w", err)
 		}
 	}
 	p.physical = physical

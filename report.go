@@ -50,6 +50,50 @@ type RunReport struct {
 	Samplers       []SamplerInfo      `json:"samplers,omitempty"`
 	Metrics        RunMetrics         `json:"metrics"`
 	Operators      []metrics.OpReport `json:"operators"`
+	// Contract reports the accuracy/latency contract outcome (absent
+	// for queries without a contract clause).
+	Contract *ContractReport `json:"contract,omitempty"`
+}
+
+// ContractReport is the JSON view of a ContractInfo.
+type ContractReport struct {
+	ErrorTarget     float64 `json:"error_target,omitempty"`
+	Confidence      float64 `json:"confidence"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	ChosenP         float64 `json:"chosen_p"`
+	Attempts        int     `json:"attempts"`
+	Escalations     int     `json:"escalations"`
+	PlanCacheHits   int     `json:"plan_cache_hits"`
+	Satisfied       bool    `json:"satisfied"`
+	Exact           bool    `json:"exact"`
+	HistoryHit      bool    `json:"history_hit"`
+	PredictedRelErr float64 `json:"predicted_rel_err,omitempty"`
+	CorrectedRelErr float64 `json:"corrected_rel_err,omitempty"`
+	RealizedRelErr  float64 `json:"realized_rel_err,omitempty"`
+}
+
+// ContractReport builds the JSON contract view, or nil when the query
+// carried no contract.
+func (r *Result) ContractReport() *ContractReport {
+	c := r.Contract
+	if c == nil {
+		return nil
+	}
+	return &ContractReport{
+		ErrorTarget:     c.ErrorTarget,
+		Confidence:      c.Confidence,
+		DeadlineSeconds: c.Deadline.Seconds(),
+		ChosenP:         c.ChosenP,
+		Attempts:        c.Attempts,
+		Escalations:     c.Escalations,
+		PlanCacheHits:   c.PlanCacheHits,
+		Satisfied:       c.Satisfied,
+		Exact:           c.Exact,
+		HistoryHit:      c.HistoryHit,
+		PredictedRelErr: c.PredictedRelErr,
+		CorrectedRelErr: c.CorrectedRelErr,
+		RealizedRelErr:  c.RealizedRelErr,
+	}
 }
 
 // RunReport builds the JSON run report for this result.
@@ -86,5 +130,6 @@ func (r *Result) RunReport(query string, approx bool) *RunReport {
 			PartitionsPruned:  r.PartitionsPruned,
 		},
 		Operators: r.Stats.Report(),
+		Contract:  r.ContractReport(),
 	}
 }

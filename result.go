@@ -73,6 +73,9 @@ type Result struct {
 	// PlanCached reports whether the prepared plan came from the
 	// engine's plan cache rather than a fresh optimization.
 	PlanCached bool
+	// Contract describes the outcome of the query's accuracy/latency
+	// contract (nil for queries without a contract clause).
+	Contract *ContractInfo
 	// InternalRows exposes the raw rows for in-module tooling.
 	InternalRows []table.Row
 }
