@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// dashboardFields are required on the DASH_*.json top level.
+var dashboardFields = []string{
+	"experiment", "panels", "refreshes", "workers", "cores", "jobs",
+	"cache_budget", "exact_qps", "cold_qps", "cached_qps",
+	"cached_vs_exact", "cached_vs_cold",
+	"cache_hits", "cache_misses", "hash_mismatches", "panel_hashes",
+}
+
+// dashReport mirrors the fields of a DASH_*.json report the gate
+// reasons about.
+type dashReport struct {
+	Panels         int     `json:"panels"`
+	Refreshes      int     `json:"refreshes"`
+	Workers        int     `json:"workers"`
+	Cores          int     `json:"cores"`
+	Jobs           int     `json:"jobs"`
+	ExactQPS       float64 `json:"exact_qps"`
+	ColdQPS        float64 `json:"cold_qps"`
+	CachedQPS      float64 `json:"cached_qps"`
+	CacheHits      int64   `json:"cache_hits"`
+	HashMismatches int     `json:"hash_mismatches"`
+	PanelHashes    []struct {
+		ID         string `json:"id"`
+		ColdHash   string `json:"cold_hash"`
+		CachedHash string `json:"cached_hash"`
+		Match      bool   `json:"match"`
+	} `json:"panel_hashes"`
+}
+
+// checkDashboard gates a DASH_<exp>.json report: every panel's cached
+// result bit-identical to its cold result (always, on any machine), the
+// cache actually serving hits, and — where the machine can run queries
+// in parallel — cached-approximate throughput strictly above both the
+// exact baseline and the cold-approximate lazy path. A sample cache
+// that returns different bits or fails to beat re-sampling is a
+// regression either way.
+func checkDashboard(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return fmt.Errorf("not a dashboard report: %w", err)
+	}
+	for _, k := range dashboardFields {
+		if _, ok := fields[k]; !ok {
+			return fmt.Errorf("missing top-level field %q", k)
+		}
+	}
+	var r dashReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return err
+	}
+	if r.Panels == 0 || r.Refreshes == 0 || r.Jobs != r.Panels*r.Refreshes {
+		return fmt.Errorf("workload shape invalid: %d panels x %d refreshes != %d jobs", r.Panels, r.Refreshes, r.Jobs)
+	}
+	if len(r.PanelHashes) != r.Panels {
+		return fmt.Errorf("%d panel hashes for %d panels", len(r.PanelHashes), r.Panels)
+	}
+	for _, p := range r.PanelHashes {
+		if p.ColdHash == "" || p.CachedHash == "" {
+			return fmt.Errorf("%s: missing result hash (report predates the oracle fields?)", p.ID)
+		}
+		if !p.Match || p.ColdHash != p.CachedHash {
+			return fmt.Errorf("%s: cached result diverges from cold: %s vs %s — warm replays must be bit-identical",
+				p.ID, p.ColdHash[:12], p.CachedHash[:12])
+		}
+	}
+	if r.HashMismatches != 0 {
+		return fmt.Errorf("%d hash mismatches reported", r.HashMismatches)
+	}
+	if r.ExactQPS <= 0 || r.ColdQPS <= 0 || r.CachedQPS <= 0 {
+		return fmt.Errorf("throughput not measured: exact=%.3f cold=%.3f cached=%.3f", r.ExactQPS, r.ColdQPS, r.CachedQPS)
+	}
+	if r.CacheHits == 0 {
+		return fmt.Errorf("cached pass recorded zero cache hits: the sample cache never served a replay")
+	}
+	// Throughput dominance only where parallel execution is physically
+	// possible — the same exemption the concurrency gate uses.
+	if r.Cores >= 2 {
+		if r.CachedQPS <= r.ExactQPS {
+			return fmt.Errorf("cached QPS %.2f not above exact %.2f on a %d-core machine", r.CachedQPS, r.ExactQPS, r.Cores)
+		}
+		if r.CachedQPS <= r.ColdQPS {
+			return fmt.Errorf("cached QPS %.2f not above cold-approximate %.2f on a %d-core machine", r.CachedQPS, r.ColdQPS, r.Cores)
+		}
+	}
+	fmt.Printf("%s: ok (%d panels x %d refreshes, %d workers: exact %.1f, cold %.1f, cached %.1f qps, %d cache hits, 0 mismatches)\n",
+		path, r.Panels, r.Refreshes, r.Workers, r.ExactQPS, r.ColdQPS, r.CachedQPS, r.CacheHits)
+	return nil
+}

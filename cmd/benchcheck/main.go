@@ -28,6 +28,12 @@
 // escalations no worse than cold (the learned correction loop must not
 // regress).
 //
+// With -dashboard it gates the DASH_*.json report the repeated-query
+// dashboard benchmark writes: every panel's cached-approximate result
+// bit-identical to its cold-approximate result, and (on multicore
+// machines) cached-approximate throughput strictly above both the
+// exact baseline and the cold lazy path.
+//
 // Usage:
 //
 //	benchcheck BENCH_SMOKE.json [more.json...]
@@ -35,6 +41,7 @@
 //	benchcheck -oracle row/BENCH_BENCH.json columnar/BENCH_BENCH.json
 //	benchcheck -prune full/BENCH_BENCH.json pruned/BENCH_BENCH.json
 //	benchcheck -contract CONTRACT_SMOKE.json
+//	benchcheck -dashboard DASH_SMOKE.json
 package main
 
 import (
@@ -79,6 +86,7 @@ func main() {
 	oracle := flag.Bool("oracle", false, "compare two reports of the same workload from different executor modes; result hashes must match")
 	prune := flag.Bool("prune", false, "compare an unpruned report against a pruned one; the pruned run must scan strictly fewer partitions")
 	contract := flag.Bool("contract", false, "gate a CONTRACT_<exp>.json report: zero violations, escalation retries served from the plan cache")
+	dashboard := flag.Bool("dashboard", false, "gate a DASH_<exp>.json report: cached results bit-identical to cold, cached QPS above exact and cold on multicore")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_<exp>.json [more.json...]")
@@ -86,6 +94,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       benchcheck -oracle row.json columnar.json")
 		fmt.Fprintln(os.Stderr, "       benchcheck -prune full.json pruned.json")
 		fmt.Fprintln(os.Stderr, "       benchcheck -contract CONTRACT_<exp>.json")
+		fmt.Fprintln(os.Stderr, "       benchcheck -dashboard DASH_<exp>.json")
 		os.Exit(2)
 	}
 	if *micro {
@@ -123,6 +132,19 @@ func main() {
 			if err := checkContract(path); err != nil {
 				bad++
 				fmt.Fprintf(os.Stderr, "benchcheck -contract: %s: %v\n", path, err)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *dashboard {
+		bad := 0
+		for _, path := range flag.Args() {
+			if err := checkDashboard(path); err != nil {
+				bad++
+				fmt.Fprintf(os.Stderr, "benchcheck -dashboard: %s: %v\n", path, err)
 			}
 		}
 		if bad > 0 {

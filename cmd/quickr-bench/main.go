@@ -4,13 +4,19 @@
 // Usage:
 //
 //	quickr-bench [-exp all|F1|F2a|F2b|T3|T4|T5|T6|T7|T8|T9|F8a|F8b|F8c|F9|SMOKE|BENCH] [-sf 1.0] [-json dir]
-//	             [-batch 0] [-columnar] [-prune] [-contract] [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	             [-batch 0] [-columnar] [-prune] [-sample-cache N] [-contract] [-dashboard]
+//	             [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // SMOKE runs a tiny per-suite query subset; BENCH runs the full query
 // suites. With -json, both write a machine-readable BENCH_<exp>.json
 // run report (per-query gains, errors, sampler rate checks, and
 // per-operator execution counters) into the given directory; CI's
 // cmd/benchcheck validates that file's schema.
+//
+// -dashboard additionally runs the repeated-query dashboard workload
+// (N panels × M refreshes, exact vs cold-approximate vs cached-
+// approximate under a concurrent hammer) and writes DASH_<exp>.json;
+// `benchcheck -dashboard` gates it.
 package main
 
 import (
@@ -31,7 +37,9 @@ func main() {
 	batch := flag.Int("batch", 0, "executor batch size in rows (0 = default, <0 = materialize whole partitions)")
 	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
 	prune := flag.Bool("prune", false, "enable the optimizer's partition-selection pruning pass for sampled plans")
+	sampleCache := flag.Int64("sample-cache", 0, "enable hot-sample reuse with this byte budget for the whole run (0 = off)")
 	contract := flag.Bool("contract", false, "also run the error-contract suite (cold+warm) and write CONTRACT_<exp>.json (SMOKE/BENCH)")
+	dashboard := flag.Bool("dashboard", false, "also run the repeated-query dashboard workload and write DASH_<exp>.json (SMOKE/BENCH)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
@@ -58,6 +66,7 @@ func main() {
 			env.Eng.SetBatchSize(*batch)
 			env.Eng.SetColumnar(*columnar)
 			env.Eng.SetPrune(*prune)
+			env.Eng.SetSampleCache(*sampleCache)
 			if *columnar && *batch >= 0 {
 				fmt.Fprintln(os.Stderr, "warming columnar partition caches...")
 				env.Eng.WarmColumnar()
@@ -102,6 +111,31 @@ func main() {
 			fail(id, fmt.Errorf("%d contract violations", crep.Violations))
 		}
 	}
+	dashboardDone := false
+	runDashboard := func(id string) {
+		if !*dashboard || dashboardDone {
+			return
+		}
+		dashboardDone = true
+		drep, err := experiments.BuildDashboardReport(getEnv(), id, *sf, 32, 32)
+		if err != nil {
+			fail(id, err)
+		}
+		fmt.Printf("%s dashboard: %d panels x %d refreshes, %d workers: exact=%.1f qps, cold=%.1f qps, cached=%.1f qps (%.2fx vs exact, %.2fx vs cold), %d hash mismatches\n",
+			id, drep.Panels, drep.Refreshes, drep.Workers,
+			drep.ExactQPS, drep.ColdQPS, drep.CachedQPS,
+			drep.CachedVsExact, drep.CachedVsCold, drep.HashMismatches)
+		if *jsonDir != "" {
+			path, err := drep.Write(*jsonDir)
+			if err != nil {
+				fail(id, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if drep.HashMismatches > 0 {
+			fail(id, fmt.Errorf("%d panels differ between cold and cached runs", drep.HashMismatches))
+		}
+	}
 	runReport := func(id string, queries []workload.Query) {
 		rep, err := experiments.BuildBenchReport(getEnv(), queries, id, *sf)
 		if err != nil {
@@ -130,6 +164,7 @@ func main() {
 	if want["SMOKE"] {
 		runReport("SMOKE", experiments.SmokeQueries())
 		runContract("SMOKE")
+		runDashboard("SMOKE")
 	}
 	if want["BENCH"] {
 		var all []workload.Query
@@ -138,6 +173,7 @@ func main() {
 		all = append(all, workload.OtherQueries()...)
 		runReport("BENCH", all)
 		runContract("BENCH")
+		runDashboard("BENCH")
 	}
 	if (want["SMOKE"] || want["BENCH"]) && len(want) == 1 {
 		return

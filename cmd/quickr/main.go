@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	quickr [-sf 1] [-seed 0] [-batch 1024] [-columnar] [-check] [-prune] [-history h.json] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
+//	quickr [-sf 1] [-seed 0] [-batch 1024] [-columnar] [-check] [-prune] [-sample-cache N] [-history h.json] [-approx] [-explain] [-analyze] [-metrics] [-stats out.json] 'SELECT ...'
 //	quickr [-sf 1] -i            # simple REPL
 //	quickr [-sf 1] -serve :8080  # HTTP/JSON query service (see internal/service)
 //
@@ -48,6 +48,7 @@ func main() {
 	columnar := flag.Bool("columnar", false, "run streamed pipelines on the vectorized columnar executor (ignored when -batch < 0)")
 	check := flag.Bool("check", false, "verify plan invariants (sampler dominance, universe pairing, weight propagation) at optimize time; violations fail the query")
 	prune := flag.Bool("prune", false, "enable partition-selection pruning: sampled plans whose partition summaries certify the sampler's columns scan a weighted partition subset")
+	sampleCache := flag.Int64("sample-cache", 0, "enable hot-sample reuse with this byte budget: repeated queries replay materialized sampler output instead of re-scanning (0 = off); answers are bit-identical warm or cold")
 	history := flag.String("history", "", "load the learned query history from this JSON file before running and save it back after (created if missing)")
 	interactive := flag.Bool("i", false, "interactive mode")
 	serve := flag.String("serve", "", "serve the HTTP/JSON query API on this address (e.g. :8080) instead of running a query")
@@ -68,6 +69,7 @@ func main() {
 	eng.SetColumnar(*columnar)
 	eng.SetPlanChecks(*check)
 	eng.SetPrune(*prune)
+	eng.SetSampleCache(*sampleCache)
 	if *history != "" {
 		loadHistory(eng, *history)
 		defer saveHistory(eng, *history)

@@ -50,8 +50,8 @@ func TestSetterEpochAudit(t *testing.T) {
 	// The audit must actually cover the engine's knob surface; if the
 	// count shrinks someone renamed setters away from the Set* pattern
 	// and this audit silently stopped guarding them.
-	if audited < 9 {
-		t.Fatalf("audited only %d Set* methods, expected at least 9", audited)
+	if audited < 11 {
+		t.Fatalf("audited only %d Set* methods, expected at least 11", audited)
 	}
 }
 

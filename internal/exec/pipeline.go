@@ -463,11 +463,18 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 	// operators top-down, the node below is a scan or a breaker.
 	var chain []PNode
 	var scan *PScan
+	var cached *PCachedSample
 	n := top
 	//lint:ignore ctxflow walk is bounded by plan depth and terminates at a scan or breaker
 	for {
 		if s, ok := n.(*PScan); ok {
 			scan = s
+			break
+		}
+		// A cached-sample node ends the fused chain like a scan does: its
+		// output (replayed or lazily produced) is the pipeline's source.
+		if cs, ok := n.(*PCachedSample); ok {
+			cached = cs
 			break
 		}
 		if n.Breaker() {
@@ -491,7 +498,11 @@ func (ex *executor) execPipeline(top PNode) (*stream, error) {
 		partRaw = make([]float64, parts)
 	} else {
 		var err error
-		s, err = ex.exec(n)
+		if cached != nil {
+			s, err = ex.execCachedSample(cached)
+		} else {
+			s, err = ex.exec(n)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -113,7 +113,7 @@ func RunWithOptions(ctx context.Context, p PNode, cfg cluster.Config, estRows ma
 	if pl == nil {
 		pl = pool.Default()
 	}
-	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize), col: opts.Columnar && opts.BatchSize >= 0, ctx: ctx, pl: pl}
+	ex := &executor{run: cluster.NewRun(cfg), qm: qm, batch: resolveBatch(opts.BatchSize), col: opts.Columnar && opts.BatchSize >= 0, ctx: ctx, pl: pl, sc: opts.SampleCache, cacheEpoch: opts.CacheEpoch}
 	t0 := time.Now()
 	s, err := ex.exec(p)
 	if err != nil {
@@ -221,6 +221,8 @@ func opKind(n PNode) string {
 		return "Union"
 	case *PWindow:
 		return "Window"
+	case *PCachedSample:
+		return "CachedSample"
 	}
 	return fmt.Sprintf("%T", n)
 }
@@ -240,6 +242,10 @@ type executor struct {
 	ctx context.Context
 	// pl is the shared worker pool partition fan-out runs on.
 	pl *pool.Pool
+	// sc resolves PCachedSample nodes (nil = always run fragments
+	// lazily); cacheEpoch is folded into its runtime keys.
+	sc         *SampleCache
+	cacheEpoch uint64
 	// Pool telemetry accumulated across this run's parallel regions
 	// (written only by the coordinating goroutine).
 	poolWaitNanos         int64
@@ -304,7 +310,7 @@ func (ex *executor) exec(n PNode) (*stream, error) {
 		return nil, err
 	}
 	if !n.Breaker() {
-		if ex.col {
+		if ex.col && !chainHasCachedSample(n) {
 			return ex.execColPipeline(n)
 		}
 		return ex.execPipeline(n)
@@ -600,7 +606,7 @@ func keysEqual(l table.Row, lIdx []int, r table.Row, rIdx []int) bool {
 }
 
 func (ex *executor) execAgg(p *PHashAgg) (*stream, error) {
-	if ex.col && !p.In.Breaker() {
+	if ex.col && !p.In.Breaker() && !chainHasCachedSample(p.In) {
 		return ex.execAggColumnar(p)
 	}
 	s, err := ex.exec(p.In)

@@ -1,0 +1,415 @@
+package exec
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"quickr/internal/lplan"
+	"quickr/internal/metrics"
+	"quickr/internal/table"
+)
+
+// Hot-sample reuse: Quickr is deliberately lazy (samplers run at query
+// time, nothing is pre-built), but dashboard traffic re-runs the same
+// fused scan→filter→sample fragment every few seconds. PCachedSample
+// marks such a fragment as reusable: the first execution materializes
+// the sampler's weighted output into a byte-budgeted LRU (column-major,
+// via the internal/table columnar machinery), and repeated executions
+// replay it without touching the base table. The fragment itself stays
+// in the plan as the node's only child, so every plan walker — the
+// invariant checkers, EXPLAIN, the soundness prover — still sees the
+// samplers and scans it replaces, and a cache miss simply runs it (the
+// lazy path is always the fallback).
+//
+// Cached output carries the exact per-row Horvitz–Thompson weights the
+// fragment produced, so downstream estimator math (CI95, missed-group
+// accounting) is bit-identical between warm and cold runs.
+
+// PCachedSample replaces a cacheable sampler fragment: a real sampler
+// over a non-breaker filter/project chain ending at one base-table
+// scan. Kids() exposes the replaced fragment, keeping the node
+// transparent to plan walkers.
+type PCachedSample struct {
+	// Frag is the replaced fragment, executed verbatim on a cache miss.
+	Frag PNode
+	// Key fingerprints the fragment (sampler type/params/seeds, chain
+	// expressions, scan columns and prune subset). The executor extends
+	// it with the table version and engine config epoch at run time.
+	Key string
+	// SamplerP echoes the fragment's root sampler pass probability; the
+	// plan checker verifies it against the fragment so a hand-built plan
+	// cannot claim cached output under different weights.
+	SamplerP float64
+}
+
+// Cols implements PNode: cached output has exactly the fragment's schema.
+func (p *PCachedSample) Cols() []lplan.ColumnInfo {
+	if p.Frag == nil {
+		return nil
+	}
+	return p.Frag.Cols()
+}
+
+// Kids implements PNode. A fragment-less node (rejected by plancheck,
+// but walkers run before checkers report) has no children.
+func (p *PCachedSample) Kids() []PNode {
+	if p.Frag == nil {
+		return nil
+	}
+	return []PNode{p.Frag}
+}
+
+// Describe implements PNode.
+func (p *PCachedSample) Describe() string {
+	return fmt.Sprintf("CachedSample p=%.3g key=%016x", p.SamplerP, fnv64(p.Key))
+}
+
+// Breaker implements PNode: replay streams batch-at-a-time like the
+// fragment it replaces.
+func (p *PCachedSample) Breaker() bool { return false }
+
+// CacheableFragment reports whether frag has the shape the sample cache
+// supports: a real sampler (0 < p < 1) over any chain of filters,
+// projections and samplers, ending at exactly one base-table scan. Both
+// the optimizer rewrite and the plan checker use it, so a plan cannot
+// carry a cached-sample node over a fragment the rewrite would never
+// have produced.
+func CacheableFragment(frag PNode) bool {
+	s, ok := frag.(*PSample)
+	if !ok || s.Def.Type == lplan.SamplerPassThrough || s.Def.P <= 0 || s.Def.P >= 1 {
+		return false
+	}
+	n := s.In
+	for {
+		switch x := n.(type) {
+		case *PScan:
+			return true
+		case *PFilter:
+			n = x.In
+		case *PProject:
+			n = x.In
+		case *PSample:
+			n = x.In
+		default:
+			return false
+		}
+	}
+}
+
+// FragmentScan returns the base-table scan at the bottom of a cacheable
+// fragment (nil when the shape is not cacheable).
+func FragmentScan(frag PNode) *PScan {
+	n := frag
+	for n != nil {
+		if s, ok := n.(*PScan); ok {
+			return s
+		}
+		kids := n.Kids()
+		if len(kids) != 1 {
+			return nil
+		}
+		n = kids[0]
+	}
+	return nil
+}
+
+// FragmentKey fingerprints a cacheable fragment. Everything that can
+// change the fragment's output stream is folded in: sampler type,
+// probability, stratification/universe columns, δ, bucket functions,
+// both seeds (the plan-location seed and the shared universe seed),
+// filter predicates, projection expressions, the scan's table, column
+// projection, apriori-weight column, and the partition-prune subset
+// with its inflation factors. The plan checker recomputes it, so a
+// cached-sample node's key provably describes its own fragment.
+func FragmentKey(frag PNode) string {
+	var b strings.Builder
+	var rec func(PNode)
+	rec = func(n PNode) {
+		switch x := n.(type) {
+		case *PSample:
+			fmt.Fprintf(&b, "sample{t=%d p=%g cols=%v delta=%d bcols=%v bw=%v dseed=%d seed=%d};",
+				x.Def.Type, x.Def.P, x.Def.Cols, x.Def.Delta,
+				x.Def.BucketCols, x.Def.BucketWidths, x.Def.Seed, x.Seed)
+			rec(x.In)
+		case *PScan:
+			fmt.Fprintf(&b, "scan{%s cols=%v w=%d", x.Tbl.Name, x.ColIdx, x.WeightIdx)
+			if x.Prune != nil {
+				fmt.Fprintf(&b, " keep=%v inf=%v tailp=%g", x.Prune.Keep, x.Prune.Inflate, x.Prune.TailP)
+			}
+			b.WriteString("};")
+		default:
+			fmt.Fprintf(&b, "%s;", n.Describe())
+			for _, k := range n.Kids() {
+				rec(k)
+			}
+		}
+	}
+	rec(frag)
+	return b.String()
+}
+
+// fnv64 is FNV-1a over s, used only to render keys compactly.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CachedPart is one materialized fragment-output partition: the rows in
+// column-major form plus the per-row sampling weights, both value
+// copies independent of any in-flight batch buffers.
+type CachedPart struct {
+	Cols *table.ColPartition
+	W    []float64
+}
+
+// cacheEntry is one LRU slot: a fragment's full per-partition output.
+type cacheEntry struct {
+	key   string
+	parts []CachedPart
+	bytes int64
+}
+
+// SampleCache is a byte-budgeted, process-shareable LRU over
+// materialized sampler outputs. Get/Put/Purge are safe for concurrent
+// use; keys already embed the table version and engine config epoch, so
+// a Put racing an invalidation can at worst insert an entry no future
+// lookup can reach (Purge is promptness, correctness is the key).
+type SampleCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	items  map[string]*list.Element
+	order  *list.List // front = most recently used
+}
+
+// NewSampleCache builds a cache holding at most budget bytes of
+// materialized sampler output.
+func NewSampleCache(budget int64) *SampleCache {
+	return &SampleCache{
+		budget: budget,
+		items:  make(map[string]*list.Element),
+		order:  list.New(),
+	}
+}
+
+// Get returns the cached fragment output for key, if present.
+func (c *SampleCache) Get(key string) ([]CachedPart, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		metrics.SampleCacheMisses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	metrics.SampleCacheHits.Add(1)
+	return el.Value.(*cacheEntry).parts, true
+}
+
+// Put inserts a materialized fragment output. Admission control rejects
+// entries larger than a quarter of the budget (one giant fragment must
+// not wipe the working set); otherwise least-recently-used entries are
+// evicted until the new entry fits.
+func (c *SampleCache) Put(key string, parts []CachedPart) {
+	var bytes int64
+	for i := range parts {
+		bytes += cachedPartBytes(&parts[i])
+	}
+	bytes += int64(len(key))
+	if bytes > c.budget/4 {
+		metrics.SampleCacheRejects.Add(1)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Concurrent misses can race to populate; keep the first copy
+		// (both are bit-identical by construction).
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.bytes+bytes > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.evict(back)
+	}
+	e := &cacheEntry{key: key, parts: parts, bytes: bytes}
+	c.items[key] = c.order.PushFront(e)
+	c.bytes += bytes
+	metrics.SampleCacheBytes.Store(c.bytes)
+}
+
+// evict removes one entry; callers hold c.mu.
+func (c *SampleCache) evict(el *list.Element) {
+	e := c.order.Remove(el).(*cacheEntry)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+	metrics.SampleCacheEvictions.Add(1)
+	metrics.SampleCacheBytes.Store(c.bytes)
+}
+
+// Purge drops every entry (config-epoch bumps and DDL call this, the
+// same invalidation path the plan cache uses).
+func (c *SampleCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*list.Element)
+	c.order.Init()
+	c.bytes = 0
+	metrics.SampleCacheBytes.Store(0)
+}
+
+// Len returns the number of cached fragments.
+func (c *SampleCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the cached payload size.
+func (c *SampleCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Budget returns the configured byte budget.
+func (c *SampleCache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+// cachedPartBytes estimates one partition's resident size for the byte
+// budget (payload slices plus dictionary strings; bookkeeping rounded
+// into per-value constants).
+func cachedPartBytes(p *CachedPart) int64 {
+	var b int64
+	for i := range p.Cols.Cols {
+		v := &p.Cols.Cols[i]
+		b += int64(len(v.Ints))*8 + int64(len(v.Floats))*8 + int64(len(v.Nulls))*8
+		b += int64(len(v.Vals)) * 32
+		for _, s := range v.Dict {
+			b += int64(len(s)) + 16
+		}
+	}
+	return b + int64(len(p.W))*8
+}
+
+// materializeCached snapshots a fragment's output partitions into
+// column-major cached form. Columnarize value-copies every row, so the
+// snapshot is independent of the in-flight batch buffers the downstream
+// chain will mutate in place.
+func materializeCached(parts [][]wrow, width int) []CachedPart {
+	out := make([]CachedPart, len(parts))
+	for i, part := range parts {
+		rows := make([]table.Row, len(part))
+		w := make([]float64, len(part))
+		for j := range part {
+			rows[j] = part[j].row
+			w[j] = part[j].w
+		}
+		out[i] = CachedPart{Cols: table.Columnarize(rows, width), W: w}
+	}
+	return out
+}
+
+// cachedToParts reconstructs fresh weighted-row partitions from cached
+// columnar form — bit-identical to the rows the fragment produced
+// (ColVec.Value preserves float bits and dictionary strings exactly).
+// Every replay allocates new rows, so in-place downstream consumers
+// (filter compaction, project rewrites) never touch cached state.
+func cachedToParts(cached []CachedPart) [][]wrow {
+	parts := make([][]wrow, len(cached))
+	for i := range cached {
+		cp := cached[i]
+		n := cp.Cols.NumRows
+		ncols := len(cp.Cols.Cols)
+		rows := make([]wrow, n)
+		for j := 0; j < n; j++ {
+			r := make(table.Row, ncols)
+			for c := 0; c < ncols; c++ {
+				r[c] = cp.Cols.Cols[c].Value(j)
+			}
+			rows[j] = newWRow(r, cp.W[j])
+		}
+		parts[i] = rows
+	}
+	return parts
+}
+
+// chainHasCachedSample reports whether the non-breaker chain rooted at n
+// contains a cached-sample node. The columnar executor has no cached
+// replay kernel, so such chains fall back to the row pipeline (the two
+// are bit-identical by the executor oracle).
+func chainHasCachedSample(n PNode) bool {
+	//lint:ignore ctxflow walk is bounded by plan depth and terminates at a scan or breaker
+	for {
+		if _, ok := n.(*PCachedSample); ok {
+			return true
+		}
+		if n.Breaker() {
+			return false
+		}
+		kids := n.Kids()
+		if len(kids) != 1 {
+			return false
+		}
+		n = kids[0]
+	}
+}
+
+// execCachedSample resolves a cached-sample node: replay on a hit, run
+// the fragment lazily (and populate) on a miss or when no cache is
+// configured. The runtime key extends the plan-time fragment key with
+// the scan table's version and the engine's config epoch, reusing the
+// exact invalidation discipline of the columnar and plan caches.
+func (ex *executor) execCachedSample(cs *PCachedSample) (*stream, error) {
+	scan := FragmentScan(cs.Frag)
+	var key string
+	if ex.sc != nil && scan != nil {
+		key = fmt.Sprintf("%s|v%d|e%d", cs.Key, scan.Tbl.Version(), ex.cacheEpoch)
+		if cached, ok := ex.sc.Get(key); ok {
+			parts := cachedToParts(cached)
+			op := ex.opFor(cs)
+			op.Grow(len(parts))
+			for i, part := range parts {
+				sl := op.Slot(i)
+				sl.RowsOut += int64(len(part))
+				if len(part) > 0 {
+					sl.NoteBatch(rowsBytes(part))
+				}
+			}
+			// Replayed output is a materialized boundary: no scan stage
+			// exists, the outer pipeline opens its own stage over it.
+			return &stream{parts: parts}, nil
+		}
+	}
+	s, err := ex.execPipeline(cs.Frag)
+	if err != nil {
+		return nil, err
+	}
+	op := ex.opFor(cs)
+	op.Grow(len(s.parts))
+	for i, part := range s.parts {
+		sl := op.Slot(i)
+		sl.RowsIn += int64(len(part))
+		sl.RowsOut += int64(len(part))
+	}
+	if ex.sc != nil && scan != nil {
+		// Populate-on-miss tee: snapshot before handing the stream to the
+		// outer chain (which compacts batches in place). The key was
+		// computed before the fragment ran, so an Append or config bump
+		// landing mid-run leaves the entry unreachable, never wrong.
+		ex.sc.Put(key, materializeCached(s.parts, len(cs.Frag.Cols())))
+	}
+	return s, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"quickr/internal/metrics"
+	"quickr/internal/workload"
+)
+
+// DashboardReport measures the serving shape the sample cache targets:
+// N dashboard panels refreshed M times each by concurrent submitters
+// sharing one engine. Three modes run over identical jobs — exact,
+// cold-approximate (lazy sampling on every refresh), and
+// cached-approximate (hot-sample reuse) — and every panel's result is
+// fingerprinted in the cold and cached modes so CI can assert the warm
+// path is bit-identical, not merely statistically close. Written as
+// DASH_<experiment>.json and gated by `benchcheck -dashboard`.
+type DashboardReport struct {
+	Experiment  string  `json:"experiment"`
+	ScaleFactor float64 `json:"scale_factor"`
+	Panels      int     `json:"panels"`
+	Refreshes   int     `json:"refreshes"`
+	Workers     int     `json:"workers"`
+	Cores       int     `json:"cores"`
+	// Jobs is the per-mode job count (panels × refreshes).
+	Jobs        int   `json:"jobs"`
+	CacheBudget int64 `json:"cache_budget"`
+
+	ExactQPS  float64 `json:"exact_qps"`
+	ColdQPS   float64 `json:"cold_qps"`
+	CachedQPS float64 `json:"cached_qps"`
+	// CachedVsExact and CachedVsCold are the cached-mode speedups the
+	// gate asserts exceed 1 on multicore machines.
+	CachedVsExact float64 `json:"cached_vs_exact"`
+	CachedVsCold  float64 `json:"cached_vs_cold"`
+
+	// CacheHits/CacheMisses are the sample-cache counter deltas across
+	// the cached pass; a warm hammer should be nearly all hits.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheBytes  int64 `json:"cache_bytes"`
+
+	// HashMismatches counts panels whose cached-mode result hash differs
+	// from the cold-mode hash; any nonzero value fails the gate.
+	HashMismatches int               `json:"hash_mismatches"`
+	PanelHashes    []PanelHashReport `json:"panel_hashes"`
+}
+
+// PanelHashReport fingerprints one panel's answer in both approximate
+// modes.
+type PanelHashReport struct {
+	ID         string `json:"id"`
+	Sampled    bool   `json:"sampled"`
+	ResultRows int    `json:"result_rows"`
+	ColdHash   string `json:"cold_hash"`
+	CachedHash string `json:"cached_hash"`
+	Match      bool   `json:"match"`
+}
+
+// DashboardCacheBudget is the sample-cache byte budget the dashboard
+// benchmark enables for its cached pass.
+const DashboardCacheBudget int64 = 64 << 20
+
+// BuildDashboardReport runs the dashboard workload in the three modes.
+// It flips the engine's sample-cache setting between passes (restoring
+// the prior budget before returning), so call it with no other queries
+// in flight — the same contract every engine settings change carries.
+func BuildDashboardReport(env *Env, experiment string, sf float64, workers, refreshes int) (*DashboardReport, error) {
+	queries := workload.DashboardQueries()
+	rep := &DashboardReport{
+		Experiment:  experiment,
+		ScaleFactor: sf,
+		Panels:      len(queries),
+		Refreshes:   refreshes,
+		Workers:     workers,
+		Cores:       runtime.NumCPU(),
+		Jobs:        len(queries) * refreshes,
+		CacheBudget: DashboardCacheBudget,
+	}
+	var jobs []string
+	for r := 0; r < refreshes; r++ {
+		for _, q := range queries {
+			jobs = append(jobs, q.SQL)
+		}
+	}
+	// hammer measures QPS over the job list with the configured number
+	// of concurrent submitters (the dashboard's refresh fan-out).
+	hammer := func(run func(string) error) (float64, error) {
+		start := time.Now()
+		var firstErr error
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		next := make(chan string)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for sql := range next {
+					if err := run(sql); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for _, sql := range jobs {
+			next <- sql
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(len(jobs)) / time.Since(start).Seconds(), nil
+	}
+	exact := func(sql string) error { _, err := env.Eng.Exec(sql); return err }
+	approx := func(sql string) error { _, err := env.Eng.ExecApprox(sql); return err }
+	warm := func(run func(string) error) error {
+		for _, q := range queries {
+			if err := run(q.SQL); err != nil {
+				return fmt.Errorf("%s warmup: %w", q.ID, err)
+			}
+		}
+		return nil
+	}
+
+	prevBudget := env.Eng.SampleCacheBudget()
+	defer env.Eng.SetSampleCache(prevBudget)
+
+	// Exact mode: the baseline every dashboard pays without Quickr.
+	env.Eng.SetSampleCache(0)
+	if err := warm(exact); err != nil {
+		return nil, err
+	}
+	var err error
+	if rep.ExactQPS, err = hammer(exact); err != nil {
+		return nil, err
+	}
+
+	// Cold-approximate: lazy sampling re-scans the base table on every
+	// refresh (plan cache warm, sample cache off).
+	if err := warm(approx); err != nil {
+		return nil, err
+	}
+	if rep.ColdQPS, err = hammer(approx); err != nil {
+		return nil, err
+	}
+	coldHashes := make([]PanelHashReport, 0, len(queries))
+	for _, q := range queries {
+		res, err := env.Eng.ExecApprox(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold: %w", q.ID, err)
+		}
+		coldHashes = append(coldHashes, PanelHashReport{
+			ID: q.ID, Sampled: res.Sampled,
+			ResultRows: len(res.InternalRows),
+			ColdHash:   resultHash(res),
+		})
+	}
+
+	// Cached-approximate: the warmup populates the sample cache, then
+	// the hammer replays materialized sampler output.
+	env.Eng.SetSampleCache(DashboardCacheBudget)
+	hits0, misses0 := metrics.SampleCacheHits.Load(), metrics.SampleCacheMisses.Load()
+	if err := warm(approx); err != nil {
+		return nil, err
+	}
+	if rep.CachedQPS, err = hammer(approx); err != nil {
+		return nil, err
+	}
+	for i, q := range queries {
+		res, err := env.Eng.ExecApprox(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s cached: %w", q.ID, err)
+		}
+		ph := coldHashes[i]
+		ph.CachedHash = resultHash(res)
+		ph.Match = ph.CachedHash == ph.ColdHash && len(res.InternalRows) == ph.ResultRows
+		if !ph.Match {
+			rep.HashMismatches++
+		}
+		rep.PanelHashes = append(rep.PanelHashes, ph)
+	}
+	rep.CacheHits = metrics.SampleCacheHits.Load() - hits0
+	rep.CacheMisses = metrics.SampleCacheMisses.Load() - misses0
+	rep.CacheBytes = metrics.SampleCacheBytes.Load()
+	if rep.ExactQPS > 0 {
+		rep.CachedVsExact = rep.CachedQPS / rep.ExactQPS
+	}
+	if rep.ColdQPS > 0 {
+		rep.CachedVsCold = rep.CachedQPS / rep.ColdQPS
+	}
+	return rep, nil
+}
+
+// Write serializes the report as DASH_<experiment>.json under dir and
+// returns the written path.
+func (r *DashboardReport) Write(dir string) (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, fmt.Sprintf("DASH_%s.json", r.Experiment))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -40,6 +40,14 @@ type QueryBenchReport struct {
 	ResultRows int    `json:"result_rows"`
 	ResultHash string `json:"result_hash"`
 
+	// WarmHash is the same fingerprint taken from a second execution
+	// while the engine's sample cache holds the first run's materialized
+	// sampler output (set only when the bench runs with -sample-cache).
+	// BuildBenchReport fails outright if it differs from ResultHash: a
+	// warm replay must be bit-identical to the cold run that populated
+	// the cache.
+	WarmHash string `json:"warm_hash,omitempty"`
+
 	RateChecks   []RateCheckReport `json:"rate_checks"`
 	RateFailures int               `json:"rate_failures"`
 
@@ -246,7 +254,31 @@ func appendAnyExact(b []byte, v any) []byte {
 // collects the per-operator breakdowns.
 func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf float64) (*BenchReport, error) {
 	rep := &BenchReport{Experiment: experiment, ScaleFactor: sf}
-	for _, out := range RunSuite(env, queries) {
+	outcomes := RunSuite(env, queries)
+	// With a sample cache configured, RunSuite's approximate runs have
+	// populated it; replay every query once while the cache is still
+	// intact (the per-query loop below bumps the config epoch) and
+	// require bit-identical answers. Evicted entries just re-run the lazy
+	// path, which must produce the same bits anyway.
+	warmHashes := map[string]string{}
+	if env.Eng.SampleCacheBudget() > 0 {
+		for _, out := range outcomes {
+			if out.Err != nil {
+				continue
+			}
+			warm, err := env.Eng.ExecApprox(out.Query.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("%s warm replay: %w", out.Query.ID, err)
+			}
+			cold, wh := resultHash(out.Approx), resultHash(warm)
+			if wh != cold {
+				return nil, fmt.Errorf("%s: warm replay hash %s differs from cold run %s — cached sampler output is not bit-identical",
+					out.Query.ID, wh[:12], cold[:12])
+			}
+			warmHashes[out.Query.ID] = wh
+		}
+	}
+	for _, out := range outcomes {
 		if out.Err != nil {
 			return nil, out.Err
 		}
@@ -263,6 +295,7 @@ func BuildBenchReport(env *Env, queries []workload.Query, experiment string, sf 
 			RateChecks:       []RateCheckReport{},
 			ResultRows:       len(out.Approx.InternalRows),
 			ResultHash:       resultHash(out.Approx),
+			WarmHash:         warmHashes[out.Query.ID],
 			Approx:           out.Approx.RunReport(out.Query.SQL, true),
 		}
 		q.PeakInflightBytes = out.Approx.PeakInFlightBytes

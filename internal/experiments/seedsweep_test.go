@@ -183,43 +183,48 @@ func sweepQueryOverSeeds(t *testing.T, env *Env, sq sweepQuery) sweepStats {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		st.prunedParts += approx.PartitionsPruned
-		got := map[string]quickr.GroupEstimate{}
-		for _, g := range approx.Estimates {
-			got[keyString(g.Key, sq.keyCols)] = g
+		observeSweepRun(&st, sq, approx)
+	}
+	return st
+}
+
+// observeSweepRun folds one approximate run into the sweep statistics.
+func observeSweepRun(st *sweepStats, sq sweepQuery, approx *quickr.Result) {
+	st.prunedParts += approx.PartitionsPruned
+	got := map[string]quickr.GroupEstimate{}
+	for _, g := range approx.Estimates {
+		got[keyString(g.Key, sq.keyCols)] = g
+	}
+	for key, tg := range sq.truth {
+		st.groupObs++
+		// Proposition 4: miss probability for this group's
+		// support under the plan's root-equivalent sampler.
+		// stratCoversGroup=false and |G(C)|=support are the
+		// conservative fallbacks (they never under-predict
+		// misses for uniform/distinct plans).
+		st.expectedMissed += accuracy.MissProbability(sq.sampler, sq.p, tg.support, false, 0)
+		g, ok := got[key]
+		if !ok {
+			st.missed++
+			continue
 		}
-		for key, tg := range sq.truth {
-			st.groupObs++
-			// Proposition 4: miss probability for this group's
-			// support under the plan's root-equivalent sampler.
-			// stratCoversGroup=false and |G(C)|=support are the
-			// conservative fallbacks (they never under-predict
-			// misses for uniform/distinct plans).
-			st.expectedMissed += accuracy.MissProbability(sq.sampler, sq.p, tg.support, false, 0)
-			g, ok := got[key]
-			if !ok {
-				st.missed++
+		if float64(g.SampleRows) < minSupport {
+			continue
+		}
+		for i, truthVal := range tg.values {
+			if i >= len(g.Values) || math.IsNaN(truthVal) {
 				continue
 			}
-			if float64(g.SampleRows) < minSupport {
-				continue
+			est, isNum := toFloat(g.Values[i])
+			if !isNum || i >= len(g.CI95) || g.CI95[i] <= 0 {
+				continue // MIN/MAX/COUNT DISTINCT carry no bars
 			}
-			for i, truthVal := range tg.values {
-				if i >= len(g.Values) || math.IsNaN(truthVal) {
-					continue
-				}
-				est, isNum := toFloat(g.Values[i])
-				if !isNum || i >= len(g.CI95) || g.CI95[i] <= 0 {
-					continue // MIN/MAX/COUNT DISTINCT carry no bars
-				}
-				st.pairs++
-				if math.Abs(est-truthVal) <= g.CI95[i] {
-					st.covered++
-				}
+			st.pairs++
+			if math.Abs(est-truthVal) <= g.CI95[i] {
+				st.covered++
 			}
 		}
 	}
-	return st
 }
 
 // checkSweepStats applies the acceptance bars to one query's sweep.

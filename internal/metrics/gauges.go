@@ -42,6 +42,16 @@ var (
 	// plan fingerprint; HistoryRecords counts observations written.
 	HistoryHits    atomic.Int64
 	HistoryRecords atomic.Int64
+
+	// Sample-cache gauges: lookups against the materialized sampler-
+	// output cache (hot-sample reuse), LRU evictions, admission rejects
+	// (entries over the per-entry ceiling fall back to the lazy path),
+	// and the currently resident payload bytes.
+	SampleCacheHits      atomic.Int64
+	SampleCacheMisses    atomic.Int64
+	SampleCacheEvictions atomic.Int64
+	SampleCacheRejects   atomic.Int64
+	SampleCacheBytes     atomic.Int64
 )
 
 // GaugeSnapshot is a point-in-time copy of the process gauges.
@@ -60,6 +70,12 @@ type GaugeSnapshot struct {
 	ContractViolations  int64 `json:"contract_violations"`
 	HistoryHits         int64 `json:"history_hits"`
 	HistoryRecords      int64 `json:"history_records"`
+
+	SampleCacheHits      int64 `json:"sample_cache_hits"`
+	SampleCacheMisses    int64 `json:"sample_cache_misses"`
+	SampleCacheEvictions int64 `json:"sample_cache_evictions"`
+	SampleCacheRejects   int64 `json:"sample_cache_rejects"`
+	SampleCacheBytes     int64 `json:"sample_cache_bytes"`
 }
 
 // Gauges snapshots the process-wide service gauges.
@@ -79,5 +95,11 @@ func Gauges() GaugeSnapshot {
 		ContractViolations:  ContractViolations.Load(),
 		HistoryHits:         HistoryHits.Load(),
 		HistoryRecords:      HistoryRecords.Load(),
+
+		SampleCacheHits:      SampleCacheHits.Load(),
+		SampleCacheMisses:    SampleCacheMisses.Load(),
+		SampleCacheEvictions: SampleCacheEvictions.Load(),
+		SampleCacheRejects:   SampleCacheRejects.Load(),
+		SampleCacheBytes:     SampleCacheBytes.Load(),
 	}
 }

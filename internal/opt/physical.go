@@ -33,6 +33,12 @@ type Planner struct {
 	// plans compiled with Prune=false are bit-identical to before the
 	// pass existed.
 	Prune bool
+	// SampleCache enables the hot-sample-reuse pass (samplecache.go):
+	// cacheable sampler fragments are wrapped in PCachedSample nodes so
+	// the executor can replay materialized sampler output on repeated
+	// queries. Runs after pruning so fragment keys cover the pruned
+	// partition subset. Off by default.
+	SampleCache bool
 
 	topAgg     *lplan.Aggregate
 	samplerSeq uint64
@@ -47,6 +53,9 @@ func (pl *Planner) Plan(n lplan.Node) (exec.PNode, error) {
 	p, err := pl.compile(n)
 	if err == nil && p != nil && pl.Prune {
 		pl.applyPruning(p)
+	}
+	if err == nil && p != nil && pl.SampleCache {
+		pl.applySampleCache(p)
 	}
 	return p, err
 }

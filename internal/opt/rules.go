@@ -7,9 +7,9 @@ package opt
 // prover iterates Rules() and proves, over seeded randomized plans,
 // that each rule preserves the plancheck invariants and the symbolic
 // per-aggregate weight algebra. The prover's registry-completeness test
-// parses normalize.go and prune.go, so adding a rewrite function
-// without registering it here fails CI — an unregistered rule is an
-// unproven rule.
+// parses normalize.go, prune.go and samplecache.go, so adding a rewrite
+// function without registering it here fails CI — an unregistered rule
+// is an unproven rule.
 
 import (
 	"quickr/internal/exec"
@@ -82,6 +82,13 @@ func Rules() []Rule {
 			Doc: "replaces at most one sampled scan's partition list with a certainty stratum (inflation 1) plus a tail subsample inflated by m/k, keeping aggregates Horvitz-Thompson-unbiased",
 			Physical: func(pl *Planner, root exec.PNode) {
 				pl.applyPruning(root)
+			},
+		},
+		{
+			Name: "sample-cache", Kind: PhysicalRule, Func: "applySampleCache",
+			Doc: "wraps each cacheable sampler fragment (real sampler over filters/projects over one scan) in a transparent cached-sample node whose key fingerprints the fragment; the fragment stays in place as the miss path, so schema, weights and estimator wiring are unchanged",
+			Physical: func(pl *Planner, root exec.PNode) {
+				pl.applySampleCache(root)
 			},
 		},
 	}

@@ -17,12 +17,18 @@
 // algebra: inflation factors must be exactly {1, m/k}, the tail mass
 // must sum back to the tail partition count (the HT unbiasedness
 // identity), the estimator config must match the scan's decision, and
-// the decision must replay bit-identically from the same seed.
+// the decision must replay bit-identically from the same seed. The
+// sample-cache rewrite is proven through the same suite (plancheck's
+// p-cached-sample invariant pins each cached node's key and sampler
+// probability to the fragment it replaced) plus key determinism: a
+// recompilation from the same seed must produce identical cache keys,
+// or warm runs could replay a different sampler's output.
 //
 // The prover is wired into `quickrlint -soundness N`, `make lint`, and
 // CI (500 plans per push, 5000 nightly); soundness_test.go additionally
-// proves completeness (every rewrite function in normalize.go/prune.go
-// is registered) and sensitivity (planted unsound rules are caught).
+// proves completeness (every rewrite function in normalize.go,
+// prune.go and samplecache.go is registered) and sensitivity (planted
+// unsound rules are caught).
 package soundness
 
 import (
@@ -70,7 +76,8 @@ type Stats struct {
 	Weighted int // plans with an apriori-weighted scan
 	Pruned   int // plans where partition-prune actually fired
 	// RuleChanged counts, per registry rule, the plans the rule
-	// rewrote (logical: plan text changed; physical: a scan was pruned).
+	// rewrote (logical: plan text changed; physical: the rule's marker
+	// nodes appeared — pruned scans or cached-sample wrappers).
 	RuleChanged map[string]int
 	Problems    []Problem
 }
@@ -164,22 +171,34 @@ func CheckSeed(seed uint64, st *Stats) {
 		if r.Kind != opt.PhysicalRule {
 			continue
 		}
+		// Physical rules mutate the plan in place, so "did it fire?" is
+		// detected by the rule's own marker nodes appearing: pruned scans
+		// for partition-prune, cached-sample wrappers for sample-cache. A
+		// delta keeps the counters per-rule even though the rules share
+		// one plan.
+		beforePruned, beforeCached := len(prunedScans(proot)), len(cachedSamples(proot))
 		r.Physical(pl, proot)
 		for _, v := range ck.CheckPhysical(proot) {
 			report(r.Name, "invariant broken: %s", v)
 		}
-		if len(prunedScans(proot)) > 0 {
+		if len(prunedScans(proot)) > beforePruned || len(cachedSamples(proot)) > beforeCached {
 			st.RuleChanged[r.Name]++
 		}
 	}
 	for _, p := range CheckPrunedPlan(proot, pl.EstCfg) {
 		report("partition-prune", "%s", p)
 	}
-	if len(prunedScans(proot)) > 0 {
+	pruned := len(prunedScans(proot)) > 0
+	cached := len(cachedSamples(proot)) > 0
+	if pruned {
 		st.Pruned++
-		// Determinism: the same seed must reproduce the same decision —
-		// partition selection feeds error bars, so a replay that prunes
-		// differently makes reported confidence intervals unfalsifiable.
+	}
+	if pruned || cached {
+		// Determinism: the same seed must reproduce the same decisions —
+		// partition selection feeds error bars and cache keys gate warm
+		// replays, so a replay that prunes differently makes confidence
+		// intervals unfalsifiable, and one that keys differently could
+		// serve another sampler's rows from the cache.
 		pl2, proot2, err2 := compile()
 		if err2 != nil {
 			report("partition-prune", "replay compilation failed: %v", err2)
@@ -192,6 +211,9 @@ func CheckSeed(seed uint64, st *Stats) {
 		}
 		if d := pruneDiff(proot, proot2); d != "" {
 			report("partition-prune", "decision not deterministic: %s", d)
+		}
+		if d := cachedDiff(proot, proot2); d != "" {
+			report("sample-cache", "cache keying not deterministic: %s", d)
 		}
 	}
 }
@@ -323,6 +345,37 @@ func prunedScans(root exec.PNode) []*exec.PScan {
 		}
 	})
 	return out
+}
+
+// cachedSamples returns the cached-sample wrappers in a compiled plan.
+func cachedSamples(root exec.PNode) []*exec.PCachedSample {
+	var out []*exec.PCachedSample
+	exec.WalkP(root, func(n exec.PNode) {
+		if cs, ok := n.(*exec.PCachedSample); ok {
+			out = append(out, cs)
+		}
+	})
+	return out
+}
+
+// cachedDiff compares the cached-sample rewrites of two compilations of
+// the same plan, returning the first difference or "". Keys must match
+// exactly: the key is the only thing standing between a warm query and
+// someone else's materialized sample.
+func cachedDiff(a, b exec.PNode) string {
+	ca, cb := cachedSamples(a), cachedSamples(b)
+	if len(ca) != len(cb) {
+		return fmt.Sprintf("%d cached fragments vs %d on replay", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].Key != cb[i].Key {
+			return fmt.Sprintf("fragment %d keyed %q vs %q on replay", i, ca[i].Key, cb[i].Key)
+		}
+		if ca[i].SamplerP != cb[i].SamplerP {
+			return fmt.Sprintf("fragment %d sampler p=%g vs %g on replay", i, ca[i].SamplerP, cb[i].SamplerP)
+		}
+	}
+	return ""
 }
 
 // pruneDiff compares the pruning decisions of two compilations of the

@@ -13,6 +13,7 @@ import (
 	"quickr/internal/exec"
 	"quickr/internal/lplan"
 	"quickr/internal/opt"
+	"quickr/internal/plancheck"
 )
 
 // sweepN returns the sweep size: QUICKR_SOUNDNESS_PLANS when set (the
@@ -67,16 +68,19 @@ func TestSoundnessSweep(t *testing.T) {
 // TestRegistryComplete parses the optimizer sources and proves the rule
 // registry complete in both directions: every rewrite-shaped function
 // in normalize.go (func(lplan.Node) lplan.Node, optionally with an
-// *Estimator) and every Planner pass in prune.go (method taking an
-// exec.PNode) must be registered in opt.Rules(), and every registered
-// Func must still exist in the sources. Adding a rewrite without
-// registering it — leaving it unproven — fails here.
+// *Estimator) and every Planner pass in prune.go or samplecache.go
+// (method taking an exec.PNode) must be registered in opt.Rules(), and
+// every registered Func must still exist in the sources. Adding a
+// rewrite without registering it — leaving it unproven — fails here.
 func TestRegistryComplete(t *testing.T) {
 	found := map[string]bool{}
 	for _, fn := range rewriteFuncs(t, "../normalize.go") {
 		found[fn] = true
 	}
 	for _, fn := range plannerPasses(t, "../prune.go") {
+		found[fn] = true
+	}
+	for _, fn := range plannerPasses(t, "../samplecache.go") {
 		found[fn] = true
 	}
 	registered := map[string]bool{}
@@ -106,7 +110,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	for fn := range registered {
 		if !found[fn] {
-			t.Errorf("registered rule function %s no longer exists in normalize.go/prune.go", fn)
+			t.Errorf("registered rule function %s no longer exists in normalize.go/prune.go/samplecache.go", fn)
 		}
 	}
 }
@@ -368,6 +372,73 @@ func TestProverCatchesInflationTampering(t *testing.T) {
 	}
 	if probs := CheckPrunedPlan(proot, cfg); len(probs) != 0 {
 		t.Fatalf("restored plan rejected: %v", probs)
+	}
+}
+
+// cachedCompile finds a seed whose compiled plan wraps a sampler
+// fragment in a cached-sample node and returns the compiled plan.
+func cachedCompile(t *testing.T) exec.PNode {
+	t.Helper()
+	est := opt.NewEstimator(sharedCatalog())
+	for seed := uint64(1); seed < 200; seed++ {
+		root, info := genPlan(seed)
+		if info.samplerP <= 0 {
+			continue
+		}
+		var norm lplan.Node = root
+		for _, r := range opt.Rules() {
+			if r.Kind == opt.LogicalRule {
+				norm = r.Logical(norm, est)
+			}
+		}
+		pl := &opt.Planner{CM: opt.NewCostModel(est, cluster.DefaultConfig()), EstCfg: estCfg(info), Seed: seed, SampleCache: true}
+		proot, err := pl.Plan(norm)
+		if err != nil {
+			continue
+		}
+		if len(cachedSamples(proot)) > 0 {
+			return proot
+		}
+	}
+	t.Fatal("no cached-sample plan in 200 seeds")
+	return nil
+}
+
+// TestProverCatchesCachedSampleTampering corrupts a cached-sample
+// node's key and sampler probability — the two fields a warm replay
+// trusts — and proves the plancheck invariant the prover runs after
+// every physical rule rejects each corruption.
+func TestProverCatchesCachedSampleTampering(t *testing.T) {
+	proot := cachedCompile(t)
+	ck := plancheck.New()
+	if vs := ck.CheckPhysical(proot); len(vs) != 0 {
+		t.Fatalf("honest cached plan rejected: %v", vs)
+	}
+	cs := cachedSamples(proot)[0]
+
+	origP := cs.SamplerP
+	cs.SamplerP = origP / 2 // cached rows would carry wrong HT weights
+	if vs := ck.CheckPhysical(proot); len(vs) == 0 {
+		t.Error("tampered sampler probability passed the physical checks")
+	}
+	cs.SamplerP = origP
+
+	origKey := cs.Key
+	cs.Key = origKey + "|stale" // key no longer fingerprints the fragment
+	if vs := ck.CheckPhysical(proot); len(vs) == 0 {
+		t.Error("tampered cache key passed the physical checks")
+	}
+	cs.Key = origKey
+
+	origFrag := cs.Frag
+	cs.Frag = nil // no lazy fallback to run on a miss
+	if vs := ck.CheckPhysical(proot); len(vs) == 0 {
+		t.Error("cached node without a fragment passed the physical checks")
+	}
+	cs.Frag = origFrag
+
+	if vs := ck.CheckPhysical(proot); len(vs) != 0 {
+		t.Fatalf("restored plan rejected: %v", vs)
 	}
 }
 

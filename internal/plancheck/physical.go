@@ -32,6 +32,7 @@ func (c *Checker) CheckPhysical(root exec.PNode) []Violation {
 	vs = append(vs, checkPWeightReachesAggregate(root)...)
 	vs = append(vs, checkPPruning(root)...)
 	vs = append(vs, checkPruneInflation(root)...)
+	vs = append(vs, checkCachedSample(root)...)
 	return annotatePaths(vs, physicalPaths(root))
 }
 
@@ -483,6 +484,44 @@ func checkPruneInflation(root exec.PNode) []Violation {
 		}
 	}
 	rec(root, nil, "")
+	return vs
+}
+
+// checkCachedSample verifies hot-sample-reuse nodes: the replaced
+// fragment must still be present as the node's child, have the
+// cacheable shape the rewrite recognizes (a real sampler over
+// filters/projects over one base-table scan), and the node's claims
+// about it — the root sampler probability (which fixes the cached rows'
+// Horvitz–Thompson weights) and the fragment fingerprint the executor
+// keys the cache on — must match the fragment exactly. A hand-built
+// plan that swaps fragments or claims different weights is rejected
+// before it can serve cached rows as if they were the lazy stream.
+func checkCachedSample(root exec.PNode) []Violation {
+	var vs []Violation
+	bad := func(n exec.PNode, format string, args ...any) {
+		vs = append(vs, Violation{Rule: "p-cached-sample", Node: n.Describe(), Detail: fmt.Sprintf(format, args...), node: n})
+	}
+	exec.WalkP(root, func(n exec.PNode) {
+		cs, ok := n.(*exec.PCachedSample)
+		if !ok {
+			return
+		}
+		if cs.Frag == nil {
+			bad(n, "cached-sample node without a fragment: there is no lazy fallback to run")
+			return
+		}
+		if !exec.CacheableFragment(cs.Frag) {
+			bad(n, "fragment %s is not cacheable (must be a real sampler over filters/projects over one scan)", cs.Frag.Describe())
+			return
+		}
+		s := cs.Frag.(*exec.PSample)
+		if cs.SamplerP != s.Def.P {
+			bad(n, "node claims sampler p=%g but the fragment samples at p=%g: cached rows would carry different HT weights than the lazy path", cs.SamplerP, s.Def.P)
+		}
+		if cs.Key != exec.FragmentKey(cs.Frag) {
+			bad(n, "cache key does not fingerprint this fragment: a warm run could replay a different sampler/filter/prune combination")
+		}
+	})
 	return vs
 }
 

@@ -95,6 +95,10 @@ type Table struct {
 	colCache []*ColPartition
 	// guarded-by: cacheMu
 	sumCache []*PartitionSummary
+	// version counts Appends; caches keyed outside the table (the
+	// engine's sample cache) fold it into their keys so entries built
+	// over older contents become unreachable. guarded-by: cacheMu
+	version uint64
 }
 
 // New creates a table with the given number of empty partitions.
@@ -119,7 +123,18 @@ func (t *Table) Append(i int, r Row) {
 	if t.sumCache != nil {
 		t.sumCache[p] = nil
 	}
+	t.version++
 	t.cacheMu.Unlock()
+}
+
+// Version returns the table's append counter. Externally-keyed caches
+// (the engine's materialized-sample cache) embed it in their keys, the
+// same invalidation discipline the per-partition caches above get from
+// Append's in-place nil-out.
+func (t *Table) Version() uint64 {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	return t.version
 }
 
 // NumRows returns the total number of rows in the table.

@@ -7,7 +7,8 @@ import (
 	"quickr/internal/metrics"
 )
 
-// planCacheCap bounds the number of prepared plans kept per engine.
+// planCacheCap is the default bound on prepared plans kept per engine;
+// Engine.SetPlanCacheCap overrides it.
 const planCacheCap = 128
 
 // planKey identifies one cached prepared plan: the parser-normalized
@@ -35,6 +36,8 @@ type planCache struct {
 	items map[planKey]*list.Element
 	// guarded-by: mu
 	order *list.List // front = most recently used
+	// guarded-by: mu
+	cap int
 }
 
 type planEntry struct {
@@ -43,7 +46,29 @@ type planEntry struct {
 }
 
 func newPlanCache() *planCache {
-	return &planCache{items: map[planKey]*list.Element{}, order: list.New()}
+	return &planCache{items: map[planKey]*list.Element{}, order: list.New(), cap: planCacheCap}
+}
+
+// setCap re-bounds the cache, evicting least-recently-used entries down
+// to the new capacity. Values < 1 restore the default.
+func (c *planCache) setCap(n int) {
+	if n < 1 {
+		n = planCacheCap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until the cache fits its capacity.
+// caller-holds: c.mu
+func (c *planCache) evictOver() {
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		delete(c.items, el.Value.(*planEntry).key)
+		c.order.Remove(el)
+	}
 }
 
 func (c *planCache) get(k planKey) (*prepared, bool) {
@@ -68,11 +93,7 @@ func (c *planCache) put(k planKey, p *prepared) {
 		return
 	}
 	c.items[k] = c.order.PushFront(&planEntry{key: k, prep: p})
-	for c.order.Len() > planCacheCap {
-		el := c.order.Back()
-		delete(c.items, el.Value.(*planEntry).key)
-		c.order.Remove(el)
-	}
+	c.evictOver()
 }
 
 // purge drops every entry; called when the epoch bumps so plans for

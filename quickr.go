@@ -109,6 +109,11 @@ type Engine struct {
 	// exact fallback.
 	// guarded-by: mu
 	contractMaxEsc int
+	// sampleCache holds materialized sampler outputs for hot-sample
+	// reuse; nil when disabled (the default). The cache itself is
+	// internally synchronized — mu only guards the pointer swap.
+	// guarded-by: mu
+	sampleCache *exec.SampleCache
 
 	cache *planCache
 	gate  *pool.Gate
@@ -134,10 +139,17 @@ func New() *Engine {
 	}
 }
 
-// bump invalidates cached plans after a DDL or settings change.
+// bump invalidates cached plans after a DDL or settings change. The
+// sample cache purges too: its runtime keys fold the epoch in, so stale
+// entries could never be served — the purge just frees their memory
+// promptly instead of waiting for LRU pressure.
+// caller-holds: e.mu
 func (e *Engine) bump() {
 	e.epoch++
 	e.cache.purge()
+	if e.sampleCache != nil {
+		e.sampleCache.Purge()
+	}
 }
 
 // SetClusterConfig overrides the cluster simulator configuration.
@@ -286,6 +298,53 @@ func (e *Engine) SetContractMaxEscalations(n int) {
 		n = DefaultContractMaxEscalations
 	}
 	e.contractMaxEsc = n
+	e.bump()
+}
+
+// SetSampleCache enables hot-sample reuse with the given byte budget:
+// the optimizer wraps each cacheable sampler fragment (a real sampler
+// over filters/projects over one base-table scan) in a cached-sample
+// node, and the executor materializes the fragment's weighted output
+// (column-major) on first execution and replays it on repeats, skipping
+// the base-table scan entirely. Cached rows carry the exact per-row
+// Horvitz–Thompson weights the lazy path would produce, so answers and
+// confidence intervals are bit-identical warm or cold. Entries are
+// keyed by fragment fingerprint, table version and config epoch —
+// Appends and Set* calls strand stale entries rather than serving them
+// — and evicted LRU under the byte budget. A budget < 1 disables the
+// cache (the default). The CLI flag `quickr -sample-cache` sets the
+// same budget.
+func (e *Engine) SetSampleCache(bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if bytes < 1 {
+		e.sampleCache = nil
+	} else {
+		e.sampleCache = exec.NewSampleCache(bytes)
+	}
+	e.bump()
+}
+
+// SampleCacheBudget returns the sample cache's byte budget, 0 when the
+// cache is disabled.
+func (e *Engine) SampleCacheBudget() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.sampleCache == nil {
+		return 0
+	}
+	return e.sampleCache.Budget()
+}
+
+// SetPlanCacheCap re-bounds the prepared-plan cache (default 128
+// plans), evicting least-recently-used entries down to the new cap.
+// Dashboard-style workloads with more distinct panels than the default
+// cap would otherwise thrash re-optimization. Values < 1 restore the
+// default.
+func (e *Engine) SetPlanCacheCap(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache.setCap(n)
 	e.bump()
 }
 
@@ -440,9 +499,13 @@ func (e *Engine) runStmt(ctx context.Context, stmt *sql.SelectStmt, approx bool,
 	}
 
 	// Snapshot the execution configuration and gate once, so a
-	// concurrent Set* call cannot tear this run's view.
+	// concurrent Set* call cannot tear this run's view. The epoch rides
+	// along for the sample cache's runtime keys: a bump between this
+	// snapshot and execution strands the run's cache entries under the
+	// old epoch rather than ever serving them stale.
 	e.mu.RLock()
 	cfg, batch, columnar, gate, historyOn := e.cfg, e.batchSize, e.columnar, e.gate, e.historyOn
+	sc, cacheEpoch := e.sampleCache, e.epoch
 	e.mu.RUnlock()
 
 	// Learned corrections: when this plan fingerprint has history, show
@@ -472,6 +535,8 @@ func (e *Engine) runStmt(ctx context.Context, stmt *sql.SelectStmt, approx bool,
 		QueuedNanos:   adm.QueuedNanos,
 		AdmittedBytes: adm.Bytes,
 		CorrRows:      corr,
+		SampleCache:   sc,
+		CacheEpoch:    cacheEpoch,
 	})
 	if err != nil {
 		return nil, err
@@ -621,6 +686,7 @@ func (e *Engine) prepare(query string, approx bool) (*prepared, error) {
 func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool, minP float64) (*prepared, error) {
 	e.mu.RLock()
 	cfg, opts, seed, planChecks, prune := e.cfg, e.opts, e.seed, e.planChecks, e.prune
+	sampleCacheOn := e.sampleCache != nil
 	e.mu.RUnlock()
 	checker := plancheck.New()
 	if minP > 0 {
@@ -678,7 +744,7 @@ func (e *Engine) prepareStmt(stmt *sql.SelectStmt, approx bool, minP float64) (*
 			return nil, fmt.Errorf("quickr: optimized logical plan is invalid: %w", err)
 		}
 	}
-	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: seed, Prune: prune}
+	planner := &opt.Planner{CM: cm, EstCfg: estCfg, Seed: seed, Prune: prune, SampleCache: sampleCacheOn}
 	physical, err := planner.Plan(p.logical)
 	if err != nil {
 		return nil, err
